@@ -1,0 +1,45 @@
+//===- bench/bench_fig6_scatter.cpp - Fig. 6 reproduction ------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Regenerates the data behind the Fig. 6 scatter plots: one CSV row per
+// (instance, opposing solver) with postr-pos's runtime against the
+// opposing solver's runtime. Plot columns 3–4 log-log to reproduce the
+// figure; timeouts appear as the timeout value (the dashed boundary
+// lines in the paper's plots).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+using namespace postr;
+using namespace postr::bench;
+
+int main() {
+  const std::vector<Family> Families = {Family::Biopython, Family::Django,
+                                        Family::Thefuck,
+                                        Family::PositionHard};
+  uint64_t Timeout = perInstanceTimeoutMs();
+  std::printf("family,instance,opponent,t_pos_ms,t_other_ms,v_pos,"
+              "v_other\n");
+  for (Family F : Families) {
+    uint32_t N = F == Family::PositionHard ? positionHardInstances()
+                                           : instancesPerFamily();
+    for (uint32_t I = 0; I < N; ++I) {
+      strings::Problem P = generate(F, 1, I);
+      RunOutcome Pos = runSolver("postr-pos", P, Timeout);
+      for (const SolverDesc &S : solverList()) {
+        if (std::string(S.Name) == "postr-pos")
+          continue;
+        RunOutcome Other = runSolver(S.Name, P, Timeout);
+        std::printf("%s,%u,%s,%.2f,%.2f,%s,%s\n", familyName(F), I, S.Name,
+                    Pos.TimedOut ? static_cast<double>(Timeout) : Pos.Ms,
+                    Other.TimedOut ? static_cast<double>(Timeout)
+                                   : Other.Ms,
+                    verdictName(Pos.V), verdictName(Other.V));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+//===- bench/workloads/Workloads.cpp - Benchmark families ------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+using namespace postr;
+using namespace postr::bench;
+using strings::AssertKind;
+using strings::IntTerm;
+using strings::Problem;
+using strings::StrElem;
+using strings::StrSeq;
+
+namespace {
+
+/// Random literal over a small project-specific alphabet.
+std::string randLit(std::mt19937 &Rng, const std::string &Chars,
+                    uint32_t MaxLen, uint32_t MinLen = 1) {
+  uint32_t Len = MinLen + Rng() % (MaxLen - MinLen + 1);
+  std::string S;
+  for (uint32_t I = 0; I < Len; ++I)
+    S.push_back(Chars[Rng() % Chars.size()]);
+  return S;
+}
+
+StrSeq seq(std::initializer_list<StrElem> Es) { return StrSeq(Es); }
+
+/// Symbolic-execution-style generator shared by the three project
+/// families; the knobs change the constraint mix per family.
+struct SymexKnobs {
+  std::string Chars;        ///< project character set
+  uint32_t NumInputs;       ///< symbolic inputs per path condition
+  uint32_t NumBranches;     ///< literals tested along the path
+  uint32_t PctDiseq;        ///< % of branches taken on the else side
+  uint32_t PctPrefixSuffix; ///< % prefix/suffix dispatch tests
+  uint32_t PctContains;     ///< % containment filters
+  uint32_t PctStrAt;        ///< % character probes
+  uint32_t PctLen;          ///< % length guards
+  uint32_t MaxLitLen;
+};
+
+Problem genSymex(const SymexKnobs &K, uint32_t Seed, uint32_t Index) {
+  std::mt19937 Rng(Seed * 7919u + Index);
+  Problem P;
+  std::vector<VarId> Inputs;
+  for (uint32_t I = 0; I < K.NumInputs; ++I) {
+    VarId X = P.strVar("in" + std::to_string(I));
+    Inputs.push_back(X);
+    // Inputs range over the project alphabet (bounded like PyCT's
+    // concretization ranges).
+    P.assertInRe(X, "(" + std::string(1, K.Chars[0]) + "|" +
+                        std::string(1, K.Chars[1]) + "|" +
+                        std::string(1, K.Chars[K.Chars.size() - 1]) +
+                        "){0,6}");
+  }
+  auto Input = [&] { return Inputs[Rng() % Inputs.size()]; };
+
+  for (uint32_t B = 0; B < K.NumBranches; ++B) {
+    uint32_t Roll = Rng() % 100;
+    std::string Lit = randLit(Rng, K.Chars, K.MaxLitLen);
+    if (Roll < K.PctPrefixSuffix) {
+      bool Pre = Rng() % 2 == 0;
+      bool Neg = Rng() % 100 < K.PctDiseq;
+      P.assertPred(Pre ? (Neg ? AssertKind::NotPrefixof
+                              : AssertKind::Prefixof)
+                       : (Neg ? AssertKind::NotSuffixof
+                              : AssertKind::Suffixof),
+                   seq({StrElem::lit(Lit)}), seq({StrElem::var(Input())}));
+    } else if (Roll < K.PctPrefixSuffix + K.PctContains) {
+      bool Neg = Rng() % 100 < K.PctDiseq;
+      P.assertPred(Neg ? AssertKind::NotContains : AssertKind::Contains,
+                   seq({StrElem::lit(Lit)}), seq({StrElem::var(Input())}));
+    } else if (Roll < K.PctPrefixSuffix + K.PctContains + K.PctStrAt) {
+      bool Neg = Rng() % 100 < K.PctDiseq;
+      P.assertStrAt(!Neg, StrElem::lit(Lit.substr(0, 1)),
+                    seq({StrElem::var(Input())}),
+                    IntTerm::constant(static_cast<int64_t>(Rng() % 3)));
+    } else if (Roll < K.PctPrefixSuffix + K.PctContains + K.PctStrAt +
+                          K.PctLen) {
+      P.assertIntAtom(IntTerm::lenOf(Input()),
+                      Rng() % 2 ? lia::Cmp::Le : lia::Cmp::Ge,
+                      IntTerm::constant(static_cast<int64_t>(Rng() % 5)));
+    } else {
+      // Equality test on the path: the if-side is a word equation, the
+      // else-side the paper's flagship disequality.
+      bool Neg = Rng() % 100 < K.PctDiseq;
+      StrSeq Lhs = seq({StrElem::var(Input())});
+      if (Rng() % 3 == 0)
+        Lhs.push_back(StrElem::var(Input()));
+      if (Neg)
+        P.assertDiseq(std::move(Lhs), seq({StrElem::lit(Lit)}));
+      else
+        P.assertWordEq(std::move(Lhs), seq({StrElem::lit(Lit)}));
+    }
+  }
+  return P;
+}
+
+/// Footnote 10: one ¬contains or ≠ over concatenations of variables with
+/// possible repetition (e.g. xyz ≠ xxy), constrained by simple flat
+/// languages (a*, (ab)*, (abc)*).
+Problem genPositionHard(uint32_t Seed, uint32_t Index) {
+  std::mt19937 Rng(Seed * 104729u + Index);
+  Problem P;
+  // All variables iterate the same primitive word, so their values
+  // commute: every permutation of the same occurrence multiset denotes
+  // the same string. The templates below are therefore mostly
+  // unsatisfiable — but witnessing that requires position reasoning, not
+  // assignment guessing (footnote 10: "a solution cannot be easily found
+  // by systematically trying different assignments").
+  static const char *FlatLangs[] = {"a*", "(ab)*", "(abc)*", "(ba)*"};
+  const char *Lang = FlatLangs[Rng() % 4];
+  VarId X = P.strVar("x"), Y = P.strVar("y"), Z = P.strVar("z");
+  P.assertInRe(X, Lang);
+  P.assertInRe(Y, Lang);
+  P.assertInRe(Z, Lang);
+  auto S = [&](std::initializer_list<VarId> Vs) {
+    StrSeq Out;
+    for (VarId V : Vs)
+      Out.push_back(StrElem::var(V));
+    return Out;
+  };
+  switch (Rng() % 6) {
+  case 0: // commuting powers: xy = yx always — Unsat
+    P.assertDiseq(S({X, Y}), S({Y, X}));
+    break;
+  case 1: // xyz vs permutation — Unsat
+    P.assertDiseq(S({X, Y, Z}), S({X, Z, Y}));
+    break;
+  case 2: // needle is a rotation of equal length — contained — Unsat
+    P.assertPred(AssertKind::NotContains, S({X, Y}), S({Y, X}));
+    break;
+  case 3: // xxy vs xyx — equal under commutation — Unsat
+    P.assertPred(AssertKind::NotContains, S({X, X, Y}), S({X, Y, X}));
+    break;
+  case 4: // Sat but needs an asymmetric witness across two languages
+    P = Problem();
+    X = P.strVar("x");
+    Y = P.strVar("y");
+    P.assertInRe(X, "(ab)*");
+    P.assertInRe(Y, "(ba)*");
+    P.assertDiseq(S({X, Y}), S({Y, X}));
+    P.assertIntAtom(IntTerm::lenOf(X) + IntTerm::lenOf(Y), lia::Cmp::Ge,
+                    IntTerm::constant(4));
+    break;
+  default: // strict-prefix style: xy is never a strict... (Unsat)
+    P.assertPred(AssertKind::NotSuffixof, S({X, Y}), S({Y, X}));
+    break;
+  }
+  return P;
+}
+
+} // namespace
+
+Problem postr::bench::generate(Family F, uint32_t Seed, uint32_t Index) {
+  switch (F) {
+  case Family::Biopython:
+    // Bioinformatics: ACGT-ish alphabets, heavy contains/at probes.
+    return genSymex({"acgt", 2, 3, 55, 15, 30, 20, 10, 2}, Seed, Index);
+  case Family::Django:
+    // Web routing: prefix/suffix dispatch on paths, many else-branches.
+    return genSymex({"abc/", 2, 3, 65, 45, 10, 5, 10, 2}, Seed, Index);
+  case Family::Thefuck:
+    // Command fixing: word equations and disequalities on tokens.
+    return genSymex({"gitps", 3, 3, 60, 15, 10, 10, 5, 2}, Seed, Index);
+  case Family::PositionHard:
+    return genPositionHard(Seed, Index);
+  }
+  return Problem();
+}

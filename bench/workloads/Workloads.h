@@ -1,0 +1,60 @@
+//===- bench/workloads/Workloads.h - Benchmark families ----------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generators for the paper's four benchmark families (Sec. 8.1).
+/// The PyCT-extracted corpora (biopython / django / thefuck) are not
+/// redistributable, so each family is a synthetic generator that
+/// reproduces the constraint *mix* of the corresponding project's
+/// symbolic execution runs: equality/disequality tests on path
+/// conditions, prefix/suffix dispatch, containment filters, character
+/// probes (str.at), and length guards, over literal-heavy regular
+/// languages. position-hard follows the paper's footnote 10 recipe
+/// exactly (primitive-word-style formulae over flat languages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_BENCH_WORKLOADS_H
+#define POSTR_BENCH_WORKLOADS_H
+
+#include "strings/Ast.h"
+
+#include <random>
+#include <string>
+
+namespace postr {
+namespace bench {
+
+enum class Family {
+  Biopython,    ///< sequence-tool style: literal alphabets, contains/at
+  Django,       ///< web-framework style: prefix/suffix routing, diseqs
+  Thefuck,      ///< command-fixer style: word equations + diseqs
+  PositionHard, ///< footnote-10 primitive-word formulae
+};
+
+inline const char *familyName(Family F) {
+  switch (F) {
+  case Family::Biopython:
+    return "biopython";
+  case Family::Django:
+    return "django";
+  case Family::Thefuck:
+    return "thefuck";
+  case Family::PositionHard:
+    return "position-hard";
+  }
+  return "?";
+}
+
+/// Generates instance \p Index of \p F (deterministic in (F, Seed,
+/// Index)).
+strings::Problem generate(Family F, uint32_t Seed, uint32_t Index);
+
+} // namespace bench
+} // namespace postr
+
+#endif // POSTR_BENCH_WORKLOADS_H

@@ -1,0 +1,391 @@
+//===- counter/OneCounter.cpp - PTime single-predicate path ----------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "counter/OneCounter.h"
+
+#include "tagaut/TagAutomaton.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace postr;
+using namespace postr::counter;
+using namespace postr::tagaut;
+
+namespace {
+
+/// A weighted digraph with designated start/finish node sets.
+struct WeightedGraph {
+  struct Edge {
+    uint32_t From, To;
+    int64_t Weight;
+  };
+  uint32_t NumNodes = 0;
+  std::vector<Edge> Edges;
+  std::vector<bool> Start, Finish;
+
+  uint32_t addNodes(uint32_t N) {
+    uint32_t First = NumNodes;
+    NumNodes += N;
+    Start.resize(NumNodes, false);
+    Finish.resize(NumNodes, false);
+    return First;
+  }
+};
+
+/// Nodes that lie on some start→finish walk.
+std::vector<bool> relevantNodes(const WeightedGraph &G) {
+  std::vector<std::vector<uint32_t>> Succ(G.NumNodes), Pred(G.NumNodes);
+  for (const WeightedGraph::Edge &E : G.Edges) {
+    Succ[E.From].push_back(E.To);
+    Pred[E.To].push_back(E.From);
+  }
+  auto Bfs = [&](const std::vector<bool> &Init,
+                 const std::vector<std::vector<uint32_t>> &Adj) {
+    std::vector<bool> Seen = Init;
+    std::vector<uint32_t> Stack;
+    for (uint32_t N = 0; N < G.NumNodes; ++N)
+      if (Seen[N])
+        Stack.push_back(N);
+    while (!Stack.empty()) {
+      uint32_t N = Stack.back();
+      Stack.pop_back();
+      for (uint32_t M : Adj[N])
+        if (!Seen[M]) {
+          Seen[M] = true;
+          Stack.push_back(M);
+        }
+    }
+    return Seen;
+  };
+  std::vector<bool> Fwd = Bfs(G.Start, Succ);
+  std::vector<bool> Bwd = Bfs(G.Finish, Pred);
+  std::vector<bool> Out(G.NumNodes);
+  for (uint32_t N = 0; N < G.NumNodes; ++N)
+    Out[N] = Fwd[N] && Bwd[N];
+  return Out;
+}
+
+/// Is there a positive-weight (Sign=+1) or negative-weight (Sign=-1)
+/// cycle through relevant nodes? Bellman–Ford on the relevant subgraph.
+bool hasSignedCycle(const WeightedGraph &G, const std::vector<bool> &Rel,
+                    int Sign) {
+  // Negate weights for Sign=+1 so that "negative cycle" detection finds
+  // positive cycles.
+  std::vector<int64_t> Dist(G.NumNodes, 0);
+  for (uint32_t Round = 0; Round < G.NumNodes; ++Round) {
+    bool Changed = false;
+    for (const WeightedGraph::Edge &E : G.Edges) {
+      if (!Rel[E.From] || !Rel[E.To])
+        continue;
+      int64_t W = Sign > 0 ? -E.Weight : E.Weight;
+      if (Dist[E.From] + W < Dist[E.To]) {
+        Dist[E.To] = Dist[E.From] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return false;
+  }
+  return true;
+}
+
+/// Does a start→finish walk with total weight satisfying \p Test exist?
+/// \p Test is one of: =0, >=1, <=-1 (encoded by Mode).
+enum class WalkMode { ExactZero, AtLeastOne, AtMostMinusOne };
+
+/// Exact decision for the monotone modes; for ExactZero a clamped BFS
+/// with a quadratic excursion bound (see file header). Returns Unknown
+/// only on budget exhaustion in the ExactZero mode.
+Verdict existsWalk(const WeightedGraph &G, WalkMode Mode,
+                   uint64_t &Budget) {
+  std::vector<bool> Rel = relevantNodes(G);
+  bool AnyRelStart = false;
+  for (uint32_t N = 0; N < G.NumNodes; ++N)
+    if (Rel[N] && G.Start[N])
+      AnyRelStart = true;
+  if (!AnyRelStart)
+    return Verdict::Unsat;
+
+  int64_t MaxW = 1;
+  uint32_t RelCount = 0;
+  for (const WeightedGraph::Edge &E : G.Edges)
+    MaxW = std::max<int64_t>(MaxW, std::llabs(E.Weight));
+  for (uint32_t N = 0; N < G.NumNodes; ++N)
+    if (Rel[N])
+      ++RelCount;
+
+  // For the monotone modes, an insertable cycle of the right sign makes
+  // the target reachable as soon as any complete walk exists (which it
+  // does: AnyRelStart); otherwise all walk values are realized within
+  // the DAG-ish bound and the clamped BFS below is exact.
+  if (Mode == WalkMode::AtLeastOne && hasSignedCycle(G, Rel, +1))
+    return Verdict::Sat;
+  if (Mode == WalkMode::AtMostMinusOne && hasSignedCycle(G, Rel, -1))
+    return Verdict::Sat;
+
+  // Clamped BFS over (node, value). For the monotone modes, cycles of the
+  // right sign are gone, so values toward the target are bounded by
+  // |Q|·MaxW and the search is exact. For ExactZero we use the quadratic
+  // small-excursion bound.
+  int64_t Bound;
+  if (Mode == WalkMode::ExactZero) {
+    int64_t Expanded = static_cast<int64_t>(RelCount) * (MaxW + 1) + 2;
+    Bound = std::min<int64_t>(Expanded * Expanded, 1 << 21);
+  } else {
+    Bound = static_cast<int64_t>(RelCount) * MaxW + 1;
+  }
+
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> Succ(G.NumNodes);
+  for (const WeightedGraph::Edge &E : G.Edges)
+    if (Rel[E.From] && Rel[E.To])
+      Succ[E.From].push_back({E.To, E.Weight});
+
+  std::set<std::pair<uint32_t, int64_t>> Seen;
+  std::deque<std::pair<uint32_t, int64_t>> Queue;
+  for (uint32_t N = 0; N < G.NumNodes; ++N)
+    if (Rel[N] && G.Start[N]) {
+      Seen.insert({N, 0});
+      Queue.push_back({N, 0});
+    }
+  bool BudgetHit = false;
+  while (!Queue.empty()) {
+    auto [N, V] = Queue.front();
+    Queue.pop_front();
+    if (G.Finish[N]) {
+      bool Hit = false;
+      switch (Mode) {
+      case WalkMode::ExactZero:
+        Hit = V == 0;
+        break;
+      case WalkMode::AtLeastOne:
+        Hit = V >= 1;
+        break;
+      case WalkMode::AtMostMinusOne:
+        Hit = V <= -1;
+        break;
+      }
+      if (Hit)
+        return Verdict::Sat;
+    }
+    if (Budget == 0) {
+      BudgetHit = true;
+      break;
+    }
+    --Budget;
+    for (auto [M, W] : Succ[N]) {
+      int64_t V2 = V + W;
+      if (V2 > Bound || V2 < -Bound)
+        continue;
+      if (Seen.insert({M, V2}).second)
+        Queue.push_back({M, V2});
+    }
+  }
+  if (BudgetHit)
+    return Verdict::Unknown;
+  return Verdict::Unsat;
+}
+
+/// Occurrence multiplicity of \p Z among the first \p Count entries.
+int64_t multBefore(const std::vector<VarId> &Occs, size_t Count, VarId Z) {
+  int64_t N = 0;
+  for (size_t I = 0; I < Count && I < Occs.size(); ++I)
+    if (Occs[I] == Z)
+      ++N;
+  return N;
+}
+
+/// Builds the length-difference graph: one node per A_◦ state, each
+/// letter of variable z weighing occ_L(z) − occ_R(z) (complete walks
+/// accumulate |L| − |R|).
+WeightedGraph buildLengthGraph(const VarConcat &Vc,
+                               const tagaut::PosPredicate &Pred) {
+  WeightedGraph G;
+  G.addNodes(Vc.numStates());
+  for (uint32_t Q = 0; Q < Vc.numStates(); ++Q) {
+    if (Vc.IsInitial[Q])
+      G.Start[Q] = true;
+    if (Vc.IsFinal[Q])
+      G.Finish[Q] = true;
+  }
+  for (const VarConcat::BaseTransition &T : Vc.BaseDelta) {
+    int64_t W = 0;
+    if (T.Sym != VarConcat::Epsilon)
+      W = multBefore(Pred.Lhs, Pred.Lhs.size(), T.Var) -
+          multBefore(Pred.Rhs, Pred.Rhs.size(), T.Var);
+    G.Edges.push_back({T.From, T.To, W});
+  }
+  return G;
+}
+
+/// Builds the three-phase mismatch graph of Appendix B for occurrence
+/// pair (i, j). Phases: 0 = no sample yet; then |Γ| phases per
+/// first-sampled side remembering the sampled symbol; finally ⊤ after
+/// the second sample (symbols must differ). The counter tracks
+/// g_L − g_R for ≠/¬prefixof and (|L|−g_L) − (|R|−g_R) for ¬suffixof.
+WeightedGraph buildMismatchGraph(const VarConcat &Vc,
+                                 const tagaut::PosPredicate &Pred,
+                                 size_t I, size_t J, uint32_t Sigma) {
+  bool FromEnd = Pred.Kind == tagaut::PredKind::NotSuffix;
+  VarId Xi = Pred.Lhs[I], Yj = Pred.Rhs[J];
+  uint32_t NumBase = Vc.numStates();
+
+  // Phase layout: 0 = ⊥; 1 + s*Sigma + a = sampled first on side s with
+  // symbol a; 1 + 2*Sigma = ⊤.
+  uint32_t NumPhases = 2 + 2 * Sigma;
+  auto Node = [&](uint32_t Q, uint32_t Phase) {
+    return Phase * NumBase + Q;
+  };
+  uint32_t PhaseBot = 0, PhaseTop = 1 + 2 * Sigma;
+  auto PhaseFirst = [&](int SideIdx, Symbol A) {
+    return 1u + static_cast<uint32_t>(SideIdx) * Sigma + A;
+  };
+
+  WeightedGraph G;
+  G.addNodes(NumBase * NumPhases);
+  for (uint32_t Q = 0; Q < NumBase; ++Q) {
+    if (Vc.IsInitial[Q])
+      G.Start[Node(Q, PhaseBot)] = true;
+    if (Vc.IsFinal[Q])
+      G.Finish[Node(Q, PhaseTop)] = true;
+  }
+
+  // Letter weight toward g_L: multiplicity of z before occurrence i,
+  // plus 1 inside occurrence i for letters strictly before the L-sample
+  // (i.e. while the L sample is still pending). Mirrored for g_R. For
+  // ¬suffixof the tracked value is (|L|−|R|) − (g_L−g_R), so the letter
+  // weight gets the total-multiplicity difference added and the g-part
+  // subtracted.
+  auto LetterWeight = [&](VarId Z, bool LPending, bool RPending) {
+    int64_t GL = multBefore(Pred.Lhs, I, Z) + ((Z == Xi && LPending) ? 1 : 0);
+    int64_t GR = multBefore(Pred.Rhs, J, Z) + ((Z == Yj && RPending) ? 1 : 0);
+    int64_t W = GL - GR;
+    if (FromEnd)
+      W = (multBefore(Pred.Lhs, Pred.Lhs.size(), Z) -
+           multBefore(Pred.Rhs, Pred.Rhs.size(), Z)) -
+          W;
+    return W;
+  };
+  // The sampled letter itself: no strictly-before increment for its own
+  // side, but the pending increment of the *other* side still applies.
+  auto SampleWeight = [&](VarId Z, bool SampleIsL, bool OtherPending) {
+    int64_t GL = multBefore(Pred.Lhs, I, Z) +
+                 ((!SampleIsL && Z == Xi && OtherPending) ? 1 : 0);
+    int64_t GR = multBefore(Pred.Rhs, J, Z) +
+                 ((SampleIsL && Z == Yj && OtherPending) ? 1 : 0);
+    int64_t W = GL - GR;
+    if (FromEnd)
+      W = (multBefore(Pred.Lhs, Pred.Lhs.size(), Z) -
+           multBefore(Pred.Rhs, Pred.Rhs.size(), Z)) -
+          W;
+    return W;
+  };
+
+  for (const VarConcat::BaseTransition &T : Vc.BaseDelta) {
+    if (T.Sym == VarConcat::Epsilon) {
+      for (uint32_t Phase = 0; Phase < NumPhases; ++Phase)
+        G.Edges.push_back({Node(T.From, Phase), Node(T.To, Phase), 0});
+      continue;
+    }
+    VarId Z = T.Var;
+    // Phase ⊥: both samples pending.
+    G.Edges.push_back({Node(T.From, PhaseBot), Node(T.To, PhaseBot),
+                       LetterWeight(Z, true, true)});
+    // First sample on L (letters of x_i only).
+    if (Z == Xi)
+      G.Edges.push_back({Node(T.From, PhaseBot),
+                         Node(T.To, PhaseFirst(0, T.Sym)),
+                         SampleWeight(Z, /*SampleIsL=*/true, true)});
+    // First sample on R.
+    if (Z == Yj)
+      G.Edges.push_back({Node(T.From, PhaseBot),
+                         Node(T.To, PhaseFirst(1, T.Sym)),
+                         SampleWeight(Z, /*SampleIsL=*/false, true)});
+    for (Symbol A = 0; A < Sigma; ++A) {
+      // Mid phase after an L-sample of symbol A: R still pending.
+      G.Edges.push_back({Node(T.From, PhaseFirst(0, A)),
+                         Node(T.To, PhaseFirst(0, A)),
+                         LetterWeight(Z, false, true)});
+      // Second sample on R: symbol must differ from A.
+      if (Z == Yj && T.Sym != A)
+        G.Edges.push_back({Node(T.From, PhaseFirst(0, A)),
+                           Node(T.To, PhaseTop),
+                           SampleWeight(Z, /*SampleIsL=*/false, false)});
+      // Mid phase after an R-sample.
+      G.Edges.push_back({Node(T.From, PhaseFirst(1, A)),
+                         Node(T.To, PhaseFirst(1, A)),
+                         LetterWeight(Z, true, false)});
+      if (Z == Xi && T.Sym != A)
+        G.Edges.push_back({Node(T.From, PhaseFirst(1, A)),
+                           Node(T.To, PhaseTop),
+                           SampleWeight(Z, /*SampleIsL=*/true, false)});
+    }
+    // Phase ⊤: both sampled.
+    G.Edges.push_back({Node(T.From, PhaseTop), Node(T.To, PhaseTop),
+                       LetterWeight(Z, false, false)});
+  }
+  return G;
+}
+
+} // namespace
+
+bool postr::counter::isEligible(
+    const std::vector<tagaut::PosPredicate> &Preds) {
+  if (Preds.size() != 1)
+    return false;
+  switch (Preds.front().Kind) {
+  case tagaut::PredKind::Diseq:
+  case tagaut::PredKind::NotPrefix:
+  case tagaut::PredKind::NotSuffix:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Verdict postr::counter::decideSinglePredicate(
+    const std::map<VarId, automata::Nfa> &Langs,
+    const tagaut::PosPredicate &Pred, uint32_t Sigma,
+    const OneCounterOptions &Opts) {
+  assert(isEligible({Pred}) && "fast path on ineligible predicate");
+  for (const auto &[X, Nfa] : Langs) {
+    (void)X;
+    if (Nfa.isEmpty())
+      return Verdict::Unsat;
+  }
+  VarConcat Vc = buildVarConcat(Langs);
+  uint64_t Budget = Opts.NodeBudget;
+
+  // Length branch.
+  WeightedGraph LenG = buildLengthGraph(Vc, Pred);
+  if (Pred.Kind == tagaut::PredKind::Diseq) {
+    if (existsWalk(LenG, WalkMode::AtLeastOne, Budget) == Verdict::Sat)
+      return Verdict::Sat;
+    if (existsWalk(LenG, WalkMode::AtMostMinusOne, Budget) == Verdict::Sat)
+      return Verdict::Sat;
+  } else {
+    // ¬prefixof / ¬suffixof: |L| > |R| suffices.
+    if (existsWalk(LenG, WalkMode::AtLeastOne, Budget) == Verdict::Sat)
+      return Verdict::Sat;
+  }
+
+  // Mismatch branch, one 0-reachability query per occurrence pair.
+  bool SawUnknown = false;
+  for (size_t I = 0; I < Pred.Lhs.size(); ++I)
+    for (size_t J = 0; J < Pred.Rhs.size(); ++J) {
+      WeightedGraph G = buildMismatchGraph(Vc, Pred, I, J, Sigma);
+      Verdict V = existsWalk(G, WalkMode::ExactZero, Budget);
+      if (V == Verdict::Sat)
+        return Verdict::Sat;
+      if (V == Verdict::Unknown)
+        SawUnknown = true;
+    }
+  return SawUnknown ? Verdict::Unknown : Verdict::Unsat;
+}

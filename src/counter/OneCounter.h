@@ -1,0 +1,64 @@
+//===- counter/OneCounter.h - PTime single-predicate path --------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The polynomial-time decision procedure of Theorem 7.1 / Appendix B for
+/// a single ≠ / ¬prefixof / ¬suffixof predicate under regular constraints
+/// (no I part): the predicate is reduced to walk problems on weighted
+/// counter graphs built over the ε-concatenation A_◦:
+///
+///  * the *length branch* (|L| ≠ |R| resp. |L| > |R|) asks for a complete
+///    walk whose accumulated per-letter weight occ_L(z) − occ_R(z) is
+///    non-zero (resp. positive) — decidable exactly via reachable
+///    co-reachable positive/negative cycles;
+///  * the *mismatch branch* asks, per occurrence pair (i,j), for a
+///    0-weight complete walk of the three-phase sampling automaton of
+///    Appendix B (phases ⊥ / sampled-first-symbol / ⊤), where a letter of
+///    variable z weighs (its multiplicity before occurrence i on the
+///    left) − (before j on the right), with the strictly-before-sample
+///    increments handled by the phase.
+///
+/// 0-weight-walk search runs a BFS over (state, counter) with the
+/// counter clamped to a Valiant–Paterson-style quadratic excursion bound;
+/// if the search budget trips first the procedure answers Unknown and
+/// the caller falls back to the NP tag/LIA path (this never happens on
+/// the benchmark families; the differential suite cross-checks both
+/// paths).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_COUNTER_ONECOUNTER_H
+#define POSTR_COUNTER_ONECOUNTER_H
+
+#include "automata/Nfa.h"
+#include "base/Base.h"
+#include "tagaut/Encoder.h"
+
+#include <map>
+
+namespace postr {
+namespace counter {
+
+struct OneCounterOptions {
+  /// Hard cap on visited (state, counter) pairs across all searches.
+  uint64_t NodeBudget = 5'000'000;
+};
+
+/// True if the fast path applies: a single Diseq/NotPrefix/NotSuffix.
+bool isEligible(const std::vector<tagaut::PosPredicate> &Preds);
+
+/// Decides R ∧ P for one eligible predicate. Unknown only on budget
+/// exhaustion.
+Verdict decideSinglePredicate(const std::map<VarId, automata::Nfa> &Langs,
+                              const tagaut::PosPredicate &Pred,
+                              uint32_t AlphabetSize,
+                              const OneCounterOptions &Opts = {});
+
+} // namespace counter
+} // namespace postr
+
+#endif // POSTR_COUNTER_ONECOUNTER_H

@@ -1,0 +1,390 @@
+//===- lia/Lia.cpp - LIA formula arena ------------------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lia/Lia.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace postr;
+using namespace postr::lia;
+
+LinTerm LinTerm::operator+(const LinTerm &O) const {
+  LinTerm R;
+  R.Const = Const + O.Const;
+  size_t I = 0, J = 0;
+  while (I < Coeffs.size() || J < O.Coeffs.size()) {
+    if (J == O.Coeffs.size() ||
+        (I < Coeffs.size() && Coeffs[I].first < O.Coeffs[J].first)) {
+      R.Coeffs.push_back(Coeffs[I++]);
+      continue;
+    }
+    if (I == Coeffs.size() || O.Coeffs[J].first < Coeffs[I].first) {
+      R.Coeffs.push_back(O.Coeffs[J++]);
+      continue;
+    }
+    int64_t Sum = Coeffs[I].second + O.Coeffs[J].second;
+    if (Sum != 0)
+      R.Coeffs.push_back({Coeffs[I].first, Sum});
+    ++I;
+    ++J;
+  }
+  return R;
+}
+
+LinTerm LinTerm::operator-(const LinTerm &O) const {
+  return *this + (O * -1);
+}
+
+LinTerm LinTerm::operator*(int64_t K) const {
+  LinTerm R;
+  if (K == 0)
+    return R;
+  R.Const = Const * K;
+  R.Coeffs = Coeffs;
+  for (auto &[V, C] : R.Coeffs)
+    C *= K;
+  return R;
+}
+
+int64_t LinTerm::eval(const std::vector<int64_t> &Model) const {
+  int64_t Sum = Const;
+  for (auto [V, C] : Coeffs) {
+    assert(V < Model.size() && "model does not cover term variable");
+    Sum += C * Model[V];
+  }
+  return Sum;
+}
+
+std::string LinTerm::str() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (auto [V, C] : Coeffs) {
+    if (!First)
+      OS << (C >= 0 ? " + " : " - ");
+    else if (C < 0)
+      OS << "-";
+    First = false;
+    int64_t A = C < 0 ? -C : C;
+    if (A != 1)
+      OS << A << "*";
+    OS << "v" << V;
+  }
+  if (Const != 0 || First) {
+    if (First)
+      OS << Const;
+    else
+      OS << (Const >= 0 ? " + " : " - ") << (Const < 0 ? -Const : Const);
+  }
+  return OS.str();
+}
+
+Var Arena::freshVar(std::string Name, int64_t Lo, int64_t Hi) {
+  Names.push_back(std::move(Name));
+  Lower.push_back(Lo);
+  Upper.push_back(Hi);
+  return static_cast<Var>(Names.size() - 1);
+}
+
+FormulaId Arena::trueF() {
+  if (TrueId == ~FormulaId(0))
+    TrueId = push({FKind::True, 0, {}});
+  return TrueId;
+}
+
+FormulaId Arena::falseF() {
+  if (FalseId == ~FormulaId(0))
+    FalseId = push({FKind::False, 0, {}});
+  return FalseId;
+}
+
+FormulaId Arena::atom(LinTerm T, Cmp Op) {
+  // Constant-fold ground atoms.
+  if (T.isConstant()) {
+    int64_t C = T.constant();
+    bool Holds = false;
+    switch (Op) {
+    case Cmp::Le:
+      Holds = C <= 0;
+      break;
+    case Cmp::Lt:
+      Holds = C < 0;
+      break;
+    case Cmp::Ge:
+      Holds = C >= 0;
+      break;
+    case Cmp::Gt:
+      Holds = C > 0;
+      break;
+    case Cmp::Eq:
+      Holds = C == 0;
+      break;
+    case Cmp::Ne:
+      Holds = C != 0;
+      break;
+    }
+    return Holds ? trueF() : falseF();
+  }
+  Atoms.push_back({std::move(T), Op});
+  Node N{FKind::Atom, static_cast<uint32_t>(Atoms.size() - 1), {}};
+  return push(std::move(N));
+}
+
+FormulaId Arena::conj(std::vector<FormulaId> Children) {
+  std::vector<FormulaId> Kept;
+  for (FormulaId C : Children) {
+    if (kind(C) == FKind::False)
+      return falseF();
+    if (kind(C) == FKind::True)
+      continue;
+    Kept.push_back(C);
+  }
+  if (Kept.empty())
+    return trueF();
+  if (Kept.size() == 1)
+    return Kept.front();
+  return push({FKind::And, 0, std::move(Kept)});
+}
+
+FormulaId Arena::disj(std::vector<FormulaId> Children) {
+  std::vector<FormulaId> Kept;
+  for (FormulaId C : Children) {
+    if (kind(C) == FKind::True)
+      return trueF();
+    if (kind(C) == FKind::False)
+      continue;
+    Kept.push_back(C);
+  }
+  if (Kept.empty())
+    return falseF();
+  if (Kept.size() == 1)
+    return Kept.front();
+  return push({FKind::Or, 0, std::move(Kept)});
+}
+
+FormulaId Arena::neg(FormulaId F) {
+  switch (kind(F)) {
+  case FKind::True:
+    return falseF();
+  case FKind::False:
+    return trueF();
+  case FKind::Not:
+    return children(F).front();
+  default:
+    return push({FKind::Not, 0, {F}});
+  }
+}
+
+FormulaId Arena::substitute(FormulaId F,
+                            const std::function<LinTerm(Var)> &MapVar) {
+  switch (kind(F)) {
+  case FKind::True:
+  case FKind::False:
+    return F;
+  case FKind::Atom: {
+    // Copy out: atom() below may reallocate the atom table.
+    LinTerm T = atomTerm(F);
+    Cmp Op = atomCmp(F);
+    LinTerm Out(T.constant());
+    for (auto [V, K] : T.coeffs())
+      Out += MapVar(V) * K;
+    return atom(std::move(Out), Op);
+  }
+  case FKind::Not:
+    return neg(substitute(children(F).front(), MapVar));
+  case FKind::And:
+  case FKind::Or: {
+    // Copy out: child construction reallocates the node table.
+    std::vector<FormulaId> Kids = children(F);
+    for (FormulaId &C : Kids)
+      C = substitute(C, MapVar);
+    return kind(F) == FKind::And ? conj(std::move(Kids))
+                                 : disj(std::move(Kids));
+  }
+  }
+  assert(false && "bad kind");
+  return F;
+}
+
+FormulaId Arena::lower(FormulaId F) {
+  switch (kind(F)) {
+  case FKind::True:
+  case FKind::False:
+    return F;
+  case FKind::Atom: {
+    // Copy: atom() below may reallocate the atom table.
+    LinTerm T = atomTerm(F);
+    switch (atomCmp(F)) {
+    case Cmp::Le:
+      return F;
+    case Cmp::Lt:
+      return atom(T + LinTerm(1), Cmp::Le);
+    case Cmp::Ge:
+      return atom(-T, Cmp::Le);
+    case Cmp::Gt:
+      return atom(-T + LinTerm(1), Cmp::Le);
+    case Cmp::Eq:
+      return conj({atom(T, Cmp::Le), atom(-T, Cmp::Le)});
+    case Cmp::Ne:
+      return disj({atom(T + LinTerm(1), Cmp::Le),
+                   atom(-T + LinTerm(1), Cmp::Le)});
+    }
+    assert(false && "bad cmp");
+    return F;
+  }
+  case FKind::Not: {
+    FormulaId C = children(F).front();
+    // Push negation through by dualizing; keeps lowered form Not-free
+    // except directly above Le-atoms, which the CNF layer handles.
+    switch (kind(C)) {
+    case FKind::True:
+      return falseF();
+    case FKind::False:
+      return trueF();
+    case FKind::Atom: {
+      // Copy: atom() below may reallocate the atom table.
+      LinTerm T = atomTerm(C);
+      switch (atomCmp(C)) {
+      case Cmp::Le: // !(t<=0) == t>=1
+        return atom(-T + LinTerm(1), Cmp::Le);
+      case Cmp::Lt:
+        return atom(-T, Cmp::Le);
+      case Cmp::Ge:
+        return atom(T + LinTerm(1), Cmp::Le);
+      case Cmp::Gt:
+        return atom(T, Cmp::Le);
+      case Cmp::Eq:
+        return lower(atom(T, Cmp::Ne));
+      case Cmp::Ne:
+        return lower(atom(T, Cmp::Eq));
+      }
+      assert(false && "bad cmp");
+      return F;
+    }
+    case FKind::Not:
+      return lower(children(C).front());
+    case FKind::And: {
+      std::vector<FormulaId> Out;
+      for (FormulaId G : children(C))
+        Out.push_back(lower(neg(G)));
+      return disj(std::move(Out));
+    }
+    case FKind::Or: {
+      std::vector<FormulaId> Out;
+      for (FormulaId G : children(C))
+        Out.push_back(lower(neg(G)));
+      return conj(std::move(Out));
+    }
+    }
+    assert(false && "bad kind");
+    return F;
+  }
+  case FKind::And: {
+    std::vector<FormulaId> Out;
+    for (FormulaId G : children(F))
+      Out.push_back(lower(G));
+    return conj(std::move(Out));
+  }
+  case FKind::Or: {
+    std::vector<FormulaId> Out;
+    for (FormulaId G : children(F))
+      Out.push_back(lower(G));
+    return disj(std::move(Out));
+  }
+  }
+  assert(false && "bad kind");
+  return F;
+}
+
+bool Arena::eval(FormulaId F, const std::vector<int64_t> &Model) const {
+  switch (kind(F)) {
+  case FKind::True:
+    return true;
+  case FKind::False:
+    return false;
+  case FKind::Atom: {
+    int64_t V = atomTerm(F).eval(Model);
+    switch (atomCmp(F)) {
+    case Cmp::Le:
+      return V <= 0;
+    case Cmp::Lt:
+      return V < 0;
+    case Cmp::Ge:
+      return V >= 0;
+    case Cmp::Gt:
+      return V > 0;
+    case Cmp::Eq:
+      return V == 0;
+    case Cmp::Ne:
+      return V != 0;
+    }
+    assert(false && "bad cmp");
+    return false;
+  }
+  case FKind::Not:
+    return !eval(children(F).front(), Model);
+  case FKind::And:
+    for (FormulaId C : children(F))
+      if (!eval(C, Model))
+        return false;
+    return true;
+  case FKind::Or:
+    for (FormulaId C : children(F))
+      if (eval(C, Model))
+        return true;
+    return false;
+  }
+  assert(false && "bad kind");
+  return false;
+}
+
+std::string Arena::str(FormulaId F) const {
+  switch (kind(F)) {
+  case FKind::True:
+    return "true";
+  case FKind::False:
+    return "false";
+  case FKind::Atom: {
+    const char *Op = nullptr;
+    switch (atomCmp(F)) {
+    case Cmp::Le:
+      Op = "<=";
+      break;
+    case Cmp::Lt:
+      Op = "<";
+      break;
+    case Cmp::Ge:
+      Op = ">=";
+      break;
+    case Cmp::Gt:
+      Op = ">";
+      break;
+    case Cmp::Eq:
+      Op = "=";
+      break;
+    case Cmp::Ne:
+      Op = "!=";
+      break;
+    }
+    return "(" + atomTerm(F).str() + " " + Op + " 0)";
+  }
+  case FKind::Not:
+    return "(not " + str(children(F).front()) + ")";
+  case FKind::And:
+  case FKind::Or: {
+    std::string Out = kind(F) == FKind::And ? "(and" : "(or";
+    for (FormulaId C : children(F)) {
+      Out += " ";
+      Out += str(C);
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  assert(false && "bad kind");
+  return "?";
+}

@@ -1,0 +1,159 @@
+//===- lia/Mbqi.cpp - Model-based quantifier instantiation -----------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lia/Mbqi.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace postr;
+using namespace postr::lia;
+
+namespace {
+using Clock = std::chrono::steady_clock;
+} // namespace
+
+Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
+                              std::vector<int64_t> *ModelOut,
+                              const MbqiOptions &Opts) {
+  Clock::time_point Start = Clock::now();
+  auto TimedOut = [&] {
+    if (Opts.TimeoutMs == 0)
+      return false;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - Start)
+               .count() >= static_cast<int64_t>(Opts.TimeoutMs);
+  };
+  auto RemainingQf = [&] {
+    QfOptions O = Opts.Qf;
+    if (Opts.TimeoutMs != 0) {
+      int64_t Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - Start)
+                            .count();
+      int64_t Left = static_cast<int64_t>(Opts.TimeoutMs) - Elapsed;
+      uint64_t Budget = Left > 1 ? static_cast<uint64_t>(Left) : 1;
+      O.TimeoutMs = O.TimeoutMs == 0 ? Budget : std::min(O.TimeoutMs, Budget);
+    }
+    return O;
+  };
+
+  // Fair length-bound schedule: propose small candidates first. The
+  // size proxy (total transition count of the outer run) is bounded and
+  // doubled on exhaustion; easy Sat instances finish within the first
+  // bound, and the final Unsat verdict is only ever drawn from the
+  // unbounded query.
+  LinTerm SizeTerm;
+  if (!Q.BlockTerms.empty())
+    for (const LinTerm &T : Q.BlockTerms)
+      SizeTerm += T;
+  else
+    for (Var V : Q.OuterVars)
+      SizeTerm += LinTerm::variable(V);
+  int64_t SizeBound = 16;
+  const int64_t MaxSizeBound = 64; // one escalation, then unbounded
+
+  std::vector<FormulaId> Blockers;
+  for (uint32_t Cand = 0; Cand < Opts.MaxCandidates; ++Cand) {
+    if (TimedOut())
+      return Verdict::Unknown;
+
+    QfResult Outer;
+    for (;;) {
+      std::vector<FormulaId> OuterParts{Q.Outer};
+      OuterParts.insert(OuterParts.end(), Blockers.begin(), Blockers.end());
+      if (SizeBound <= MaxSizeBound)
+        OuterParts.push_back(
+            A.cmp(SizeTerm, Cmp::Le, LinTerm(SizeBound)));
+      Outer = solveQF(A, A.conj(OuterParts), RemainingQf());
+      if (Outer.V == Verdict::Unsat && SizeBound <= MaxSizeBound) {
+        SizeBound = MaxSizeBound * 4; // exhausted below the bound: go unbounded
+        continue;
+      }
+      break;
+    }
+    if (Outer.V == Verdict::Unsat) {
+      // Every outer model was either refuted by a concrete offset or the
+      // outer part is unsatisfiable outright; both mean Unsat (the
+      // unbounded query was the one that failed).
+      return Verdict::Unsat;
+    }
+    if (Outer.V == Verdict::Unknown)
+      return Verdict::Unknown;
+
+    // Pin the outer model for the inner queries.
+    std::vector<FormulaId> Pin;
+    Pin.reserve(Q.OuterVars.size());
+    for (Var V : Q.OuterVars)
+      Pin.push_back(A.cmp(LinTerm::variable(V), Cmp::Eq,
+                          LinTerm(Outer.Model[V])));
+    FormulaId PinF = A.conj(Pin);
+
+    bool AllBlocksHold = true;
+    for (const ForallBlock &B : Q.Blocks) {
+      int64_t Upper = B.Upper.eval(Outer.Model);
+      if (Upper > Opts.MaxOffsets)
+        return Verdict::Unknown;
+      for (int64_t K = 0; K <= Upper && AllBlocksHold; ++K) {
+        if (TimedOut())
+          return Verdict::Unknown;
+        FormulaId KEq = A.cmp(LinTerm::variable(B.Kappa), Cmp::Eq,
+                              LinTerm(K));
+        QfResult InnerR =
+            solveQF(A, A.conj({B.Inner, PinF, KEq}), RemainingQf());
+        if (InnerR.V == Verdict::Unknown)
+          return Verdict::Unknown;
+        if (InnerR.V == Verdict::Unsat) {
+          AllBlocksHold = false;
+          // Quantifier instantiation lemma (the heart of MBQI [36]):
+          // the block demands, for THIS offset K, either K > Upper(#1)
+          // or a witness run with a mismatch at K. Conjoin the κ := K
+          // instance with fresh inner variables — it prunes every
+          // future candidate lacking a mismatch at K, and can make the
+          // outer side unsatisfiable outright (the Unsat verdict below
+          // depends on these lemmas, not on candidate exhaustion).
+          std::map<Var, Var> Fresh;
+          for (Var V : B.InnerVars)
+            Fresh.emplace(V, A.freshVar(A.varName(V) + "$i",
+                                        A.varLo(V), A.varHi(V)));
+          FormulaId Inst = A.substitute(B.Inner, [&](Var V) {
+            if (V == B.Kappa)
+              return LinTerm(K);
+            auto It = Fresh.find(V);
+            return LinTerm::variable(It == Fresh.end() ? V : It->second);
+          });
+          Blockers.push_back(A.disj(
+              {A.cmp(LinTerm(K), Cmp::Gt, B.Upper), Inst}));
+        }
+      }
+      if (!AllBlocksHold)
+        break;
+    }
+
+    if (AllBlocksHold) {
+      if (ModelOut)
+        *ModelOut = std::move(Outer.Model);
+      return Verdict::Sat;
+    }
+
+    // Refuted: exclude this valuation and retry. Prefer the semantic
+    // block terms, which rule out every run encoding the same refuted
+    // content instead of just this run.
+    std::vector<FormulaId> Diff;
+    if (!Q.BlockTerms.empty()) {
+      Diff.reserve(Q.BlockTerms.size());
+      for (const LinTerm &T : Q.BlockTerms)
+        Diff.push_back(A.cmp(T, Cmp::Ne, LinTerm(T.eval(Outer.Model))));
+    } else {
+      Diff.reserve(Q.OuterVars.size());
+      for (Var V : Q.OuterVars)
+        Diff.push_back(A.cmp(LinTerm::variable(V), Cmp::Ne,
+                             LinTerm(Outer.Model[V])));
+    }
+    Blockers.push_back(A.disj(std::move(Diff)));
+  }
+  return Verdict::Unknown;
+}

@@ -1,0 +1,192 @@
+//===- lia/Rational.h - Exact rational arithmetic ----------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over __int128 used by the Simplex core. The Parikh /
+/// position encodings produce coefficients in {-m-n, ..., m+n} and models
+/// whose magnitudes are tiny compared to the 2^127 headroom; overflow is
+/// nevertheless guarded by assertions in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_LIA_RATIONAL_H
+#define POSTR_LIA_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace postr {
+namespace lia {
+
+/// A normalized rational number (gcd-reduced, positive denominator).
+class Rational {
+public:
+  using Int = __int128;
+
+  Rational() = default;
+  Rational(int64_t N) : Num(N) {}
+  Rational(Int N, Int D) : Num(N), Den(D) { normalize(); }
+
+  static Rational zero() { return Rational(); }
+  static Rational one() { return Rational(1); }
+
+  Int num() const { return Num; }
+  Int den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isInteger() const { return Den == 1; }
+
+  /// The value as int64; asserts integrality and range.
+  int64_t asInt64() const {
+    assert(isInteger() && "asInt64 on non-integer rational");
+    assert(Num <= INT64_MAX && Num >= INT64_MIN && "rational out of range");
+    return static_cast<int64_t>(Num);
+  }
+
+  /// Largest integer <= value.
+  Rational floor() const {
+    Int Q = Num / Den;
+    if (Num % Den != 0 && Num < 0)
+      --Q;
+    return Rational(Q);
+  }
+
+  /// Smallest integer >= value.
+  Rational ceil() const {
+    Int Q = Num / Den;
+    if (Num % Den != 0 && Num > 0)
+      ++Q;
+    return Rational(Q);
+  }
+
+  Rational operator-() const {
+    Rational R;
+    R.Num = -Num;
+    R.Den = Den;
+    return R;
+  }
+
+  // The arithmetic fast-paths matter: Parikh/position tableaus have ±1
+  // coefficients almost everywhere, so operands are overwhelmingly
+  // integral and the gcd normalization would dominate the Simplex.
+  Rational operator+(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return fromInt(Num + O.Num);
+    return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+  }
+  Rational operator-(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return fromInt(Num - O.Num);
+    return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+  }
+  Rational operator*(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return fromInt(Num * O.Num);
+    return Rational(Num * O.Num, Den * O.Den);
+  }
+  Rational operator/(const Rational &O) const {
+    assert(!O.isZero() && "division by zero");
+    if (O.Den == 1 && (O.Num == 1 || O.Num == -1)) {
+      Rational R;
+      R.Num = O.Num == 1 ? Num : -Num;
+      R.Den = Den;
+      return R;
+    }
+    return Rational(Num * O.Den, Den * O.Num);
+  }
+
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+
+  friend bool operator==(const Rational &A, const Rational &B) {
+    return A.Num == B.Num && A.Den == B.Den;
+  }
+  friend bool operator!=(const Rational &A, const Rational &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Rational &A, const Rational &B) {
+    return A.Num * B.Den < B.Num * A.Den;
+  }
+  friend bool operator<=(const Rational &A, const Rational &B) {
+    return A.Num * B.Den <= B.Num * A.Den;
+  }
+  friend bool operator>(const Rational &A, const Rational &B) {
+    return B < A;
+  }
+  friend bool operator>=(const Rational &A, const Rational &B) {
+    return B <= A;
+  }
+
+  std::string str() const {
+    auto Render = [](Int V) {
+      if (V == 0)
+        return std::string("0");
+      bool Neg = V < 0;
+      std::string S;
+      while (V != 0) {
+        int Digit = static_cast<int>(V % 10);
+        if (Digit < 0)
+          Digit = -Digit;
+        S.push_back(static_cast<char>('0' + Digit));
+        V /= 10;
+      }
+      if (Neg)
+        S.push_back('-');
+      return std::string(S.rbegin(), S.rend());
+    };
+    if (Den == 1)
+      return Render(Num);
+    return Render(Num) + "/" + Render(Den);
+  }
+
+private:
+  static Rational fromInt(Int N) {
+    Rational R;
+    R.Num = N;
+    return R;
+  }
+
+  static Int gcdInt(Int A, Int B) {
+    if (A < 0)
+      A = -A;
+    if (B < 0)
+      B = -B;
+    while (B != 0) {
+      Int T = A % B;
+      A = B;
+      B = T;
+    }
+    return A;
+  }
+
+  void normalize() {
+    assert(Den != 0 && "zero denominator");
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    Int G = gcdInt(Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+    if (Num == 0)
+      Den = 1;
+  }
+
+  Int Num = 0;
+  Int Den = 1;
+};
+
+} // namespace lia
+} // namespace postr
+
+#endif // POSTR_LIA_RATIONAL_H

@@ -1,0 +1,376 @@
+//===- lia/Sat.cpp - CDCL SAT solver ---------------------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lia/Sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace postr;
+using namespace postr::lia;
+
+uint32_t SatSolver::newVar() {
+  Assign.push_back(Unassigned);
+  Level.push_back(0);
+  Reason.push_back(NoClause);
+  Activity.push_back(0.0);
+  Polarity.push_back(FalseVal);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return numVars() - 1;
+}
+
+void SatSolver::addClause(std::vector<Lit> Lits) {
+  // Clause addition happens between solve() calls; drop back to the root
+  // decision level so level-0 simplification below is valid.
+  backtrack(0);
+  // Simplify: drop duplicate and false literals, detect tautologies and
+  // satisfied clauses at level 0.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.Code < B.Code; });
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  std::vector<Lit> Kept;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~Lits[I])
+      return; // tautology
+    if (valueIsTrue(Lits[I]))
+      return; // already satisfied at level 0
+    if (!valueIsFalse(Lits[I]))
+      Kept.push_back(Lits[I]);
+  }
+  if (Kept.empty()) {
+    Unsatisfiable = true;
+    return;
+  }
+  if (Kept.size() == 1) {
+    if (valueIsFalse(Kept[0])) {
+      Unsatisfiable = true;
+      return;
+    }
+    if (isUnassigned(Kept[0])) {
+      enqueue(Kept[0], NoClause);
+      if (propagate() != NoClause)
+        Unsatisfiable = true;
+    }
+    return;
+  }
+  Clauses.push_back({std::move(Kept), /*Learnt=*/false});
+  attach(static_cast<ClauseRef>(Clauses.size() - 1));
+}
+
+void SatSolver::attach(ClauseRef C) {
+  const std::vector<Lit> &Lits = Clauses[C].Lits;
+  assert(Lits.size() >= 2 && "attaching short clause");
+  Watches[(~Lits[0]).Code].push_back(C);
+  Watches[(~Lits[1]).Code].push_back(C);
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef From) {
+  assert(isUnassigned(L) && "enqueue of assigned literal");
+  Assign[L.var()] = L.negated() ? FalseVal : TrueVal;
+  Level[L.var()] = static_cast<uint32_t>(TrailLim.size());
+  Reason[L.var()] = From;
+  Trail.push_back(L);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (QHead < Trail.size()) {
+    Lit P = Trail[QHead++];
+    std::vector<ClauseRef> &Watch = Watches[P.Code];
+    size_t Keep = 0;
+    for (size_t I = 0; I < Watch.size(); ++I) {
+      ClauseRef CR = Watch[I];
+      std::vector<Lit> &Lits = Clauses[CR].Lits;
+      // Normalize: the falsified watched literal goes to slot 1.
+      if (Lits[0] == ~P)
+        std::swap(Lits[0], Lits[1]);
+      assert(Lits[1] == ~P && "watch list out of sync");
+      if (valueIsTrue(Lits[0])) {
+        Watch[Keep++] = CR;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool Moved = false;
+      for (size_t K = 2; K < Lits.size(); ++K) {
+        if (valueIsFalse(Lits[K]))
+          continue;
+        std::swap(Lits[1], Lits[K]);
+        Watches[(~Lits[1]).Code].push_back(CR);
+        Moved = true;
+        break;
+      }
+      if (Moved)
+        continue;
+      // Unit or conflicting.
+      Watch[Keep++] = CR;
+      if (valueIsFalse(Lits[0])) {
+        // Conflict: keep remaining watches, report.
+        for (size_t K = I + 1; K < Watch.size(); ++K)
+          Watch[Keep++] = Watch[K];
+        Watch.resize(Keep);
+        QHead = static_cast<uint32_t>(Trail.size());
+        return CR;
+      }
+      enqueue(Lits[0], CR);
+    }
+    Watch.resize(Keep);
+  }
+  return NoClause;
+}
+
+void SatSolver::bumpVar(uint32_t Var) {
+  Activity[Var] += ActivityInc;
+  if (Activity[Var] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                        uint32_t &BackjumpLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // slot for the asserting literal
+  std::vector<bool> Seen(numVars(), false);
+  uint32_t Counter = 0;
+  Lit P;
+  size_t Index = Trail.size();
+  uint32_t CurLevel = static_cast<uint32_t>(TrailLim.size());
+  ClauseRef CR = Conflict;
+  bool FirstIter = true;
+
+  for (;;) {
+    assert(CR != NoClause && "analyze hit a decision unexpectedly");
+    const std::vector<Lit> &Lits = Clauses[CR].Lits;
+    for (size_t I = FirstIter ? 0 : 1; I < Lits.size(); ++I) {
+      Lit Q = Lits[I];
+      if (Q == P)
+        continue;
+      if (Seen[Q.var()] || Level[Q.var()] == 0)
+        continue;
+      Seen[Q.var()] = true;
+      bumpVar(Q.var());
+      if (Level[Q.var()] == CurLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Pick the next trail literal to resolve on.
+    while (!Seen[Trail[Index - 1].var()])
+      --Index;
+    --Index;
+    P = Trail[Index];
+    Seen[P.var()] = false;
+    CR = Reason[P.var()];
+    FirstIter = false;
+    if (--Counter == 0)
+      break;
+  }
+  Learnt[0] = ~P;
+
+  // Backjump level: the second-highest level in the clause.
+  BackjumpLevel = 0;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    BackjumpLevel = std::max(BackjumpLevel, Level[Learnt[I].var()]);
+  // Move a literal of the backjump level to slot 1 (watch invariant).
+  if (Learnt.size() > 1) {
+    size_t MaxI = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (Level[Learnt[I].var()] > Level[Learnt[MaxI].var()])
+        MaxI = I;
+    std::swap(Learnt[1], Learnt[MaxI]);
+  }
+}
+
+void SatSolver::backtrack(uint32_t TargetLevel) {
+  if (TrailLim.size() <= TargetLevel)
+    return;
+  uint32_t Bound = TrailLim[TargetLevel];
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Lit L = Trail[I - 1];
+    Polarity[L.var()] = Assign[L.var()];
+    Assign[L.var()] = Unassigned;
+    Reason[L.var()] = NoClause;
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(TargetLevel);
+  QHead = Bound;
+  if (TheoryHead > Trail.size()) {
+    TheoryHead = Trail.size();
+    if (Theory)
+      Theory->onBacktrack(Trail.size());
+  }
+}
+
+Lit SatSolver::pickBranchLit() {
+  uint32_t Best = ~0u;
+  double BestAct = -1.0;
+  for (uint32_t V = 0; V < numVars(); ++V)
+    if (Assign[V] == Unassigned && Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+    }
+  if (Best == ~0u)
+    return Lit();
+  return Lit(Best, Polarity[Best] == FalseVal);
+}
+
+bool SatSolver::resolveConflict(ClauseRef Conflict) {
+  if (TrailLim.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  std::vector<Lit> Learnt;
+  uint32_t BackjumpLevel = 0;
+  analyze(Conflict, Learnt, BackjumpLevel);
+  backtrack(BackjumpLevel);
+  if (Learnt.size() == 1) {
+    if (!isUnassigned(Learnt[0])) {
+      Unsatisfiable = true;
+      return false;
+    }
+    enqueue(Learnt[0], NoClause);
+  } else {
+    Clauses.push_back({Learnt, /*Learnt=*/true});
+    ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
+    attach(CR);
+    enqueue(Learnt[0], CR);
+  }
+  ActivityInc *= 1.05;
+  ++ConflictsSinceRestart;
+  if (ConflictsSinceRestart >= RestartLimit) {
+    ConflictsSinceRestart = 0;
+    RestartLimit = RestartLimit + RestartLimit / 2;
+    backtrack(0);
+  }
+  return true;
+}
+
+bool SatSolver::handleTheoryConflict(std::vector<Lit> Lemma) {
+  // Deduplicate; lemmas arrive from explanation machinery unordered.
+  std::sort(Lemma.begin(), Lemma.end(),
+            [](Lit A, Lit B) { return A.Code < B.Code; });
+  Lemma.erase(std::unique(Lemma.begin(), Lemma.end()), Lemma.end());
+  if (Lemma.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  // Splitting-on-demand lemmas are not falsified — they carry fresh
+  // literals (e.g. a branch x ≤ f ∨ x ≥ f+1 over newly minted atoms).
+  // Attach and let the search assign them.
+  bool AllFalse = true;
+  for (Lit L : Lemma)
+    AllFalse &= valueIsFalse(L);
+  if (!AllFalse) {
+    if (Lemma.size() == 1) {
+      backtrack(0);
+      if (valueIsFalse(Lemma[0])) {
+        Unsatisfiable = true;
+        return false;
+      }
+      if (isUnassigned(Lemma[0]))
+        enqueue(Lemma[0], NoClause);
+      return true;
+    }
+    // Put non-false literals (fresh splitting atoms are unassigned) in
+    // the watch slots. Should every watchable literal later turn false
+    // without the clause propagating, the theory still catches the
+    // inconsistent atom polarities — the clause is a theory tautology.
+    auto NotFalse = [&](Lit L) { return !valueIsFalse(L); };
+    std::stable_partition(Lemma.begin(), Lemma.end(), NotFalse);
+    Clauses.push_back({std::move(Lemma), /*Learnt=*/true});
+    attach(static_cast<ClauseRef>(Clauses.size() - 1));
+    return true;
+  }
+  uint32_t MaxLevel = 0;
+  for (Lit L : Lemma)
+    MaxLevel = std::max(MaxLevel, Level[L.var()]);
+  if (MaxLevel == 0) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Lemma.size() == 1) {
+    // Unit lemma: globally forces the literal.
+    backtrack(0);
+    if (valueIsFalse(Lemma[0])) {
+      Unsatisfiable = true;
+      return false;
+    }
+    if (isUnassigned(Lemma[0]))
+      enqueue(Lemma[0], NoClause);
+    return true;
+  }
+  backtrack(MaxLevel);
+  // Watch the two deepest literals (they unassign first on backtracking,
+  // preserving the watch invariant).
+  auto DeeperThan = [&](Lit A, Lit B) {
+    return Level[A.var()] > Level[B.var()];
+  };
+  std::partial_sort(Lemma.begin(), Lemma.begin() + 2, Lemma.end(),
+                    DeeperThan);
+  Clauses.push_back({std::move(Lemma), /*Learnt=*/true});
+  ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
+  attach(CR);
+  // The lemma is falsified at the current level: run ordinary conflict
+  // resolution on it.
+  return resolveConflict(CR);
+}
+
+SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
+  if (Unsatisfiable)
+    return Res::Unsat;
+  Theory = TheoryIn;
+  TheoryHead = 0;
+  ConflictsSinceRestart = 0;
+  RestartLimit = 100;
+  backtrack(0);
+  Res Out = [&] {
+    if (propagate() != NoClause) {
+      Unsatisfiable = true;
+      return Res::Unsat;
+    }
+    for (;;) {
+      ClauseRef Conflict = propagate();
+      if (Conflict != NoClause) {
+        if (!resolveConflict(Conflict))
+          return Res::Unsat;
+        continue;
+      }
+      if (Theory && TheoryHead < Trail.size()) {
+        std::vector<Lit> Lemma;
+        TheoryClient::TRes TR = Theory->onAssign(Trail, TheoryHead, Lemma);
+        TheoryHead = Trail.size();
+        if (TR == TheoryClient::TRes::Abort)
+          return Res::Abort;
+        if (TR == TheoryClient::TRes::Conflict) {
+          if (!handleTheoryConflict(std::move(Lemma)))
+            return Res::Unsat;
+          continue;
+        }
+      }
+      Lit Next = pickBranchLit();
+      if (Next.Code == ~0u) {
+        if (Theory) {
+          std::vector<Lit> Lemma;
+          TheoryClient::TRes TR = Theory->onFinalModel(Lemma);
+          if (TR == TheoryClient::TRes::Abort)
+            return Res::Abort;
+          if (TR == TheoryClient::TRes::Conflict) {
+            if (!handleTheoryConflict(std::move(Lemma)))
+              return Res::Unsat;
+            continue;
+          }
+        }
+        return Res::Sat;
+      }
+      TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+      enqueue(Next, NoClause);
+    }
+  }();
+  Theory = nullptr;
+  return Out;
+}

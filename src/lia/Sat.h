@@ -1,0 +1,155 @@
+//===- lia/Sat.h - CDCL SAT solver -------------------------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact conflict-driven clause-learning SAT solver used as the
+/// boolean core of the DPLL(T) LIA solver (`lia/Solver.h`). Watched
+/// literals, activity-based decisions, first-UIP learning, geometric
+/// restarts. Supports incremental clause addition between solve() calls,
+/// which is how theory conflicts (blocking clauses) are fed back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_LIA_SAT_H
+#define POSTR_LIA_SAT_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace postr {
+namespace lia {
+
+/// A literal: variable index with sign. `Lit(v, false)` is the positive
+/// literal of v.
+struct Lit {
+  uint32_t Code;
+
+  Lit() : Code(~0u) {}
+  Lit(uint32_t Var, bool Negated) : Code(Var * 2 + (Negated ? 1 : 0)) {}
+
+  uint32_t var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  friend bool operator==(Lit A, Lit B) { return A.Code == B.Code; }
+  friend bool operator!=(Lit A, Lit B) { return A.Code != B.Code; }
+};
+
+/// Callback interface wiring a theory solver into the CDCL search
+/// (online DPLL(T)). The solver invokes `onAssign` after every
+/// successful propagation with the newly assigned trail suffix, and
+/// `onFinalModel` once a full boolean model is found. Either may veto
+/// with a *theory lemma*: a clause over existing variables that is valid
+/// in the theory and false under the current assignment. `onBacktrack`
+/// tells the client to undo its state down to a trail size.
+class TheoryClient {
+public:
+  enum class TRes {
+    Ok,       ///< no objection
+    Conflict, ///< ConflictOut holds a falsified theory lemma
+    Abort     ///< resource limit; solve() returns Res::Abort
+  };
+  virtual ~TheoryClient() = default;
+  virtual TRes onAssign(const std::vector<Lit> &Trail, size_t From,
+                        std::vector<Lit> &ConflictOut) = 0;
+  virtual void onBacktrack(size_t NewTrailSize) = 0;
+  virtual TRes onFinalModel(std::vector<Lit> &ConflictOut) = 0;
+};
+
+/// CDCL SAT solver.
+class SatSolver {
+public:
+  enum class Res { Sat, Unsat, Abort };
+
+  /// Adds a fresh boolean variable, returning its index.
+  uint32_t newVar();
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Activity.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially UNSAT).
+  /// Must be called at decision level 0, i.e. not during solve().
+  void addClause(std::vector<Lit> Clause);
+
+  /// Solves the current clause set. With a \p Theory client attached the
+  /// search runs online DPLL(T): theory lemmas learned mid-search drive
+  /// conflict analysis exactly like boolean conflicts.
+  Res solve(TheoryClient *Theory = nullptr);
+
+  /// Sets the phase the next decision on \p Var will try first (phase
+  /// saving overwrites it once the variable has been assigned). Theory
+  /// clients use this to steer splitting-on-demand downward, toward the
+  /// bounded part of the integer lattice.
+  void setPolarity(uint32_t Var, bool PhaseTrue) {
+    Polarity[Var] = PhaseTrue ? TrueVal : FalseVal;
+  }
+
+  /// Model value of \p Var; valid after solve() returned Sat.
+  bool modelValue(uint32_t Var) const {
+    assert(Assign[Var] != Unassigned && "model incomplete");
+    return Assign[Var] == TrueVal;
+  }
+
+private:
+  static constexpr uint8_t Unassigned = 2, TrueVal = 1, FalseVal = 0;
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt = false;
+  };
+
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef NoClause = ~0u;
+
+  bool valueIsTrue(Lit L) const {
+    return Assign[L.var()] == (L.negated() ? FalseVal : TrueVal);
+  }
+  bool valueIsFalse(Lit L) const {
+    return Assign[L.var()] == (L.negated() ? TrueVal : FalseVal);
+  }
+  bool isUnassigned(Lit L) const { return Assign[L.var()] == Unassigned; }
+
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+               uint32_t &BackjumpLevel);
+  void backtrack(uint32_t Level);
+  void bumpVar(uint32_t Var);
+  void attach(ClauseRef C);
+  Lit pickBranchLit();
+  /// Learns from a conflicting clause (analyze + backjump + assert);
+  /// returns false when the instance became UNSAT.
+  bool resolveConflict(ClauseRef Conflict);
+  /// Integrates a falsified theory lemma mid-search; false → UNSAT.
+  bool handleTheoryConflict(std::vector<Lit> Lemma);
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<ClauseRef>> Watches; ///< per literal code
+  std::vector<uint8_t> Assign;                 ///< per var
+  std::vector<uint32_t> Level;                 ///< per var
+  std::vector<ClauseRef> Reason;               ///< per var
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLim; ///< decision-level boundaries
+  uint32_t QHead = 0;
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  std::vector<uint8_t> Polarity; ///< phase saving
+  bool Unsatisfiable = false;
+  TheoryClient *Theory = nullptr;   ///< active during solve() only
+  size_t TheoryHead = 0;            ///< trail prefix already sent to Theory
+  uint64_t ConflictsSinceRestart = 0;
+  uint64_t RestartLimit = 100;
+};
+
+} // namespace lia
+} // namespace postr
+
+#endif // POSTR_LIA_SAT_H

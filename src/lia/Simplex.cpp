@@ -1,0 +1,438 @@
+//===- lia/Simplex.cpp - General simplex with branch-and-bound -----------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lia/Simplex.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace {
+struct ScopedNs {
+  uint64_t &Acc;
+  std::chrono::steady_clock::time_point T0;
+  explicit ScopedNs(uint64_t &Acc)
+      : Acc(Acc), T0(std::chrono::steady_clock::now()) {}
+  ~ScopedNs() {
+    Acc += std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - T0)
+               .count();
+  }
+};
+uint64_t GPivotNs = 0, GCheckNs = 0, GUpdateNs = 0, GIntNs = 0;
+} // namespace
+extern "C" void postrSimplexProfileDump() {
+  std::fprintf(stderr, "[simplex] pivot=%.2fs check=%.2fs update=%.2fs int=%.2fs\n",
+    GPivotNs/1e9, GCheckNs/1e9, GUpdateNs/1e9, GIntNs/1e9);
+}
+#include <cstdio>
+
+using namespace postr;
+using namespace postr::lia;
+
+Simplex::Simplex(uint32_t NumProblemVars)
+    : NumProblemVars(NumProblemVars), NumVars(NumProblemVars),
+      RowOf(NumProblemVars, ~0u), Beta(NumProblemVars),
+      Lo(NumProblemVars), Hi(NumProblemVars),
+      LoReason(NumProblemVars, NoReason), HiReason(NumProblemVars, NoReason),
+      InViolQueue(NumProblemVars, 0), ColCount(NumProblemVars, 0) {}
+
+void Simplex::setIntrinsicBounds(Var V, int64_t LoV, int64_t HiV) {
+  assert(V < NumProblemVars && "intrinsic bounds on slack variable");
+  if (LoV != INT64_MIN) {
+    bool Ok = assertLower(V, Rational(LoV));
+    assert(Ok && "conflicting intrinsic lower bound");
+    (void)Ok;
+  }
+  if (HiV != INT64_MAX) {
+    bool Ok = assertUpper(V, Rational(HiV));
+    assert(Ok && "conflicting intrinsic upper bound");
+    (void)Ok;
+  }
+}
+
+uint32_t Simplex::rowFor(const LinTerm &T) {
+  // A single-variable unit term needs no slack row.
+  if (T.coeffs().size() == 1 && T.coeffs().front().second == 1)
+    return T.coeffs().front().first;
+  auto It = TermToVar.find(T.coeffs());
+  if (It != TermToVar.end())
+    return It->second;
+
+  uint32_t Slack = NumVars++;
+  RowOf.push_back(static_cast<uint32_t>(Tableau.size()));
+  Lo.push_back(std::nullopt);
+  Hi.push_back(std::nullopt);
+  LoReason.push_back(NoReason);
+  HiReason.push_back(NoReason);
+  InViolQueue.push_back(0);
+  ColCount.push_back(0);
+  // Extend existing rows with a zero column for the new variable.
+  for (std::vector<Rational> &Row : Tableau)
+    Row.push_back(Rational::zero());
+  for (std::vector<uint8_t> &In : InRowNz)
+    In.push_back(0);
+
+  // New row: Slack = Σ ci·xi. Substitute any basic xi by its row so the
+  // tableau stays in solved form (rows range over nonbasic vars only).
+  std::vector<Rational> Row(NumVars, Rational::zero());
+  Rational Value = Rational::zero();
+  for (auto [V, C] : T.coeffs()) {
+    Rational Coef(C);
+    if (!isBasic(V)) {
+      Row[V] += Coef;
+    } else {
+      const std::vector<Rational> &Sub = Tableau[RowOf[V]];
+      for (uint32_t X : RowNz[RowOf[V]])
+        if (!Sub[X].isZero())
+          Row[X] += Coef * Sub[X];
+    }
+    Value += Coef * Beta[V];
+  }
+  Row[Slack] = Rational::zero();
+  std::vector<uint32_t> Nz;
+  std::vector<uint8_t> In(NumVars, 0);
+  for (uint32_t X = 0; X < NumVars; ++X)
+    if (!Row[X].isZero()) {
+      Nz.push_back(X);
+      In[X] = 1;
+    }
+  for (uint32_t X : Nz)
+    ++ColCount[X];
+  Tableau.push_back(std::move(Row));
+  RowNz.push_back(std::move(Nz));
+  InRowNz.push_back(std::move(In));
+  BasicVar.push_back(Slack);
+  Beta.push_back(Value);
+  TermToVar.emplace(T.coeffs(), Slack);
+  return Slack;
+}
+
+bool Simplex::assertUpper(uint32_t X, const Rational &U, uint32_t Reason) {
+  if (Hi[X] && *Hi[X] <= U)
+    return true;
+  if (Lo[X] && U < *Lo[X]) {
+    Conflict.clear();
+    if (Reason != NoReason)
+      Conflict.push_back(Reason);
+    if (LoReason[X] != NoReason)
+      Conflict.push_back(LoReason[X]);
+    return false;
+  }
+  AssertTrail.push_back({X, /*Upper=*/true, Hi[X], HiReason[X]});
+  Hi[X] = U;
+  HiReason[X] = Reason;
+  if (isBasic(X))
+    touchBasic(X);
+  else if (Beta[X] > U)
+    updateNonbasic(X, U);
+  return true;
+}
+
+bool Simplex::assertLower(uint32_t X, const Rational &L, uint32_t Reason) {
+  if (Lo[X] && *Lo[X] >= L)
+    return true;
+  if (Hi[X] && *Hi[X] < L) {
+    Conflict.clear();
+    if (Reason != NoReason)
+      Conflict.push_back(Reason);
+    if (HiReason[X] != NoReason)
+      Conflict.push_back(HiReason[X]);
+    return false;
+  }
+  AssertTrail.push_back({X, /*Upper=*/false, Lo[X], LoReason[X]});
+  Lo[X] = L;
+  LoReason[X] = Reason;
+  if (isBasic(X))
+    touchBasic(X);
+  else if (Beta[X] < L)
+    updateNonbasic(X, L);
+  return true;
+}
+
+void Simplex::rollback(size_t Mark) {
+  while (AssertTrail.size() > Mark) {
+    const BoundUndo &U = AssertTrail.back();
+    if (U.Upper) {
+      Hi[U.X] = U.Old;
+      HiReason[U.X] = U.OldReason;
+    } else {
+      Lo[U.X] = U.Old;
+      LoReason[U.X] = U.OldReason;
+    }
+    AssertTrail.pop_back();
+  }
+}
+
+void Simplex::updateNonbasic(uint32_t N, const Rational &V) {
+  ScopedNs Prof(GUpdateNs);
+  Rational Delta = V - Beta[N];
+  if (Delta.isZero())
+    return;
+  for (uint32_t R = 0; R < Tableau.size(); ++R) {
+    const Rational &A = Tableau[R][N];
+    if (!A.isZero()) {
+      Beta[BasicVar[R]] += A * Delta;
+      touchBasic(BasicVar[R]);
+    }
+  }
+  Beta[N] = V;
+}
+
+const std::vector<uint32_t> &Simplex::compactRow(uint32_t R) {
+  std::vector<uint32_t> &Nz = RowNz[R];
+  const std::vector<Rational> &Row = Tableau[R];
+  size_t Keep = 0;
+  for (uint32_t X : Nz) {
+    if (Row[X].isZero())
+      InRowNz[R][X] = 0;
+    else
+      Nz[Keep++] = X;
+  }
+  Nz.resize(Keep);
+  return Nz;
+}
+
+void Simplex::pivot(uint32_t B, uint32_t N) {
+  ScopedNs Prof(GPivotNs);
+  ++NumPivots;
+  uint32_t R = RowOf[B];
+  std::vector<Rational> &Row = Tableau[R];
+  Rational A = Row[N];
+  assert(!A.isZero() && "pivot on zero coefficient");
+
+  // Solve the row B = ... + A*N + ... for N, touching only its support.
+  Rational InvA = Rational::one() / A;
+  const std::vector<uint32_t> &OldNz = compactRow(R);
+  std::vector<uint32_t> NewNz;
+  NewNz.reserve(OldNz.size());
+  for (uint32_t X : OldNz) {
+    if (X == N) {
+      Row[X] = Rational::zero();
+      InRowNz[R][X] = 0;
+      --ColCount[X];
+      continue;
+    }
+    Row[X] = -Row[X] * InvA;
+    NewNz.push_back(X);
+  }
+  Row[B] = InvA;
+  if (!InRowNz[R][B])
+    InRowNz[R][B] = 1;
+  ++ColCount[B];
+  NewNz.push_back(B);
+  RowNz[R] = std::move(NewNz);
+  BasicVar[R] = N;
+  RowOf[N] = R;
+  RowOf[B] = ~0u;
+
+  // Substitute N in every other row, walking the pivot row's support.
+  const std::vector<Rational> &Piv = Tableau[R];
+  const std::vector<uint32_t> &PivNz = RowNz[R];
+  for (uint32_t R2 = 0; R2 < Tableau.size(); ++R2) {
+    if (R2 == R)
+      continue;
+    std::vector<Rational> &Other = Tableau[R2];
+    Rational C = Other[N];
+    if (C.isZero())
+      continue;
+    Other[N] = Rational::zero();
+    --ColCount[N];
+    for (uint32_t X : PivNz) {
+      bool WasZero = Other[X].isZero();
+      Other[X] += C * Piv[X];
+      bool IsZero = Other[X].isZero();
+      if (WasZero && !IsZero) {
+        noteNonzero(R2, X);
+        ++ColCount[X];
+      } else if (!WasZero && IsZero) {
+        --ColCount[X];
+      }
+    }
+  }
+}
+
+bool Simplex::pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
+  uint32_t R = RowOf[B];
+  Rational A = Tableau[R][N];
+  Rational Theta = (V - Beta[B]) / A;
+  Beta[B] = V;
+  Beta[N] += Theta;
+  for (uint32_t R2 = 0; R2 < Tableau.size(); ++R2) {
+    if (R2 == R)
+      continue;
+    const Rational &C = Tableau[R2][N];
+    if (!C.isZero()) {
+      Beta[BasicVar[R2]] += C * Theta;
+      touchBasic(BasicVar[R2]);
+    }
+  }
+  pivot(B, N);
+  touchBasic(N);
+  return true;
+}
+
+bool Simplex::checkRational() {
+  ScopedNs Prof(GCheckNs);
+  ++NumChecks;
+  // Leaving variable: Bland's smallest violated basic. Entering
+  // variable: the eligible column with the fewest tableau nonzeros
+  // (anti-fill-in) while the run is short, falling back to Bland's
+  // smallest-index — which terminates unconditionally — if it
+  // degenerates.
+  uint64_t PivotsThisCheck = 0;
+  const uint64_t BlandThreshold = 256;
+  for (;;) {
+    bool Bland = PivotsThisCheck >= BlandThreshold;
+    uint32_t B = ~0u;
+    bool NeedIncrease = false;
+    size_t Keep = 0;
+    for (size_t I = 0; I < ViolQueue.size(); ++I) {
+      uint32_t X = ViolQueue[I];
+      bool ViolLo = isBasic(X) && Lo[X] && Beta[X] < *Lo[X];
+      bool ViolHi = isBasic(X) && Hi[X] && Beta[X] > *Hi[X];
+      if (!ViolLo && !ViolHi) {
+        InViolQueue[X] = 0;
+        continue;
+      }
+      ViolQueue[Keep++] = X;
+      if (B == ~0u || X < B) {
+        B = X;
+        NeedIncrease = ViolLo;
+      }
+    }
+    ViolQueue.resize(Keep);
+    if (B == ~0u)
+      return true;
+    ++PivotsThisCheck;
+
+    const std::vector<Rational> &Row = Tableau[RowOf[B]];
+    const std::vector<uint32_t> &Nz = compactRow(RowOf[B]);
+    uint32_t N = ~0u;
+    for (uint32_t X : Nz) {
+      if (X == B || isBasic(X))
+        continue;
+      const Rational &A = Row[X];
+      bool CanUse;
+      if (NeedIncrease)
+        CanUse = (A > Rational::zero() && (!Hi[X] || Beta[X] < *Hi[X])) ||
+                 (A < Rational::zero() && (!Lo[X] || Beta[X] > *Lo[X]));
+      else
+        CanUse = (A < Rational::zero() && (!Hi[X] || Beta[X] < *Hi[X])) ||
+                 (A > Rational::zero() && (!Lo[X] || Beta[X] > *Lo[X]));
+      if (!CanUse)
+        continue;
+      if (N == ~0u ||
+          (Bland ? X < N : ColCount[X] < ColCount[N] ||
+                               (ColCount[X] == ColCount[N] && X < N)))
+        N = X;
+    }
+    if (N == ~0u) {
+      // The row of B certifies infeasibility: B's violated bound plus the
+      // bound every nonbasic row variable is stuck at.
+      Conflict.clear();
+      uint32_t BReason = NeedIncrease ? LoReason[B] : HiReason[B];
+      if (BReason != NoReason)
+        Conflict.push_back(BReason);
+      for (uint32_t X : Nz) {
+        if (X == B || Row[X].isZero() || isBasic(X))
+          continue;
+        bool StuckAtHi = NeedIncrease ? (Row[X] > Rational::zero())
+                                      : (Row[X] < Rational::zero());
+        uint32_t R = StuckAtHi ? HiReason[X] : LoReason[X];
+        if (R != NoReason)
+          Conflict.push_back(R);
+      }
+      std::sort(Conflict.begin(), Conflict.end());
+      Conflict.erase(std::unique(Conflict.begin(), Conflict.end()),
+                     Conflict.end());
+      return false;
+    }
+    pivotAndUpdate(B, N, NeedIncrease ? *Lo[B] : *Hi[B]);
+  }
+}
+
+Simplex::Snapshot Simplex::save() const { return {Lo, Hi, Beta}; }
+
+void Simplex::restore(const Snapshot &S) {
+  assert(S.Beta.size() == NumVars &&
+         "rows must be registered before the first snapshot");
+  Lo = S.Lo;
+  Hi = S.Hi;
+  Beta = S.Beta;
+  // Wholesale state change: conservatively requeue every basic variable.
+  for (uint32_t X : BasicVar)
+    touchBasic(X);
+}
+
+TheoryResult Simplex::checkInteger(std::vector<int64_t> &ModelOut,
+                                   uint64_t NodeBudget) {
+  uint64_t Budget = NodeBudget;
+  IntegerCore.clear();
+  TheoryResult R = branch(ModelOut, Budget);
+  if (R == TheoryResult::Unsat) {
+    std::sort(IntegerCore.begin(), IntegerCore.end());
+    IntegerCore.erase(std::unique(IntegerCore.begin(), IntegerCore.end()),
+                      IntegerCore.end());
+    Conflict = IntegerCore;
+  }
+  return R;
+}
+
+TheoryResult Simplex::branch(std::vector<int64_t> &ModelOut,
+                             uint64_t &Budget) {
+  if (Budget == 0)
+    return TheoryResult::Unknown;
+  --Budget;
+  if (!checkRational()) {
+    // Leaf of the refutation tree: fold its explanation into the core.
+    IntegerCore.insert(IntegerCore.end(), Conflict.begin(), Conflict.end());
+    return TheoryResult::Unsat;
+  }
+
+  // Find an original variable with a fractional value. Slack variables
+  // are integer combinations of originals, so they need no branching.
+  uint32_t Frac = ~0u;
+  for (uint32_t V = 0; V < NumProblemVars; ++V)
+    if (!Beta[V].isInteger()) {
+      Frac = V;
+      break;
+    }
+  if (Frac == ~0u) {
+    ModelOut.resize(NumProblemVars);
+    for (uint32_t V = 0; V < NumProblemVars; ++V)
+      ModelOut[V] = Beta[V].asInt64();
+    return TheoryResult::Sat;
+  }
+
+  Rational Floor = Beta[Frac].floor();
+  bool SawUnknown = false;
+
+  size_t M = mark();
+  if (assertUpper(Frac, Floor)) {
+    TheoryResult R = branch(ModelOut, Budget);
+    if (R == TheoryResult::Sat)
+      return R;
+    if (R == TheoryResult::Unknown)
+      SawUnknown = true;
+  } else {
+    // The split bound clashed with an asserted bound: that bound is part
+    // of the refutation (the split itself carries NoReason).
+    IntegerCore.insert(IntegerCore.end(), Conflict.begin(), Conflict.end());
+  }
+  rollback(M);
+  if (assertLower(Frac, Floor + Rational::one())) {
+    TheoryResult R = branch(ModelOut, Budget);
+    if (R == TheoryResult::Sat)
+      return R;
+    if (R == TheoryResult::Unknown)
+      SawUnknown = true;
+  } else {
+    IntegerCore.insert(IntegerCore.end(), Conflict.begin(), Conflict.end());
+  }
+  rollback(M);
+  return SawUnknown ? TheoryResult::Unknown : TheoryResult::Unsat;
+}

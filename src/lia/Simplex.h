@@ -1,0 +1,183 @@
+//===- lia/Simplex.h - General simplex with branch-and-bound -----*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The theory back-end of the DPLL(T) LIA solver: a Dutertre–de Moura
+/// style general simplex over exact rationals, extended with
+/// branch-and-bound to obtain integer models. This plays the role of Z3's
+/// "Simplex method extended with a branch-and-cut strategy" that the
+/// paper's implementation delegates to (Sec. 8).
+///
+/// The tableau maintains one row per registered linear term (a slack
+/// variable); asserted literals become bounds on original or slack
+/// variables. Bounds are snapshot/restorable, which both the DPLL(T)
+/// conflict-minimization loop and the branch-and-bound recursion use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_LIA_SIMPLEX_H
+#define POSTR_LIA_SIMPLEX_H
+
+#include "lia/Lia.h"
+#include "lia/Rational.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace postr {
+namespace lia {
+
+/// Tri-state outcome of an integer feasibility check. `Unknown` is
+/// produced only when the branch-and-bound node budget is exhausted.
+enum class TheoryResult { Sat, Unsat, Unknown };
+
+class Simplex {
+public:
+  /// \p NumProblemVars original integer variables; indices [0,
+  /// NumProblemVars) coincide with `Arena` variables.
+  explicit Simplex(uint32_t NumProblemVars);
+
+  uint32_t numProblemVars() const { return NumProblemVars; }
+
+  /// Sets an intrinsic bound on an original variable (e.g. Parikh
+  /// counters are >= 0). INT64_MIN / INT64_MAX mean unbounded.
+  void setIntrinsicBounds(Var V, int64_t Lo, int64_t Hi);
+
+  /// Registers the linear part of \p T (its constant is ignored) and
+  /// returns the index of the extended variable carrying its value.
+  /// Duplicate terms share one slack variable.
+  uint32_t rowFor(const LinTerm &T);
+
+  /// Opaque token attached to an asserted bound; conflict explanations
+  /// report the tokens of the bounds involved. NoReason-tagged bounds
+  /// (intrinsic bounds, branch-and-bound splits) are omitted from
+  /// explanations.
+  static constexpr uint32_t NoReason = ~0u;
+
+  /// Asserts value(X) <= U / >= L. Returns false on an immediate bound
+  /// conflict, with `conflictReasons()` filled (the caller then reports
+  /// a theory conflict). Tightened bounds are recorded on an assertion
+  /// trail for `rollback`.
+  bool assertUpper(uint32_t X, const Rational &U, uint32_t Reason = NoReason);
+  bool assertLower(uint32_t X, const Rational &L, uint32_t Reason = NoReason);
+
+  /// Assertion-trail position, for backtracking with `rollback`.
+  size_t mark() const { return AssertTrail.size(); }
+  /// Undoes every bound asserted after \p Mark. The tableau and the
+  /// current assignment stay as they are (both remain valid; feasibility
+  /// can only improve when bounds get looser).
+  void rollback(size_t Mark);
+
+  /// Rational feasibility of the current bounds. On infeasibility,
+  /// `conflictReasons()` holds the reasons of an inconsistent bound set
+  /// (the violated basic bound plus the blocking nonbasic bounds — the
+  /// standard Dutertre–de Moura explanation).
+  bool checkRational();
+
+  /// Reasons explaining the most recent assertUpper/assertLower/
+  /// checkRational failure, deduplicated, NoReason entries dropped.
+  const std::vector<uint32_t> &conflictReasons() const { return Conflict; }
+
+  /// Integer feasibility via branch-and-bound on the original variables.
+  /// On Sat, \p ModelOut receives values for the original variables. On
+  /// Unsat, `conflictReasons()` holds the union of the leaf explanations
+  /// of the refutation tree — a valid integer-infeasibility core over the
+  /// asserted bounds (the branch splits x ≤ f ∨ x ≥ f+1 are integer-valid
+  /// and resolve away).
+  TheoryResult checkInteger(std::vector<int64_t> &ModelOut,
+                            uint64_t NodeBudget = 20000);
+
+  /// Bound snapshot for backtracking (assignment included).
+  struct Snapshot {
+    std::vector<std::optional<Rational>> Lo, Hi;
+    std::vector<Rational> Beta;
+  };
+  Snapshot save() const;
+  void restore(const Snapshot &S);
+
+  /// Current assignment of extended variable \p X (valid after a
+  /// successful checkRational()).
+  const Rational &value(uint32_t X) const { return Beta[X]; }
+
+  /// Cumulative pivot / feasibility-scan counters (perf triage).
+  uint64_t numPivots() const { return NumPivots; }
+  uint64_t numChecks() const { return NumChecks; }
+
+private:
+  bool isBasic(uint32_t X) const { return RowOf[X] != ~0u; }
+  void pivot(uint32_t B, uint32_t N);
+  void updateNonbasic(uint32_t N, const Rational &V);
+  bool pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V);
+
+  TheoryResult branch(std::vector<int64_t> &ModelOut, uint64_t &Budget);
+
+  struct BoundUndo {
+    uint32_t X;
+    bool Upper;
+    std::optional<Rational> Old;
+    uint32_t OldReason;
+  };
+
+  uint32_t NumProblemVars;
+  uint32_t NumVars; ///< original + slack
+
+  /// Rows: for each basic variable B, Beta[B] == Σ Tableau[RowOf[B]][N]
+  /// over nonbasic N. Dense rows over extended variables, with a
+  /// per-row support list (RowNz, kept duplicate-free via InRowNz but
+  /// allowed to carry stale zero entries) so pivots touch O(nnz) cells
+  /// instead of O(columns).
+  std::vector<std::vector<Rational>> Tableau;
+  std::vector<std::vector<uint32_t>> RowNz;
+  std::vector<std::vector<uint8_t>> InRowNz;
+
+  /// Compacts RowNz[R] (drops stale zeros) and returns a reference.
+  const std::vector<uint32_t> &compactRow(uint32_t R);
+  /// Records that column X of row R may have become nonzero.
+  void noteNonzero(uint32_t R, uint32_t X) {
+    if (!InRowNz[R][X]) {
+      InRowNz[R][X] = 1;
+      RowNz[R].push_back(X);
+    }
+  }
+  std::vector<uint32_t> RowOf;     ///< var -> row index or ~0u
+  std::vector<uint32_t> BasicVar;  ///< row index -> var
+  std::vector<Rational> Beta;      ///< current assignment
+  std::vector<std::optional<Rational>> Lo, Hi;
+  std::vector<uint32_t> LoReason, HiReason; ///< per extended variable
+
+  std::vector<BoundUndo> AssertTrail;
+  std::vector<uint32_t> Conflict;
+  std::vector<uint32_t> IntegerCore; ///< accumulator for branch()
+  uint64_t NumPivots = 0, NumChecks = 0;
+
+  /// Lazily maintained superset of the basic variables whose β may be
+  /// outside their bounds. Every code path that moves a basic β or
+  /// tightens a basic bound enqueues the variable; checkRational verifies
+  /// entries lazily, making the (dominant) all-feasible check O(queue)
+  /// instead of O(rows).
+  void touchBasic(uint32_t X) {
+    if (!InViolQueue[X]) {
+      InViolQueue[X] = true;
+      ViolQueue.push_back(X);
+    }
+  }
+  std::vector<uint32_t> ViolQueue;
+  std::vector<uint8_t> InViolQueue;
+
+  /// Per-column nonzero count across the tableau, maintained by pivot()
+  /// and rowFor(). The entering-variable heuristic prefers sparse
+  /// columns, which is the main defence against fill-in.
+  std::vector<uint32_t> ColCount;
+
+  std::map<std::vector<std::pair<Var, int64_t>>, uint32_t> TermToVar;
+};
+
+} // namespace lia
+} // namespace postr
+
+#endif // POSTR_LIA_SIMPLEX_H

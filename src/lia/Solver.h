@@ -1,0 +1,74 @@
+//===- lia/Solver.h - Quantifier-free LIA solver -----------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online DPLL(T) for quantifier-free LIA: formulas are lowered so every
+/// atom is `t <= 0`, Tseitin-encoded into CNF over atom variables, and
+/// solved by the CDCL core with this engine attached as its theory
+/// client. Atom literals are mirrored into Simplex bounds as the trail
+/// grows (both polarities — over the integers ¬(t ≤ 0) is t ≥ 1), the
+/// rational relaxation is re-checked incrementally after every
+/// propagation, and infeasibilities become small theory lemmas read off
+/// the conflicting tableau row. Integrality is established by
+/// branch-and-bound on full boolean models only; the 0/1 intrinsic bounds
+/// minted by the Parikh encoder keep those conflicts rare.
+///
+/// Satisfiability of quantifier-free LIA is in NP [65]; this solver is the
+/// engine behind the paper's Theorem 7.3 NP procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_LIA_SOLVER_H
+#define POSTR_LIA_SOLVER_H
+
+#include "base/Base.h"
+#include "lia/Lia.h"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace postr {
+namespace lia {
+
+/// Tunables for the QF solver. Defaults suit the formulae the tag
+/// framework emits.
+struct QfOptions {
+  /// Branch-and-bound node budget per full-model integrality check.
+  uint64_t TheoryNodeBudget = 2000;
+  /// Hard cap on theory conflicts before giving up (Unknown); a runaway
+  /// backstop, not a tuning knob.
+  uint32_t MaxTheoryConflicts = 2000000;
+  /// Optional deadline in milliseconds (0 = none) measured from the call.
+  uint64_t TimeoutMs = 0;
+};
+
+/// Outcome of a QF_LIA query. On Sat, Model is indexed by `Var` and
+/// covers every variable of the arena.
+struct QfResult {
+  Verdict V = Verdict::Unknown;
+  std::vector<int64_t> Model;
+};
+
+/// Model-refinement callback for CEGAR loops layered on the solver (the
+/// tag framework's connectivity cuts): inspects a candidate model and
+/// either accepts (nullopt) or returns a formula — valid for every
+/// intended model and false under this one — that is conjoined and the
+/// search resumed. Running the loop inside the engine keeps the learned
+/// clauses, which re-solving from scratch would discard.
+using ModelRefiner =
+    std::function<std::optional<FormulaId>(Arena &,
+                                           const std::vector<int64_t> &)>;
+
+/// Decides \p F (any boolean structure over LIA atoms, no quantifiers).
+QfResult solveQF(Arena &A, FormulaId F, const QfOptions &Opts = {},
+                 const ModelRefiner &Refine = nullptr);
+
+} // namespace lia
+} // namespace postr
+
+#endif // POSTR_LIA_SOLVER_H

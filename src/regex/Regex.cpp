@@ -1,0 +1,395 @@
+//===- regex/Regex.cpp - Regex parsing and Thompson compilation ----------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::regex;
+using automata::Nfa;
+using automata::State;
+
+namespace {
+
+/// Recursive-descent regex parser. Grammar:
+///   union  := concat ('|' concat)*
+///   concat := repeat*
+///   repeat := atom ('*' | '+' | '?' | '{' n (',' m?)? '}')*
+///   atom   := literal | '.' | class | '(' union ')'
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Result<NodePtr> run() {
+    Result<NodePtr> R = parseUnion();
+    if (!R)
+      return R;
+    if (Pos != Text.size())
+      return fail("unexpected character");
+    return R;
+  }
+
+private:
+  Result<NodePtr> fail(const std::string &Msg) {
+    return Result<NodePtr>::failure("regex error at column " +
+                                    std::to_string(Pos + 1) + ": " + Msg);
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+  char take() { return Text[Pos++]; }
+
+  Result<NodePtr> parseUnion() {
+    Result<NodePtr> First = parseConcat();
+    if (!First)
+      return First;
+    if (atEnd() || peek() != '|')
+      return First;
+    auto U = std::make_unique<Node>(NodeKind::Union);
+    U->Children.push_back(First.take());
+    while (!atEnd() && peek() == '|') {
+      take();
+      Result<NodePtr> Next = parseConcat();
+      if (!Next)
+        return Next;
+      U->Children.push_back(Next.take());
+    }
+    return Result<NodePtr>::success(std::move(U));
+  }
+
+  Result<NodePtr> parseConcat() {
+    auto C = std::make_unique<Node>(NodeKind::Concat);
+    while (!atEnd() && peek() != '|' && peek() != ')') {
+      Result<NodePtr> R = parseRepeat();
+      if (!R)
+        return R;
+      C->Children.push_back(R.take());
+    }
+    if (C->Children.empty())
+      return Result<NodePtr>::success(std::make_unique<Node>(
+          NodeKind::EpsilonK));
+    if (C->Children.size() == 1)
+      return Result<NodePtr>::success(std::move(C->Children.front()));
+    return Result<NodePtr>::success(std::move(C));
+  }
+
+  Result<NodePtr> parseRepeat() {
+    Result<NodePtr> AtomR = parseAtom();
+    if (!AtomR)
+      return AtomR;
+    NodePtr N = AtomR.take();
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '*' || C == '+' || C == '?') {
+        take();
+        NodeKind K = C == '*'   ? NodeKind::Star
+                     : C == '+' ? NodeKind::Plus
+                                : NodeKind::Optional;
+        auto Wrap = std::make_unique<Node>(K);
+        Wrap->Children.push_back(std::move(N));
+        N = std::move(Wrap);
+        continue;
+      }
+      if (C == '{') {
+        take();
+        int Min = 0;
+        bool AnyDigit = false;
+        while (!atEnd() && peek() >= '0' && peek() <= '9') {
+          Min = Min * 10 + (take() - '0');
+          AnyDigit = true;
+        }
+        if (!AnyDigit)
+          return fail("expected repetition count after '{'");
+        int Max = Min;
+        if (!atEnd() && peek() == ',') {
+          take();
+          if (!atEnd() && peek() == '}') {
+            Max = -1; // unbounded
+          } else {
+            Max = 0;
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+              Max = Max * 10 + (take() - '0');
+            if (Max < Min)
+              return fail("repetition max below min");
+          }
+        }
+        if (atEnd() || take() != '}')
+          return fail("expected '}' closing repetition");
+        auto Wrap = std::make_unique<Node>(NodeKind::Repeat);
+        Wrap->Min = Min;
+        Wrap->Max = Max;
+        Wrap->Children.push_back(std::move(N));
+        N = std::move(Wrap);
+        continue;
+      }
+      break;
+    }
+    return Result<NodePtr>::success(std::move(N));
+  }
+
+  Result<NodePtr> parseAtom() {
+    if (atEnd())
+      return fail("expected atom");
+    char C = take();
+    switch (C) {
+    case '(': {
+      Result<NodePtr> Inner = parseUnion();
+      if (!Inner)
+        return Inner;
+      if (atEnd() || take() != ')')
+        return fail("expected ')'");
+      return Inner;
+    }
+    case '.':
+      return Result<NodePtr>::success(std::make_unique<Node>(
+          NodeKind::AnyChar));
+    case '[':
+      return parseClass();
+    case '\\': {
+      if (atEnd())
+        return fail("dangling escape");
+      auto N = std::make_unique<Node>(NodeKind::Chars);
+      N->Chars.push_back(take());
+      return Result<NodePtr>::success(std::move(N));
+    }
+    case '*':
+    case '+':
+    case '?':
+    case '{':
+    case '}':
+    case ')':
+    case '|':
+      return fail(std::string("unexpected '") + C + "'");
+    default: {
+      auto N = std::make_unique<Node>(NodeKind::Chars);
+      N->Chars.push_back(C);
+      return Result<NodePtr>::success(std::move(N));
+    }
+    }
+  }
+
+  Result<NodePtr> parseClass() {
+    auto N = std::make_unique<Node>(NodeKind::Chars);
+    if (!atEnd() && peek() == '^') {
+      take();
+      N->Negated = true;
+    }
+    bool Any = false;
+    while (!atEnd() && peek() != ']') {
+      char Lo = take();
+      if (Lo == '\\') {
+        if (atEnd())
+          return fail("dangling escape in class");
+        Lo = take();
+      }
+      char Hi = Lo;
+      if (!atEnd() && peek() == '-' && Pos + 1 < Text.size() &&
+          Text[Pos + 1] != ']') {
+        take(); // '-'
+        Hi = take();
+        if (Hi == '\\') {
+          if (atEnd())
+            return fail("dangling escape in class");
+          Hi = take();
+        }
+        if (Hi < Lo)
+          return fail("inverted character range");
+      }
+      for (char X = Lo;; ++X) {
+        N->Chars.push_back(X);
+        if (X == Hi)
+          break;
+      }
+      Any = true;
+    }
+    if (atEnd() || take() != ']')
+      return fail("expected ']'");
+    if (!Any)
+      return fail("empty character class");
+    std::sort(N->Chars.begin(), N->Chars.end());
+    N->Chars.erase(std::unique(N->Chars.begin(), N->Chars.end()),
+                   N->Chars.end());
+    return Result<NodePtr>::success(std::move(N));
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+/// Thompson-style compiler producing an NFA fragment with one entry and
+/// one exit state, linked with ε-transitions; the caller removes ε at the
+/// end.
+class Compiler {
+public:
+  Compiler(const Alphabet &Sigma, Nfa &Out) : Sigma(Sigma), Out(Out) {}
+
+  struct Fragment {
+    State Entry;
+    State Exit;
+  };
+
+  Fragment build(const Node &N) {
+    switch (N.Kind) {
+    case NodeKind::Empty: {
+      Fragment F{Out.addState(), Out.addState()};
+      return F; // no connection: empty language
+    }
+    case NodeKind::EpsilonK: {
+      Fragment F{Out.addState(), Out.addState()};
+      Out.addTransition(F.Entry, Nfa::Epsilon, F.Exit);
+      return F;
+    }
+    case NodeKind::Chars: {
+      Fragment F{Out.addState(), Out.addState()};
+      for (Symbol S : classSymbols(N))
+        Out.addTransition(F.Entry, S, F.Exit);
+      return F;
+    }
+    case NodeKind::AnyChar: {
+      Fragment F{Out.addState(), Out.addState()};
+      for (Symbol S = 0; S < Sigma.size(); ++S)
+        Out.addTransition(F.Entry, S, F.Exit);
+      return F;
+    }
+    case NodeKind::Concat: {
+      assert(!N.Children.empty());
+      Fragment F = build(*N.Children.front());
+      for (size_t I = 1; I < N.Children.size(); ++I) {
+        Fragment G = build(*N.Children[I]);
+        Out.addTransition(F.Exit, Nfa::Epsilon, G.Entry);
+        F.Exit = G.Exit;
+      }
+      return F;
+    }
+    case NodeKind::Union: {
+      Fragment F{Out.addState(), Out.addState()};
+      for (const NodePtr &C : N.Children) {
+        Fragment G = build(*C);
+        Out.addTransition(F.Entry, Nfa::Epsilon, G.Entry);
+        Out.addTransition(G.Exit, Nfa::Epsilon, F.Exit);
+      }
+      return F;
+    }
+    case NodeKind::Star: {
+      Fragment Inner = build(*N.Children.front());
+      Fragment F{Out.addState(), Out.addState()};
+      Out.addTransition(F.Entry, Nfa::Epsilon, F.Exit);
+      Out.addTransition(F.Entry, Nfa::Epsilon, Inner.Entry);
+      Out.addTransition(Inner.Exit, Nfa::Epsilon, Inner.Entry);
+      Out.addTransition(Inner.Exit, Nfa::Epsilon, F.Exit);
+      return F;
+    }
+    case NodeKind::Plus: {
+      Fragment Inner = build(*N.Children.front());
+      Fragment F{Out.addState(), Out.addState()};
+      Out.addTransition(F.Entry, Nfa::Epsilon, Inner.Entry);
+      Out.addTransition(Inner.Exit, Nfa::Epsilon, Inner.Entry);
+      Out.addTransition(Inner.Exit, Nfa::Epsilon, F.Exit);
+      return F;
+    }
+    case NodeKind::Optional: {
+      Fragment Inner = build(*N.Children.front());
+      Fragment F{Out.addState(), Out.addState()};
+      Out.addTransition(F.Entry, Nfa::Epsilon, Inner.Entry);
+      Out.addTransition(Inner.Exit, Nfa::Epsilon, F.Exit);
+      Out.addTransition(F.Entry, Nfa::Epsilon, F.Exit);
+      return F;
+    }
+    case NodeKind::Repeat: {
+      // Expand {n,m} structurally: n mandatory copies followed by either
+      // (m-n) optional copies or a star for the unbounded case.
+      Fragment F{Out.addState(), Out.addState()};
+      State Cursor = F.Entry;
+      for (int I = 0; I < N.Min; ++I) {
+        Fragment G = build(*N.Children.front());
+        Out.addTransition(Cursor, Nfa::Epsilon, G.Entry);
+        Cursor = G.Exit;
+      }
+      if (N.Max == -1) {
+        Fragment G = build(*N.Children.front());
+        Out.addTransition(Cursor, Nfa::Epsilon, G.Entry);
+        Out.addTransition(G.Exit, Nfa::Epsilon, G.Entry);
+        Out.addTransition(G.Exit, Nfa::Epsilon, F.Exit);
+        Out.addTransition(Cursor, Nfa::Epsilon, F.Exit);
+      } else {
+        for (int I = N.Min; I < N.Max; ++I) {
+          Out.addTransition(Cursor, Nfa::Epsilon, F.Exit);
+          Fragment G = build(*N.Children.front());
+          Out.addTransition(Cursor, Nfa::Epsilon, G.Entry);
+          Cursor = G.Exit;
+        }
+        Out.addTransition(Cursor, Nfa::Epsilon, F.Exit);
+      }
+      return F;
+    }
+    }
+    assert(false && "unhandled regex node kind");
+    return {0, 0};
+  }
+
+private:
+  std::vector<Symbol> classSymbols(const Node &N) const {
+    assert(N.Kind == NodeKind::Chars);
+    std::vector<Symbol> Syms;
+    if (!N.Negated) {
+      for (char C : N.Chars) {
+        std::optional<Symbol> S = Sigma.lookup(C);
+        assert(S && "class character not interned; call collectAlphabet");
+        Syms.push_back(*S);
+      }
+      return Syms;
+    }
+    // Negated class: all effective-alphabet symbols except the listed
+    // ones; fresh sentinel symbols are included, matching the intended
+    // "any other character" semantics.
+    std::vector<bool> Excluded(Sigma.size(), false);
+    for (char C : N.Chars)
+      if (std::optional<Symbol> S = Sigma.lookup(C))
+        Excluded[*S] = true;
+    for (Symbol S = 0; S < Sigma.size(); ++S)
+      if (!Excluded[S])
+        Syms.push_back(S);
+    return Syms;
+  }
+
+  const Alphabet &Sigma;
+  Nfa &Out;
+};
+
+} // namespace
+
+Result<NodePtr> postr::regex::parse(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+void postr::regex::collectAlphabet(const Node &N, Alphabet &Sigma) {
+  if (N.Kind == NodeKind::Chars && !N.Negated)
+    for (char C : N.Chars)
+      Sigma.intern(C);
+  if (N.Kind == NodeKind::Chars && N.Negated)
+    for (char C : N.Chars)
+      Sigma.intern(C);
+  for (const NodePtr &C : N.Children)
+    collectAlphabet(*C, Sigma);
+}
+
+Nfa postr::regex::compile(const Node &N, const Alphabet &Sigma) {
+  Nfa Out(Sigma.size());
+  Compiler C(Sigma, Out);
+  Compiler::Fragment F = C.build(N);
+  Out.markInitial(F.Entry);
+  Out.markFinal(F.Exit);
+  return Out.removeEpsilon();
+}
+
+Nfa postr::regex::compileString(std::string_view Text, Alphabet &Sigma) {
+  Result<NodePtr> R = parse(Text);
+  assert(R && "compileString: regex failed to parse");
+  collectAlphabet(**R, Sigma);
+  return compile(**R, Sigma);
+}

@@ -1,0 +1,89 @@
+//===- regex/Regex.h - Regular expression frontend --------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small regular-expression frontend used to state the regular
+/// membership constraints R of the paper's normal form E ∧ R ∧ I ∧ P.
+///
+/// Supported syntax: literals, escapes (\x), `.` (any alphabet symbol),
+/// character classes `[a-z0-9]` and negated classes `[^...]`,
+/// concatenation, alternation `|`, grouping `(...)`, and the postfix
+/// operators `*`, `+`, `?`, `{n}`, `{n,m}`.
+///
+/// Parsing yields an AST; compilation against a closed `Alphabet` yields
+/// a Thompson NFA. The split matters: `.` and negated classes depend on
+/// the *effective* alphabet of the whole problem (including the fresh
+/// sentinel symbols), which is only known after every constraint has been
+/// collected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_REGEX_REGEX_H
+#define POSTR_REGEX_REGEX_H
+
+#include "base/Alphabet.h"
+#include "base/Base.h"
+#include "automata/Nfa.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace postr {
+namespace regex {
+
+/// Regex AST node kinds.
+enum class NodeKind {
+  Empty,    ///< The empty language ∅ (only via internal construction).
+  EpsilonK, ///< The language {ε}.
+  Chars,    ///< A character class (possibly a single literal).
+  AnyChar,  ///< `.` — any symbol of the effective alphabet.
+  Concat,   ///< Sequence of children.
+  Union,    ///< Alternation of children.
+  Star,     ///< Kleene star of the single child.
+  Plus,     ///< One or more repetitions of the single child.
+  Optional, ///< Zero or one occurrence of the single child.
+  Repeat,   ///< Between Min and Max (or unbounded) repetitions.
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// One regex AST node. Plain aggregate; built by the parser or the
+/// convenience constructors below.
+struct Node {
+  NodeKind Kind;
+  std::vector<NodePtr> Children;
+  /// For Chars: the matched characters; for negated classes the
+  /// complement is taken at compile time against the effective alphabet.
+  std::vector<char> Chars;
+  bool Negated = false;
+  /// For Repeat: Min..Max occurrences; Max == -1 means unbounded.
+  int Min = 0;
+  int Max = 0;
+
+  explicit Node(NodeKind K) : Kind(K) {}
+};
+
+/// Parses \p Text; returns the AST or a diagnostic with column info.
+Result<NodePtr> parse(std::string_view Text);
+
+/// Interns every literal character the AST mentions into \p Sigma.
+/// Must be called for all regexes of a problem before any compile().
+void collectAlphabet(const Node &N, Alphabet &Sigma);
+
+/// Compiles the AST into an ε-free trimmed NFA over the (closed) alphabet.
+automata::Nfa compile(const Node &N, const Alphabet &Sigma);
+
+/// Convenience: parse + collect + compile in one step for tests and
+/// examples that manage a single regex. Asserts on parse errors.
+automata::Nfa compileString(std::string_view Text, Alphabet &Sigma);
+
+} // namespace regex
+} // namespace postr
+
+#endif // POSTR_REGEX_REGEX_H

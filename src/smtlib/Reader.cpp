@@ -1,0 +1,604 @@
+//===- smtlib/Reader.cpp - SMT-LIB subset reader ----------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Reader.h"
+
+#include "regex/Regex.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace postr;
+using namespace postr::smtlib;
+using strings::Assertion;
+using strings::AssertKind;
+using strings::IntTerm;
+using strings::Problem;
+using strings::StrElem;
+using strings::StrSeq;
+
+namespace {
+
+/// Empty success payload for fallible void-returning steps.
+struct Unit {};
+
+//===----------------------------------------------------------------------===
+// S-expressions
+//===----------------------------------------------------------------------===
+
+struct Sexp {
+  enum Kind { List, Atom, Str } K = Atom;
+  std::string Text;              ///< Atom spelling / Str contents
+  std::vector<Sexp> Items;       ///< List children
+  uint32_t Line = 1, Col = 1;
+
+  bool isAtom(const char *S) const { return K == Atom && Text == S; }
+  bool isList(const char *Head) const {
+    return K == List && !Items.empty() && Items.front().isAtom(Head);
+  }
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  Result<std::vector<Sexp>> parseAll() {
+    std::vector<Sexp> Out;
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size())
+        return Result<std::vector<Sexp>>::success(std::move(Out));
+      Result<Sexp> S = parseOne();
+      if (!S)
+        return Result<std::vector<Sexp>>::failure(S.error());
+      Out.push_back(S.take());
+    }
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else if (C == '\n') {
+        ++Line;
+        Col = 1;
+        ++Pos;
+        continue;
+      } else if (C == ' ' || C == '\t' || C == '\r') {
+        // fall through to the advance below
+      } else {
+        return;
+      }
+      ++Pos;
+      ++Col;
+    }
+  }
+
+  std::string where() const {
+    return "line " + std::to_string(Line) + " col " + std::to_string(Col);
+  }
+
+  Result<Sexp> parseOne() {
+    skipWs();
+    if (Pos >= Text.size())
+      return Result<Sexp>::failure("unexpected end of input at " + where());
+    Sexp S;
+    S.Line = Line;
+    S.Col = Col;
+    char C = Text[Pos];
+    if (C == '(') {
+      advance();
+      S.K = Sexp::List;
+      for (;;) {
+        skipWs();
+        if (Pos >= Text.size())
+          return Result<Sexp>::failure("unclosed '(' at " + where());
+        if (Text[Pos] == ')') {
+          advance();
+          return Result<Sexp>::success(std::move(S));
+        }
+        Result<Sexp> Child = parseOne();
+        if (!Child)
+          return Child;
+        S.Items.push_back(Child.take());
+      }
+    }
+    if (C == ')')
+      return Result<Sexp>::failure("stray ')' at " + where());
+    if (C == '"') {
+      advance();
+      S.K = Sexp::Str;
+      while (Pos < Text.size()) {
+        char D = Text[Pos];
+        advance();
+        if (D == '"') {
+          // SMT-LIB escapes a quote by doubling it.
+          if (Pos < Text.size() && Text[Pos] == '"') {
+            S.Text.push_back('"');
+            advance();
+            continue;
+          }
+          return Result<Sexp>::success(std::move(S));
+        }
+        S.Text.push_back(D);
+      }
+      return Result<Sexp>::failure("unterminated string at " + where());
+    }
+    S.K = Sexp::Atom;
+    while (Pos < Text.size()) {
+      char D = Text[Pos];
+      if (D == '(' || D == ')' || D == '"' || D == ';' || D == ' ' ||
+          D == '\t' || D == '\n' || D == '\r')
+        break;
+      S.Text.push_back(D);
+      advance();
+    }
+    if (S.Text.empty())
+      return Result<Sexp>::failure("empty token at " + where());
+    return Result<Sexp>::success(std::move(S));
+  }
+
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+};
+
+//===----------------------------------------------------------------------===
+// Term translation
+//===----------------------------------------------------------------------===
+
+using regex::Node;
+using regex::NodeKind;
+using regex::NodePtr;
+
+class Translator {
+public:
+  explicit Translator(Problem &P) : P(P) {}
+
+  Result<Unit> command(const Sexp &S) {
+    if (S.K != Sexp::List || S.Items.empty())
+      return err(S, "expected a command list");
+    const std::string &Head = S.Items.front().Text;
+    if (Head == "set-logic" || Head == "set-info" || Head == "set-option" ||
+        Head == "check-sat" || Head == "exit" || Head == "get-model")
+      return Result<Unit>::success(Unit{});
+    if (Head == "declare-fun" || Head == "declare-const")
+      return declare(S);
+    if (Head == "assert") {
+      if (S.Items.size() != 2)
+        return err(S, "assert takes one argument");
+      return literal(S.Items[1], /*Positive=*/true);
+    }
+    return err(S, "unsupported command '" + Head + "'");
+  }
+
+private:
+  static Result<Unit> err(const Sexp &S, const std::string &Msg) {
+    return Result<Unit>::failure(Msg + " (line " + std::to_string(S.Line) +
+                               " col " + std::to_string(S.Col) + ")");
+  }
+
+  Result<Unit> declare(const Sexp &S) {
+    // (declare-fun x () String) / (declare-const x String)
+    bool IsFun = S.Items.front().Text == "declare-fun";
+    size_t SortIdx = IsFun ? 3 : 2;
+    if (S.Items.size() != SortIdx + 1 || S.Items[1].K != Sexp::Atom)
+      return err(S, "malformed declaration");
+    if (IsFun &&
+        (S.Items[2].K != Sexp::List || !S.Items[2].Items.empty()))
+      return err(S, "only zero-arity declare-fun is supported");
+    const Sexp &Sort = S.Items[SortIdx];
+    if (Sort.isAtom("String")) {
+      P.strVar(S.Items[1].Text);
+      return Result<Unit>::success(Unit{});
+    }
+    if (Sort.isAtom("Int")) {
+      P.intVar(S.Items[1].Text);
+      return Result<Unit>::success(Unit{});
+    }
+    return err(Sort, "unsupported sort");
+  }
+
+  Result<Unit> literal(const Sexp &S, bool Positive) {
+    if (S.isList("not")) {
+      if (S.Items.size() != 2)
+        return err(S, "not takes one argument");
+      return literal(S.Items[1], !Positive);
+    }
+    if (S.isList("and")) {
+      if (!Positive)
+        return err(S, "negated conjunctions are outside the fragment");
+      for (size_t I = 1; I < S.Items.size(); ++I) {
+        Result<Unit> R = literal(S.Items[I], true);
+        if (!R)
+          return R;
+      }
+      return Result<Unit>::success(Unit{});
+    }
+    if (S.isAtom("true") && Positive)
+      return Result<Unit>::success(Unit{});
+    return atom(S, Positive);
+  }
+
+  Result<Unit> atom(const Sexp &S, bool Positive) {
+    if (S.K != Sexp::List || S.Items.empty())
+      return err(S, "expected an atom");
+    const std::string &Head = S.Items.front().Text;
+
+    if (Head == "str.in_re" || Head == "str.in.re") {
+      if (S.Items.size() != 3)
+        return err(S, "str.in_re takes two arguments");
+      Result<StrSeq> T = strTerm(S.Items[1]);
+      if (!T)
+        return Result<Unit>::failure(T.error());
+      if (T->size() != 1 || !(*T)[0].IsVar)
+        return err(S, "str.in_re is supported on variables only");
+      Result<NodePtr> Re = regexTerm(S.Items[2]);
+      if (!Re)
+        return Result<Unit>::failure(Re.error());
+      NodePtr Node = Re.take();
+      if (!Positive) {
+        // Sec. 2 footnote 4: complement at compile time.
+        Node->Negated = !Node->Negated;
+        // Wrap so the flag lives on a dedicated node the compiler
+        // understands as language complement.
+        NodePtr Wrap = std::make_unique<regex::Node>(NodeKind::Repeat);
+        Wrap->Min = 1;
+        Wrap->Max = 1;
+        Wrap->Negated = true;
+        Wrap->Children.push_back(std::move(Node));
+        return err(S, "negated str.in_re is not supported yet");
+      }
+      Assertion A;
+      A.Kind = AssertKind::InRe;
+      A.Lhs = {(*T)[0]};
+      A.Re = std::shared_ptr<regex::Node>(Node.release());
+      P.add(std::move(A));
+      return Result<Unit>::success(Unit{});
+    }
+
+    if (Head == "=") {
+      if (S.Items.size() != 3)
+        return err(S, "= takes two arguments");
+      // String or integer equality, by shape.
+      if (looksInt(S.Items[1]) || looksInt(S.Items[2]))
+        return intAtom(S, Positive ? lia::Cmp::Eq : lia::Cmp::Ne);
+      // (= x (str.at t i)) forms route to StrAt.
+      if (S.Items[2].isList("str.at") || S.Items[1].isList("str.at")) {
+        const Sexp &At =
+            S.Items[2].isList("str.at") ? S.Items[2] : S.Items[1];
+        const Sexp &Other =
+            S.Items[2].isList("str.at") ? S.Items[1] : S.Items[2];
+        if (At.Items.size() != 3)
+          return err(At, "str.at takes two arguments");
+        Result<StrSeq> X = strTerm(Other);
+        Result<StrSeq> Hay = strTerm(At.Items[1]);
+        Result<IntTerm> Pos = intTerm(At.Items[2]);
+        if (!X)
+          return Result<Unit>::failure(X.error());
+        if (!Hay)
+          return Result<Unit>::failure(Hay.error());
+        if (!Pos)
+          return Result<Unit>::failure(Pos.error());
+        if (X->size() != 1)
+          return err(Other, "str.at left side must be one element");
+        P.assertStrAt(Positive, (*X)[0], Hay.take(), Pos.take());
+        return Result<Unit>::success(Unit{});
+      }
+      Result<StrSeq> L = strTerm(S.Items[1]);
+      Result<StrSeq> R = strTerm(S.Items[2]);
+      if (!L)
+        return Result<Unit>::failure(L.error());
+      if (!R)
+        return Result<Unit>::failure(R.error());
+      if (Positive)
+        P.assertWordEq(L.take(), R.take());
+      else
+        P.assertDiseq(L.take(), R.take());
+      return Result<Unit>::success(Unit{});
+    }
+
+    if (Head == "str.prefixof" || Head == "str.suffixof" ||
+        Head == "str.contains") {
+      if (S.Items.size() != 3)
+        return err(S, Head + " takes two arguments");
+      // SMT-LIB: (str.contains haystack needle); prefix/suffix are
+      // (str.prefixof needle haystack).
+      bool IsContains = Head == "str.contains";
+      Result<StrSeq> A = strTerm(S.Items[IsContains ? 2 : 1]);
+      Result<StrSeq> B = strTerm(S.Items[IsContains ? 1 : 2]);
+      if (!A)
+        return Result<Unit>::failure(A.error());
+      if (!B)
+        return Result<Unit>::failure(B.error());
+      AssertKind K;
+      if (Head == "str.prefixof")
+        K = Positive ? AssertKind::Prefixof : AssertKind::NotPrefixof;
+      else if (Head == "str.suffixof")
+        K = Positive ? AssertKind::Suffixof : AssertKind::NotSuffixof;
+      else
+        K = Positive ? AssertKind::Contains : AssertKind::NotContains;
+      P.assertPred(K, A.take(), B.take());
+      return Result<Unit>::success(Unit{});
+    }
+
+    if (Head == "<=" || Head == "<" || Head == ">=" || Head == ">") {
+      lia::Cmp Op = Head == "<="  ? lia::Cmp::Le
+                    : Head == "<" ? lia::Cmp::Lt
+                    : Head == ">=" ? lia::Cmp::Ge
+                                   : lia::Cmp::Gt;
+      if (!Positive) {
+        // ¬(a <= b) == a > b, etc.
+        Op = Op == lia::Cmp::Le   ? lia::Cmp::Gt
+             : Op == lia::Cmp::Lt ? lia::Cmp::Ge
+             : Op == lia::Cmp::Ge ? lia::Cmp::Lt
+                                  : lia::Cmp::Le;
+      }
+      return intAtom(S, Op);
+    }
+
+    return err(S, "unsupported atom '" + Head + "'");
+  }
+
+  Result<Unit> intAtom(const Sexp &S, lia::Cmp Op) {
+    Result<IntTerm> L = intTerm(S.Items[1]);
+    Result<IntTerm> R = intTerm(S.Items[2]);
+    if (!L)
+      return Result<Unit>::failure(L.error());
+    if (!R)
+      return Result<Unit>::failure(R.error());
+    P.assertIntAtom(L.take(), Op, R.take());
+    return Result<Unit>::success(Unit{});
+  }
+
+  bool looksInt(const Sexp &S) {
+    if (S.K == Sexp::Atom) {
+      if (!S.Text.empty() &&
+          (std::isdigit(static_cast<unsigned char>(S.Text[0])) ||
+           S.Text[0] == '-'))
+        return true;
+      return P.hasIntVar(S.Text);
+    }
+    if (S.K == Sexp::List && !S.Items.empty()) {
+      const std::string &H = S.Items.front().Text;
+      return H == "str.len" || H == "+" || H == "-" || H == "*";
+    }
+    return false;
+  }
+
+  Result<StrSeq> strTerm(const Sexp &S) {
+    StrSeq Out;
+    Result<Unit> R = strTermInto(S, Out);
+    if (!R)
+      return Result<StrSeq>::failure(R.error());
+    return Result<StrSeq>::success(std::move(Out));
+  }
+
+  Result<Unit> strTermInto(const Sexp &S, StrSeq &Out) {
+    if (S.K == Sexp::Str) {
+      Out.push_back(StrElem::lit(S.Text));
+      return Result<Unit>::success(Unit{});
+    }
+    if (S.K == Sexp::Atom) {
+      if (!P.hasStrVar(S.Text))
+        return err(S, "undeclared string variable '" + S.Text + "'");
+      Out.push_back(StrElem::var(P.strVar(S.Text)));
+      return Result<Unit>::success(Unit{});
+    }
+    if (S.isList("str.++")) {
+      for (size_t I = 1; I < S.Items.size(); ++I) {
+        Result<Unit> R = strTermInto(S.Items[I], Out);
+        if (!R)
+          return R;
+      }
+      return Result<Unit>::success(Unit{});
+    }
+    return err(S, "unsupported string term");
+  }
+
+  Result<IntTerm> intTerm(const Sexp &S) {
+    if (S.K == Sexp::Atom) {
+      if (!S.Text.empty() &&
+          (std::isdigit(static_cast<unsigned char>(S.Text[0])) ||
+           (S.Text[0] == '-' && S.Text.size() > 1)))
+        return Result<IntTerm>::success(IntTerm::constant(std::atoll(S.Text.c_str())));
+      if (P.hasIntVar(S.Text))
+        return Result<IntTerm>::success(IntTerm::intVar(P.intVar(S.Text)));
+      return Result<IntTerm>::failure("undeclared integer variable '" +
+                                    S.Text + "'");
+    }
+    if (S.isList("str.len")) {
+      if (S.Items.size() != 2)
+        return Result<IntTerm>::failure("str.len takes one argument");
+      Result<StrSeq> T = strTerm(S.Items[1]);
+      if (!T)
+        return Result<IntTerm>::failure(T.error());
+      IntTerm Out;
+      for (const StrElem &E : *T) {
+        if (E.IsVar)
+          Out = Out + IntTerm::lenOf(E.Var);
+        else
+          Out = Out + IntTerm::constant(
+                          static_cast<int64_t>(E.Lit.size()));
+      }
+      return Result<IntTerm>::success(std::move(Out));
+    }
+    if (S.isList("+") || S.isList("-")) {
+      bool Minus = S.Items.front().Text == "-";
+      if (S.Items.size() < 2)
+        return Result<IntTerm>::failure("arity error in +/-");
+      Result<IntTerm> Acc = intTerm(S.Items[1]);
+      if (!Acc)
+        return Acc;
+      IntTerm Out = Acc.take();
+      if (Minus && S.Items.size() == 2)
+        return Result<IntTerm>::success(Out * -1);
+      for (size_t I = 2; I < S.Items.size(); ++I) {
+        Result<IntTerm> Next = intTerm(S.Items[I]);
+        if (!Next)
+          return Next;
+        Out = Minus ? Out - Next.take() : Out + Next.take();
+      }
+      return Result<IntTerm>::success(std::move(Out));
+    }
+    if (S.isList("*")) {
+      if (S.Items.size() != 3)
+        return Result<IntTerm>::failure("* takes two arguments");
+      // One side must be a numeral.
+      const Sexp *Num = nullptr, *Term = nullptr;
+      for (size_t I = 1; I <= 2; ++I) {
+        const Sexp &C = S.Items[I];
+        if (C.K == Sexp::Atom && !C.Text.empty() &&
+            (std::isdigit(static_cast<unsigned char>(C.Text[0])) ||
+             C.Text[0] == '-'))
+          Num = &C;
+        else
+          Term = &C;
+      }
+      if (!Num || !Term)
+        return Result<IntTerm>::failure("* needs one numeral factor");
+      Result<IntTerm> T = intTerm(*Term);
+      if (!T)
+        return T;
+      return Result<IntTerm>::success(T.take() * std::atoll(Num->Text.c_str()));
+    }
+    return Result<IntTerm>::failure("unsupported integer term");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Regexes
+  //===--------------------------------------------------------------------===
+
+  static NodePtr mk(NodeKind K) { return std::make_unique<Node>(K); }
+
+  Result<NodePtr> regexTerm(const Sexp &S) {
+    if (S.isList("str.to_re") || S.isList("str.to.re")) {
+      if (S.Items.size() != 2 || S.Items[1].K != Sexp::Str)
+        return Result<NodePtr>::failure("str.to_re takes a string literal");
+      NodePtr N = mk(NodeKind::Concat);
+      for (char C : S.Items[1].Text) {
+        NodePtr Ch = mk(NodeKind::Chars);
+        Ch->Chars.push_back(C);
+        N->Children.push_back(std::move(Ch));
+      }
+      if (N->Children.empty())
+        return Result<NodePtr>::success(mk(NodeKind::EpsilonK));
+      return Result<NodePtr>::success(std::move(N));
+    }
+    if (S.isAtom("re.allchar"))
+      return Result<NodePtr>::success(mk(NodeKind::AnyChar));
+    if (S.isAtom("re.all")) {
+      NodePtr Star = mk(NodeKind::Star);
+      Star->Children.push_back(mk(NodeKind::AnyChar));
+      return Result<NodePtr>::success(std::move(Star));
+    }
+    if (S.isAtom("re.none"))
+      return Result<NodePtr>::success(mk(NodeKind::Empty));
+    if (S.isList("re.range")) {
+      if (S.Items.size() != 3 || S.Items[1].K != Sexp::Str ||
+          S.Items[2].K != Sexp::Str || S.Items[1].Text.size() != 1 ||
+          S.Items[2].Text.size() != 1)
+        return Result<NodePtr>::failure(
+            "re.range takes two single-character strings");
+      NodePtr N = mk(NodeKind::Chars);
+      for (char C = S.Items[1].Text[0]; C <= S.Items[2].Text[0]; ++C)
+        N->Chars.push_back(C);
+      return Result<NodePtr>::success(std::move(N));
+    }
+    auto Nary = [&](NodeKind K) -> Result<NodePtr> {
+      NodePtr N = mk(K);
+      for (size_t I = 1; I < S.Items.size(); ++I) {
+        Result<NodePtr> C = regexTerm(S.Items[I]);
+        if (!C)
+          return C;
+        N->Children.push_back(C.take());
+      }
+      return Result<NodePtr>::success(std::move(N));
+    };
+    if (S.isList("re.++"))
+      return Nary(NodeKind::Concat);
+    if (S.isList("re.union"))
+      return Nary(NodeKind::Union);
+    auto Unary = [&](NodeKind K) -> Result<NodePtr> {
+      if (S.Items.size() != 2)
+        return Result<NodePtr>::failure("unary regex arity error");
+      Result<NodePtr> C = regexTerm(S.Items[1]);
+      if (!C)
+        return C;
+      NodePtr N = mk(K);
+      N->Children.push_back(C.take());
+      return Result<NodePtr>::success(std::move(N));
+    };
+    if (S.isList("re.*"))
+      return Unary(NodeKind::Star);
+    if (S.isList("re.+"))
+      return Unary(NodeKind::Plus);
+    if (S.isList("re.opt"))
+      return Unary(NodeKind::Optional);
+    if (S.isList("re.loop")) {
+      if (S.Items.size() != 4)
+        return Result<NodePtr>::failure("re.loop takes r n m");
+      Result<NodePtr> C = regexTerm(S.Items[1]);
+      if (!C)
+        return C;
+      NodePtr N = mk(NodeKind::Repeat);
+      N->Children.push_back(C.take());
+      N->Min = std::atoi(S.Items[2].Text.c_str());
+      N->Max = std::atoi(S.Items[3].Text.c_str());
+      return Result<NodePtr>::success(std::move(N));
+    }
+    return Result<NodePtr>::failure("unsupported regex term at line " +
+                                  std::to_string(S.Line));
+  }
+
+  Problem &P;
+};
+
+} // namespace
+
+Result<Problem> postr::smtlib::parseString(std::string_view Text) {
+  Lexer Lex(Text);
+  Result<std::vector<Sexp>> Cmds = Lex.parseAll();
+  if (!Cmds)
+    return Result<Problem>::failure(Cmds.error());
+  Problem P;
+  Translator T(P);
+  for (const Sexp &S : *Cmds) {
+    Result<Unit> R = T.command(S);
+    if (!R)
+      return Result<Problem>::failure(R.error());
+  }
+  return Result<Problem>::success(std::move(P));
+}
+
+Result<Problem> postr::smtlib::parseFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Result<Problem>::failure("cannot open '" + Path + "'");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return parseString(Text);
+}

@@ -1,0 +1,50 @@
+//===- smtlib/Reader.h - SMT-LIB 2.6 strings subset reader -------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads the QF_S/QF_SLIA subset the paper's benchmark formulae use
+/// (symbolic-execution output: conjunctions of literals):
+///
+///   (set-logic …) (set-info …) (set-option …)     — ignored
+///   (declare-fun x () String) / (declare-const x String|Int)
+///   (assert <literal>) (check-sat) (exit)
+///
+/// Literals: (not …) over the atoms; (and …) conjunctions;
+/// atoms: =, str.prefixof, str.suffixof, str.contains, str.in_re,
+/// <=, <, >=, >; string terms: variables, "literals", (str.++ …),
+/// (str.at t i); integer terms: variables, numerals, (str.len t),
+/// (+ … …), (- … …), (* k t); regexes: (str.to_re "w"), re.allchar,
+/// re.all, re.none, (re.range "a" "z"), (re.++ …), (re.union …),
+/// (re.* r), (re.+ r), (re.opt r), (re.loop r n m).
+///
+/// Disjunctions other than the negated-atom forms are rejected — the
+/// paper's procedure sits below the DPLL(T) layer and receives
+/// conjunctions of literals (Sec. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_SMTLIB_READER_H
+#define POSTR_SMTLIB_READER_H
+
+#include "base/Base.h"
+#include "strings/Ast.h"
+
+#include <string_view>
+
+namespace postr {
+namespace smtlib {
+
+/// Parses SMT-LIB text into a problem. Errors carry line/column info.
+Result<strings::Problem> parseString(std::string_view Text);
+
+/// Reads and parses a file.
+Result<strings::Problem> parseFile(const std::string &Path);
+
+} // namespace smtlib
+} // namespace postr
+
+#endif // POSTR_SMTLIB_READER_H

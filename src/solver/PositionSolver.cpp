@@ -1,0 +1,254 @@
+//===- solver/PositionSolver.cpp - The Z3-Noodler-pos pipeline -------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/PositionSolver.h"
+
+#include "strings/Eval.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace postr;
+using namespace postr::solver;
+using namespace postr::strings;
+using automata::Nfa;
+using tagaut::PosPredicate;
+using tagaut::PredKind;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class Pipeline {
+public:
+  Pipeline(const Problem &P, const SolveOptions &Opts)
+      : P(P), Opts(Opts), Start(Clock::now()) {}
+
+  SolveResult run();
+
+private:
+  uint64_t remainingMs() const {
+    if (Opts.TimeoutMs == 0)
+      return 0;
+    int64_t Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Clock::now() - Start)
+                          .count();
+    int64_t Left = static_cast<int64_t>(Opts.TimeoutMs) - Elapsed;
+    return Left > 1 ? static_cast<uint64_t>(Left) : 1;
+  }
+  bool timedOut() const {
+    return Opts.TimeoutMs != 0 && remainingMs() <= 1;
+  }
+
+  /// Applies a decomposition's substitution to an occurrence sequence.
+  static std::vector<VarId> substSeq(const eq::Decomposition &D,
+                                     const std::vector<VarId> &Occs) {
+    std::vector<VarId> Out;
+    for (VarId X : Occs) {
+      const std::vector<VarId> &Rep = D.Subst.at(X);
+      Out.insert(Out.end(), Rep.begin(), Rep.end());
+    }
+    return Out;
+  }
+
+  Verdict solveDisjunct(const eq::Decomposition &D, SolveResult &Result);
+
+  const Problem &P;
+  SolveOptions Opts;
+  Clock::time_point Start;
+  NormalForm NF;
+  SolveStats Stats;
+};
+
+Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
+                                SolveResult &Result) {
+  std::map<VarId, Nfa> Langs = D.Langs;
+  VarId NextLocal = NF.NextFresh + 1000000; // disjunct-local fresh ids
+  auto EnsureNonEmptySeq = [&](std::vector<VarId> &Seq) {
+    if (!Seq.empty())
+      return;
+    VarId E = NextLocal++;
+    Langs.emplace(E, Nfa::epsilonLanguage(NF.Sigma.size()));
+    Seq.push_back(E);
+  };
+
+  // The per-disjunct LIA arena exists up-front so that str.at position
+  // terms (which may mention integer variables) can be lowered while the
+  // predicates are substituted. Length handles are tied to the Parikh
+  // image later, inside the IntConstraintBuilder callback.
+  lia::Arena A;
+  std::vector<lia::Var> IntHandles;
+  for (IntVarId V = 0; V < NF.NumIntVars; ++V)
+    IntHandles.push_back(A.freshVar("int." + P.intVarName(V)));
+  std::map<VarId, lia::Var> LenHandles;
+  auto LenHandle = [&](VarId X) {
+    auto [It, Inserted] = LenHandles.try_emplace(X, 0);
+    if (Inserted)
+      It->second = A.freshVar("len.x" + std::to_string(X), 0);
+    return It->second;
+  };
+  auto ToLinTerm = [&](const IntTerm &T) {
+    lia::LinTerm Out(T.Const);
+    for (auto [V, C] : T.IntVars)
+      Out += lia::LinTerm::variable(IntHandles[V], C);
+    for (auto [X, C] : T.LenVars)
+      Out += lia::LinTerm::variable(LenHandle(X), C);
+    return Out;
+  };
+
+  // Substitute the decomposition into P; divert non-flat ¬contains into
+  // the |u| > |v| under-approximation (Sec. 8 heuristic).
+  std::vector<PosPredicate> Preds;
+  std::vector<std::pair<std::vector<VarId>, std::vector<VarId>>> ApproxLenGt;
+  for (const NormPred &NP : NF.Preds) {
+    PosPredicate Pred;
+    Pred.Kind = NP.Kind;
+    Pred.Lhs = substSeq(D, NP.Lhs);
+    Pred.Rhs = substSeq(D, NP.Rhs);
+    if (Pred.Kind == PredKind::StrAtEq || Pred.Kind == PredKind::StrAtNe) {
+      EnsureNonEmptySeq(Pred.Lhs);
+      Pred.AtPos = ToLinTerm(NP.AtPos);
+    }
+    if (Pred.Kind == PredKind::NotContains &&
+        !tagaut::notContainsVarsFlat(Langs, {Pred})) {
+      ApproxLenGt.push_back({Pred.Lhs, Pred.Rhs});
+      continue;
+    }
+    Preds.push_back(std::move(Pred));
+  }
+  bool Approximated = !ApproxLenGt.empty();
+  if (Approximated)
+    Stats.UsedApproximation = true;
+  bool HasIntSide = !NF.IntAtoms.empty() || Approximated;
+
+  // PTime fast path (Thm. 7.1): a single eligible predicate, no I part.
+  if (Opts.UseOcaFastPath && !HasIntSide && counter::isEligible(Preds)) {
+    Verdict V = counter::decideSinglePredicate(Langs, Preds.front(),
+                                               NF.Sigma.size());
+    if (V == Verdict::Unsat) {
+      ++Stats.FastPathDecisions;
+      return Verdict::Unsat;
+    }
+    if (V == Verdict::Sat && !Opts.BuildModel) {
+      ++Stats.FastPathDecisions;
+      return Verdict::Sat;
+    }
+    // Sat with a model requested, or Unknown: the LIA path below also
+    // produces the witness.
+  }
+
+  ++Stats.MpCalls;
+  for (const PosPredicate &Pred : Preds)
+    if (Pred.Kind == PredKind::NotContains)
+      Stats.UsedMbqi = true;
+
+  tagaut::IntConstraintBuilder IntBuilder =
+      [&](lia::Arena &Ar,
+          const std::map<VarId, lia::LinTerm> &LenTerms) -> lia::FormulaId {
+    std::vector<lia::FormulaId> Parts;
+    // Convert the atoms first: ToLinTerm lazily mints length handles, and
+    // every handle minted anywhere must be tied to the Parikh image below.
+    for (const NormIntAtom &Atom : NF.IntAtoms)
+      Parts.push_back(
+          Ar.cmp(ToLinTerm(Atom.Lhs), Atom.Op, ToLinTerm(Atom.Rhs)));
+    for (const auto &[U, V] : ApproxLenGt) {
+      lia::LinTerm SumU, SumV;
+      for (VarId T : U)
+        SumU += LenTerms.at(T);
+      for (VarId T : V)
+        SumV += LenTerms.at(T);
+      Parts.push_back(Ar.cmp(SumU, lia::Cmp::Gt, SumV));
+    }
+    // Tie every length handle to the Parikh length of its substitution.
+    for (const auto &[X, Handle] : LenHandles) {
+      lia::LinTerm Sum;
+      for (VarId T : D.Subst.at(X))
+        Sum += LenTerms.at(T);
+      Parts.push_back(
+          Ar.cmp(lia::LinTerm::variable(Handle), lia::Cmp::Eq, Sum));
+    }
+    return Ar.conj(std::move(Parts));
+  };
+
+  tagaut::MpOptions MpOpts = Opts.Mp;
+  if (Opts.TimeoutMs)
+    MpOpts.TimeoutMs = MpOpts.TimeoutMs
+                           ? std::min(MpOpts.TimeoutMs, remainingMs())
+                           : remainingMs();
+  tagaut::MpResult R =
+      tagaut::solveMP(A, Langs, Preds, NF.Sigma.size(), IntBuilder, MpOpts);
+
+  if (R.V == Verdict::Sat) {
+    // Project onto the original variables through the substitution map.
+    Result.Words.clear();
+    for (VarId X = 0; X < NF.NumOriginalVars; ++X) {
+      Word W;
+      for (VarId T : D.Subst.at(X)) {
+        const Word &Part = R.Assignment.at(T);
+        W.insert(W.end(), Part.begin(), Part.end());
+      }
+      Result.Words[X] = std::move(W);
+    }
+    Result.Ints.clear();
+    for (IntVarId V = 0; V < NF.NumIntVars; ++V)
+      Result.Ints[V] = R.Model[IntHandles[V]];
+#ifndef NDEBUG
+    if (Opts.ValidateModels) {
+      ConcreteEvaluator Eval(P, NF.Sigma);
+      assert(Eval.evalAll(Result.Words, Result.Ints) &&
+             "pipeline produced a spurious model");
+    }
+#endif
+    return Verdict::Sat;
+  }
+  if (R.V == Verdict::Unsat && Approximated)
+    return Verdict::Unknown; // an under-approximation cannot prove Unsat
+  return R.V;
+}
+
+SolveResult Pipeline::run() {
+  SolveResult Result;
+
+  NF = normalize(P);
+
+  eq::StabilizeOptions StabOpts = Opts.Stabilize;
+  if (Opts.TimeoutMs)
+    StabOpts.TimeoutMs = StabOpts.TimeoutMs
+                             ? std::min(StabOpts.TimeoutMs, remainingMs())
+                             : remainingMs();
+  eq::StabilizeResult Stab =
+      eq::stabilize(NF.Langs, NF.Equations, NF.NextFresh, StabOpts);
+  Stats.Disjuncts = static_cast<uint32_t>(Stab.Disjuncts.size());
+  Stats.StabilizationIncomplete = !Stab.Complete;
+
+  bool AnyUnknown = !Stab.Complete;
+  for (const eq::Decomposition &D : Stab.Disjuncts) {
+    if (timedOut()) {
+      AnyUnknown = true;
+      break;
+    }
+    Verdict V = solveDisjunct(D, Result);
+    if (V == Verdict::Sat) {
+      Result.V = Verdict::Sat;
+      Result.Stats = Stats;
+      return Result;
+    }
+    if (V == Verdict::Unknown)
+      AnyUnknown = true;
+  }
+  Result.V = AnyUnknown ? Verdict::Unknown : Verdict::Unsat;
+  Result.Stats = Stats;
+  return Result;
+}
+
+} // namespace
+
+SolveResult postr::solver::solveProblem(const Problem &P,
+                                        const SolveOptions &Opts) {
+  Pipeline Pipe(P, Opts);
+  return Pipe.run();
+}

@@ -1,0 +1,70 @@
+//===- solver/PositionSolver.h - The Z3-Noodler-pos pipeline -----*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full solving pipeline the paper evaluates as Z3-Noodler-pos
+/// (Sec. 8): normalize to E ∧ R ∧ I ∧ P, run the stabilization-based
+/// procedure on E ∧ R to obtain monadic decompositions, and for each
+/// decomposition decide the substituted position constraints with the
+/// tag-automaton/LIA procedure — with the PTime one-counter fast path
+/// for a lone ≠/¬prefixof/¬suffixof (Thm. 7.1) and the Sec. 8 heuristics
+/// in front of non-flat ¬contains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_SOLVER_POSITIONSOLVER_H
+#define POSTR_SOLVER_POSITIONSOLVER_H
+
+#include "counter/OneCounter.h"
+#include "eq/Stabilize.h"
+#include "strings/Normalize.h"
+#include "tagaut/MpSolver.h"
+
+#include <map>
+
+namespace postr {
+namespace solver {
+
+struct SolveOptions {
+  /// Overall deadline in milliseconds (0 = none).
+  uint64_t TimeoutMs = 0;
+  eq::StabilizeOptions Stabilize;
+  tagaut::MpOptions Mp;
+  /// Use the PTime one-counter path when eligible (Thm. 7.1).
+  bool UseOcaFastPath = true;
+  /// Construct witness assignments on Sat (forces the LIA path even when
+  /// the one-counter path answered, since the latter yields no model).
+  bool BuildModel = true;
+  /// Validate Sat models against the concrete semantics (debug aid).
+  bool ValidateModels = true;
+};
+
+struct SolveStats {
+  uint32_t Disjuncts = 0;
+  uint32_t FastPathDecisions = 0;
+  uint32_t MpCalls = 0;
+  bool UsedMbqi = false;
+  bool UsedApproximation = false;
+  bool StabilizationIncomplete = false;
+};
+
+struct SolveResult {
+  Verdict V = Verdict::Unknown;
+  /// On Sat (with BuildModel): words of the *original* problem variables.
+  std::map<VarId, Word> Words;
+  std::map<strings::IntVarId, int64_t> Ints;
+  SolveStats Stats;
+};
+
+/// Decides a conjunction of string assertions.
+SolveResult solveProblem(const strings::Problem &P,
+                         const SolveOptions &Opts = {});
+
+} // namespace solver
+} // namespace postr
+
+#endif // POSTR_SOLVER_POSITIONSOLVER_H

@@ -1,0 +1,94 @@
+//===- solver/Semantics.cpp - Direct predicate semantics -------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Semantics.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::solver;
+using tagaut::PosPredicate;
+using tagaut::PredKind;
+
+Word postr::solver::concatOccs(const std::vector<VarId> &Occs,
+                               const std::map<VarId, Word> &Assignment) {
+  Word Out;
+  for (VarId X : Occs) {
+    auto It = Assignment.find(X);
+    assert(It != Assignment.end() && "assignment misses a variable");
+    Out.insert(Out.end(), It->second.begin(), It->second.end());
+  }
+  return Out;
+}
+
+bool postr::solver::isPrefix(const Word &Prefix, const Word &W) {
+  if (Prefix.size() > W.size())
+    return false;
+  return std::equal(Prefix.begin(), Prefix.end(), W.begin());
+}
+
+bool postr::solver::isSuffix(const Word &Suffix, const Word &W) {
+  if (Suffix.size() > W.size())
+    return false;
+  return std::equal(Suffix.rbegin(), Suffix.rend(), W.rbegin());
+}
+
+bool postr::solver::containsFactor(const Word &Needle, const Word &W) {
+  if (Needle.empty())
+    return true;
+  if (Needle.size() > W.size())
+    return false;
+  return std::search(W.begin(), W.end(), Needle.begin(), Needle.end()) !=
+         W.end();
+}
+
+bool postr::solver::evalPredicate(const PosPredicate &Pred,
+                                  const std::map<VarId, Word> &Assignment,
+                                  int64_t AtPosValue) {
+  Word L = concatOccs(Pred.Lhs, Assignment);
+  Word R = concatOccs(Pred.Rhs, Assignment);
+  switch (Pred.Kind) {
+  case PredKind::Diseq:
+    return L != R;
+  case PredKind::NotPrefix:
+    return !isPrefix(L, R);
+  case PredKind::NotSuffix:
+    return !isSuffix(L, R);
+  case PredKind::NotContains:
+    return !containsFactor(L, R);
+  case PredKind::StrAtEq:
+  case PredKind::StrAtNe: {
+    // Fig. 1: str.at(t, i) is w[i] for 0 <= i < |w| and ε otherwise.
+    Word At;
+    if (AtPosValue >= 0 && AtPosValue < static_cast<int64_t>(R.size()))
+      At.push_back(R[static_cast<size_t>(AtPosValue)]);
+    bool Equal = L == At;
+    return Pred.Kind == PredKind::StrAtEq ? Equal : !Equal;
+  }
+  }
+  assert(false && "bad predicate kind");
+  return false;
+}
+
+bool postr::solver::evalSystem(const std::vector<PosPredicate> &Preds,
+                               const std::map<VarId, Word> &Assignment,
+                               const std::vector<int64_t> *AtPosValues) {
+  for (size_t I = 0; I < Preds.size(); ++I) {
+    int64_t AtPos = 0;
+    if (AtPosValues) {
+      AtPos = (*AtPosValues)[I];
+    } else if (Preds[I].Kind == PredKind::StrAtEq ||
+               Preds[I].Kind == PredKind::StrAtNe) {
+      assert(Preds[I].AtPos.isConstant() &&
+             "non-constant AtPos needs explicit values");
+      AtPos = Preds[I].AtPos.constant();
+    }
+    if (!evalPredicate(Preds[I], Assignment, AtPos))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,52 @@
+//===- solver/Semantics.h - Direct predicate semantics -----------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete-word semantics of the position predicates (Fig. 1), used by
+/// the brute-force reference solver and for validating every Sat answer
+/// the decision procedures produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_SOLVER_SEMANTICS_H
+#define POSTR_SOLVER_SEMANTICS_H
+
+#include "base/Base.h"
+#include "tagaut/Encoder.h"
+
+#include <map>
+
+namespace postr {
+namespace solver {
+
+/// Concatenates the assignment's words along an occurrence sequence.
+Word concatOccs(const std::vector<VarId> &Occs,
+                const std::map<VarId, Word> &Assignment);
+
+/// Is \p Prefix a prefix of \p W?
+bool isPrefix(const Word &Prefix, const Word &W);
+/// Is \p Suffix a suffix of \p W?
+bool isSuffix(const Word &Suffix, const Word &W);
+/// Does \p W contain \p Needle as a factor (ε is contained everywhere)?
+bool containsFactor(const Word &Needle, const Word &W);
+
+/// Evaluates one predicate under a concrete assignment. For StrAt*,
+/// \p AtPosValue is the concrete value of the position term.
+bool evalPredicate(const tagaut::PosPredicate &Pred,
+                   const std::map<VarId, Word> &Assignment,
+                   int64_t AtPosValue = 0);
+
+/// Evaluates a whole system (all predicates; AtPos terms must be constant
+/// or \p AtPosValues supplied per predicate index).
+bool evalSystem(const std::vector<tagaut::PosPredicate> &Preds,
+                const std::map<VarId, Word> &Assignment,
+                const std::vector<int64_t> *AtPosValues = nullptr);
+
+} // namespace solver
+} // namespace postr
+
+#endif // POSTR_SOLVER_SEMANTICS_H

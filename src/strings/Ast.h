@@ -1,0 +1,218 @@
+//===- strings/Ast.h - String-constraint problems ----------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing constraint language: the string formula grammar of
+/// Sec. 2 restricted to conjunctions of (possibly negated) atoms, which
+/// is what a DPLL(T) core hands a theory solver. A `Problem` collects
+/// declarations and assertions; `strings/Normalize.h` brings it to the
+/// paper's normal form E ∧ R ∧ I ∧ P.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_STRINGS_AST_H
+#define POSTR_STRINGS_AST_H
+
+#include "base/Base.h"
+#include "lia/Lia.h"
+#include "regex/Regex.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace postr {
+namespace strings {
+
+/// Problem-level integer variable index.
+using IntVarId = uint32_t;
+
+/// One element of a string term: a variable or a literal.
+struct StrElem {
+  bool IsVar = true;
+  VarId Var = InvalidVar;
+  std::string Lit;
+
+  static StrElem var(VarId X) {
+    StrElem E;
+    E.IsVar = true;
+    E.Var = X;
+    return E;
+  }
+  static StrElem lit(std::string S) {
+    StrElem E;
+    E.IsVar = false;
+    E.Lit = std::move(S);
+    return E;
+  }
+};
+
+/// A string term t_s: a concatenation of elements.
+using StrSeq = std::vector<StrElem>;
+
+/// An integer term t_i: c + Σ a·x_int + Σ b·len(x_str).
+struct IntTerm {
+  int64_t Const = 0;
+  std::vector<std::pair<IntVarId, int64_t>> IntVars;
+  std::vector<std::pair<VarId, int64_t>> LenVars;
+
+  static IntTerm constant(int64_t K) {
+    IntTerm T;
+    T.Const = K;
+    return T;
+  }
+  static IntTerm intVar(IntVarId V, int64_t Coeff = 1) {
+    IntTerm T;
+    T.IntVars.push_back({V, Coeff});
+    return T;
+  }
+  static IntTerm lenOf(VarId X, int64_t Coeff = 1) {
+    IntTerm T;
+    T.LenVars.push_back({X, Coeff});
+    return T;
+  }
+  IntTerm operator+(const IntTerm &O) const {
+    IntTerm T = *this;
+    T.Const += O.Const;
+    T.IntVars.insert(T.IntVars.end(), O.IntVars.begin(), O.IntVars.end());
+    T.LenVars.insert(T.LenVars.end(), O.LenVars.begin(), O.LenVars.end());
+    return T;
+  }
+  IntTerm operator-(const IntTerm &O) const { return *this + (O * -1); }
+  IntTerm operator*(int64_t K) const {
+    IntTerm T = *this;
+    T.Const *= K;
+    for (auto &[V, C] : T.IntVars)
+      C *= K;
+    for (auto &[V, C] : T.LenVars)
+      C *= K;
+    return T;
+  }
+  bool isConstant() const { return IntVars.empty() && LenVars.empty(); }
+};
+
+/// Assertion kinds; the negated predicates are the paper's position
+/// constraints, the positive ones rewrite to word equations (Sec. 2).
+enum class AssertKind {
+  InRe,        ///< Lhs (single var) ∈ Re
+  WordEq,      ///< Lhs = Rhs
+  Diseq,       ///< Lhs ≠ Rhs
+  Prefixof,    ///< prefixof(Lhs, Rhs)
+  NotPrefixof, ///< ¬prefixof(Lhs, Rhs)
+  Suffixof,    ///< suffixof(Lhs, Rhs)
+  NotSuffixof, ///< ¬suffixof(Lhs, Rhs)
+  Contains,    ///< contains(Rhs, Lhs)… stored as contains-of(Lhs in Rhs)
+  NotContains, ///< ¬contains: Lhs does not occur in Rhs
+  StrAtEq,     ///< Lhs (single elem) = str.at(Rhs, Pos)
+  StrAtNe,     ///< Lhs (single elem) ≠ str.at(Rhs, Pos)
+  IntAtom,     ///< PosOrLhs Cmp IntRhs
+  LenEq,       ///< intvar-style: PosOrLhs = len(Rhs) sugar over IntAtom
+};
+
+/// One asserted literal.
+struct Assertion {
+  AssertKind Kind;
+  StrSeq Lhs, Rhs;
+  std::shared_ptr<regex::Node> Re; ///< for InRe
+  IntTerm Pos;                     ///< str.at position / int-atom lhs
+  IntTerm IntRhs;                  ///< int-atom rhs
+  lia::Cmp Op = lia::Cmp::Eq;      ///< int-atom comparison
+};
+
+/// A conjunction of assertions over named variables.
+class Problem {
+public:
+  /// Declares (or retrieves) a string variable.
+  VarId strVar(const std::string &Name) {
+    auto [It, Inserted] = StrIndex.try_emplace(Name, 0);
+    if (Inserted) {
+      It->second = static_cast<VarId>(StrNames.size());
+      StrNames.push_back(Name);
+    }
+    return It->second;
+  }
+  /// Declares (or retrieves) an integer variable.
+  IntVarId intVar(const std::string &Name) {
+    auto [It, Inserted] = IntIndex.try_emplace(Name, 0);
+    if (Inserted) {
+      It->second = static_cast<IntVarId>(IntNames.size());
+      IntNames.push_back(Name);
+    }
+    return It->second;
+  }
+
+  uint32_t numStrVars() const {
+    return static_cast<uint32_t>(StrNames.size());
+  }
+  uint32_t numIntVars() const {
+    return static_cast<uint32_t>(IntNames.size());
+  }
+  const std::string &strVarName(VarId X) const { return StrNames[X]; }
+  const std::string &intVarName(IntVarId X) const { return IntNames[X]; }
+  bool hasStrVar(const std::string &Name) const {
+    return StrIndex.count(Name) != 0;
+  }
+  bool hasIntVar(const std::string &Name) const {
+    return IntIndex.count(Name) != 0;
+  }
+
+  void add(Assertion A) { Assertions.push_back(std::move(A)); }
+  const std::vector<Assertion> &assertions() const { return Assertions; }
+
+  //===--------------------------------------------------------------------===
+  // Convenience assertion builders.
+  //===--------------------------------------------------------------------===
+
+  /// Asserts `x ∈ L(Regex)`. Asserts on parse errors; use
+  /// `assertInReChecked` for fallible input.
+  void assertInRe(VarId X, const std::string &Regex) {
+    Result<regex::NodePtr> R = regex::parse(Regex);
+    assert(R && "assertInRe: regex failed to parse");
+    Assertion A;
+    A.Kind = AssertKind::InRe;
+    A.Lhs = {StrElem::var(X)};
+    A.Re = std::shared_ptr<regex::Node>(R.take().release());
+    add(std::move(A));
+  }
+  void assertWordEq(StrSeq L, StrSeq R) {
+    add({AssertKind::WordEq, std::move(L), std::move(R), nullptr, {}, {},
+         lia::Cmp::Eq});
+  }
+  void assertDiseq(StrSeq L, StrSeq R) {
+    add({AssertKind::Diseq, std::move(L), std::move(R), nullptr, {}, {},
+         lia::Cmp::Eq});
+  }
+  void assertPred(AssertKind K, StrSeq L, StrSeq R) {
+    add({K, std::move(L), std::move(R), nullptr, {}, {}, lia::Cmp::Eq});
+  }
+  void assertStrAt(bool Positive, StrElem X, StrSeq Hay, IntTerm Pos) {
+    add({Positive ? AssertKind::StrAtEq : AssertKind::StrAtNe,
+         {std::move(X)},
+         std::move(Hay),
+         nullptr,
+         std::move(Pos),
+         {},
+         lia::Cmp::Eq});
+  }
+  void assertIntAtom(IntTerm L, lia::Cmp Op, IntTerm R) {
+    add({AssertKind::IntAtom, {}, {}, nullptr, std::move(L), std::move(R),
+         Op});
+  }
+
+private:
+  std::map<std::string, VarId> StrIndex;
+  std::vector<std::string> StrNames;
+  std::map<std::string, IntVarId> IntIndex;
+  std::vector<std::string> IntNames;
+  std::vector<Assertion> Assertions;
+};
+
+} // namespace strings
+} // namespace postr
+
+#endif // POSTR_STRINGS_AST_H

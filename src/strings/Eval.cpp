@@ -1,0 +1,137 @@
+//===- strings/Eval.cpp - Concrete evaluation of assertions ----------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "strings/Eval.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::strings;
+
+ConcreteEvaluator::ConcreteEvaluator(const Problem &P, const Alphabet &Sigma)
+    : P(P), Sigma(Sigma) {
+  for (size_t I = 0; I < P.assertions().size(); ++I)
+    if (P.assertions()[I].Kind == AssertKind::InRe)
+      CompiledRe.emplace(I,
+                         regex::compile(*P.assertions()[I].Re, Sigma));
+}
+
+Word ConcreteEvaluator::evalSeq(const StrSeq &Seq,
+                                const std::map<VarId, Word> &Strs) const {
+  Word Out;
+  for (const StrElem &E : Seq) {
+    if (E.IsVar) {
+      auto It = Strs.find(E.Var);
+      assert(It != Strs.end() && "assignment misses a variable");
+      Out.insert(Out.end(), It->second.begin(), It->second.end());
+      continue;
+    }
+    for (char C : E.Lit) {
+      std::optional<Symbol> S = Sigma.lookup(C);
+      assert(S && "literal character missing from the alphabet");
+      Out.push_back(*S);
+    }
+  }
+  return Out;
+}
+
+int64_t ConcreteEvaluator::evalInt(
+    const IntTerm &T, const std::map<VarId, Word> &Strs,
+    const std::map<IntVarId, int64_t> &Ints) const {
+  int64_t V = T.Const;
+  for (auto [X, C] : T.IntVars) {
+    auto It = Ints.find(X);
+    assert(It != Ints.end() && "assignment misses an integer variable");
+    V += C * It->second;
+  }
+  for (auto [X, C] : T.LenVars) {
+    auto It = Strs.find(X);
+    assert(It != Strs.end() && "assignment misses a length variable");
+    V += C * static_cast<int64_t>(It->second.size());
+  }
+  return V;
+}
+
+bool ConcreteEvaluator::evalOne(size_t Index,
+                                const std::map<VarId, Word> &Strs,
+                                const std::map<IntVarId, int64_t> &Ints)
+    const {
+  const Assertion &A = P.assertions()[Index];
+  auto CmpHolds = [](int64_t L, lia::Cmp Op, int64_t R) {
+    switch (Op) {
+    case lia::Cmp::Le:
+      return L <= R;
+    case lia::Cmp::Lt:
+      return L < R;
+    case lia::Cmp::Ge:
+      return L >= R;
+    case lia::Cmp::Gt:
+      return L > R;
+    case lia::Cmp::Eq:
+      return L == R;
+    case lia::Cmp::Ne:
+      return L != R;
+    }
+    assert(false && "bad cmp");
+    return false;
+  };
+
+  switch (A.Kind) {
+  case AssertKind::InRe:
+    return CompiledRe.at(Index).accepts(evalSeq(A.Lhs, Strs));
+  case AssertKind::WordEq:
+    return evalSeq(A.Lhs, Strs) == evalSeq(A.Rhs, Strs);
+  case AssertKind::Diseq:
+    return evalSeq(A.Lhs, Strs) != evalSeq(A.Rhs, Strs);
+  case AssertKind::Prefixof:
+  case AssertKind::NotPrefixof: {
+    Word U = evalSeq(A.Lhs, Strs), V = evalSeq(A.Rhs, Strs);
+    bool Is = U.size() <= V.size() &&
+              std::equal(U.begin(), U.end(), V.begin());
+    return A.Kind == AssertKind::Prefixof ? Is : !Is;
+  }
+  case AssertKind::Suffixof:
+  case AssertKind::NotSuffixof: {
+    Word U = evalSeq(A.Lhs, Strs), V = evalSeq(A.Rhs, Strs);
+    bool Is = U.size() <= V.size() &&
+              std::equal(U.rbegin(), U.rend(), V.rbegin());
+    return A.Kind == AssertKind::Suffixof ? Is : !Is;
+  }
+  case AssertKind::Contains:
+  case AssertKind::NotContains: {
+    Word U = evalSeq(A.Lhs, Strs), V = evalSeq(A.Rhs, Strs);
+    bool Is = U.empty() || std::search(V.begin(), V.end(), U.begin(),
+                                       U.end()) != V.end();
+    return A.Kind == AssertKind::Contains ? Is : !Is;
+  }
+  case AssertKind::StrAtEq:
+  case AssertKind::StrAtNe: {
+    Word X = evalSeq(A.Lhs, Strs), V = evalSeq(A.Rhs, Strs);
+    int64_t Pos = evalInt(A.Pos, Strs, Ints);
+    Word At;
+    if (Pos >= 0 && Pos < static_cast<int64_t>(V.size()))
+      At.push_back(V[static_cast<size_t>(Pos)]);
+    bool Equal = X == At;
+    return A.Kind == AssertKind::StrAtEq ? Equal : !Equal;
+  }
+  case AssertKind::IntAtom:
+  case AssertKind::LenEq:
+    return CmpHolds(evalInt(A.Pos, Strs, Ints), A.Op,
+                    evalInt(A.IntRhs, Strs, Ints));
+  }
+  assert(false && "bad assertion kind");
+  return false;
+}
+
+bool ConcreteEvaluator::evalAll(const std::map<VarId, Word> &Strs,
+                                const std::map<IntVarId, int64_t> &Ints)
+    const {
+  for (size_t I = 0; I < P.assertions().size(); ++I)
+    if (!evalOne(I, Strs, Ints))
+      return false;
+  return true;
+}

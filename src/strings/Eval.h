@@ -1,0 +1,54 @@
+//===- strings/Eval.h - Concrete evaluation of assertions --------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates a `Problem`'s assertions under a concrete assignment, per
+/// the semantics of Fig. 1. Used by the enumeration baseline solver and
+/// to validate every Sat model the full pipeline produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_STRINGS_EVAL_H
+#define POSTR_STRINGS_EVAL_H
+
+#include "strings/Ast.h"
+
+#include <map>
+
+namespace postr {
+namespace strings {
+
+/// Pre-compiles the regexes of a problem against a closed alphabet and
+/// evaluates assertions under concrete assignments.
+class ConcreteEvaluator {
+public:
+  ConcreteEvaluator(const Problem &P, const Alphabet &Sigma);
+
+  /// Evaluates every assertion. \p Strs must cover all string variables,
+  /// \p Ints all integer variables the assertions mention.
+  bool evalAll(const std::map<VarId, Word> &Strs,
+               const std::map<IntVarId, int64_t> &Ints) const;
+
+  /// Evaluates assertion \p Index only.
+  bool evalOne(size_t Index, const std::map<VarId, Word> &Strs,
+               const std::map<IntVarId, int64_t> &Ints) const;
+
+private:
+  Word evalSeq(const StrSeq &Seq, const std::map<VarId, Word> &Strs) const;
+  int64_t evalInt(const IntTerm &T, const std::map<VarId, Word> &Strs,
+                  const std::map<IntVarId, int64_t> &Ints) const;
+
+  const Problem &P;
+  const Alphabet &Sigma;
+  /// Compiled NFA per InRe assertion index.
+  std::map<size_t, automata::Nfa> CompiledRe;
+};
+
+} // namespace strings
+} // namespace postr
+
+#endif // POSTR_STRINGS_EVAL_H

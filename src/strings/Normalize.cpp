@@ -1,0 +1,177 @@
+//===- strings/Normalize.cpp - To the normal form E ∧ R ∧ I ∧ P -----------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "strings/Normalize.h"
+
+using namespace postr;
+using namespace postr::strings;
+using automata::Nfa;
+using tagaut::PredKind;
+
+namespace {
+
+/// Collects alphabet symbols from every literal and regex in the problem.
+void collectProblemAlphabet(const Problem &P, Alphabet &Sigma) {
+  for (const Assertion &A : P.assertions()) {
+    for (const StrSeq *Seq : {&A.Lhs, &A.Rhs})
+      for (const StrElem &E : *Seq)
+        if (!E.IsVar)
+          for (char C : E.Lit)
+            Sigma.intern(C);
+    if (A.Re)
+      regex::collectAlphabet(*A.Re, Sigma);
+  }
+}
+
+class Normalizer {
+public:
+  explicit Normalizer(const Problem &P) : P(P) {}
+
+  NormalForm run() {
+    Out.NumOriginalVars = P.numStrVars();
+    Out.NumIntVars = P.numIntVars();
+    Out.NextFresh = P.numStrVars();
+    // The alphabet is fully known before any NFA is built: all literals
+    // and regexes first, then one sentinel symbol outside all of them.
+    collectProblemAlphabet(P, Out.Sigma);
+    Out.Sigma.freshSymbol();
+
+    for (const Assertion &A : P.assertions())
+      normalizeAssertion(A);
+
+    // R: merge memberships; variables without any get the universal
+    // language. Literal variables already carry their singleton NFA.
+    uint32_t SigmaSize = Out.Sigma.size();
+    for (VarId X = 0; X < Out.NextFresh; ++X) {
+      if (Out.Langs.count(X))
+        continue; // literal variable
+      auto It = Memberships.find(X);
+      if (It == Memberships.end()) {
+        Out.Langs[X] = Nfa::universal(SigmaSize);
+        continue;
+      }
+      Nfa Merged = std::move(It->second.front());
+      for (size_t I = 1; I < It->second.size(); ++I)
+        Merged = automata::intersect(Merged, It->second[I]).trim();
+      Out.Langs[X] = std::move(Merged);
+    }
+    return std::move(Out);
+  }
+
+private:
+  /// Literal -> fresh singleton-language variable (deduplicated;
+  /// footnote 3 of the paper).
+  VarId literalVar(const std::string &Lit) {
+    auto [It, Inserted] = LiteralVars.try_emplace(Lit, 0);
+    if (!Inserted)
+      return It->second;
+    VarId X = Out.NextFresh++;
+    It->second = X;
+    Out.Langs[X] = Nfa::fromWord(Out.Sigma.size(), Out.Sigma.internWord(Lit));
+    return X;
+  }
+
+  VarId freshUniversal() { return Out.NextFresh++; }
+
+  /// Lowers a term to a variable-occurrence sequence.
+  std::vector<VarId> seqVars(const StrSeq &Seq) {
+    std::vector<VarId> Occs;
+    for (const StrElem &E : Seq) {
+      if (E.IsVar) {
+        assert(E.Var < P.numStrVars() && "undeclared variable in term");
+        Occs.push_back(E.Var);
+      } else if (!E.Lit.empty()) {
+        Occs.push_back(literalVar(E.Lit));
+      }
+      // Empty literals vanish in concatenation.
+    }
+    return Occs;
+  }
+
+  void addMembership(VarId X, Nfa A) {
+    Memberships[X].push_back(std::move(A));
+  }
+
+  void normalizeAssertion(const Assertion &A) {
+    switch (A.Kind) {
+    case AssertKind::InRe: {
+      assert(A.Lhs.size() == 1 && A.Lhs[0].IsVar && "InRe needs a variable");
+      addMembership(A.Lhs[0].Var, regex::compile(*A.Re, Out.Sigma));
+      return;
+    }
+    case AssertKind::WordEq:
+      Out.Equations.push_back({seqVars(A.Lhs), seqVars(A.Rhs)});
+      return;
+    case AssertKind::Prefixof: {
+      // prefixof(u, v) ⇒ v = u·z_p (Sec. 2 step (i)).
+      std::vector<VarId> U = seqVars(A.Lhs), V = seqVars(A.Rhs);
+      U.push_back(freshUniversal());
+      Out.Equations.push_back({V, U});
+      return;
+    }
+    case AssertKind::Suffixof: {
+      // suffixof(u, v) ⇒ v = z_s·u.
+      std::vector<VarId> U = seqVars(A.Lhs), V = seqVars(A.Rhs);
+      U.insert(U.begin(), freshUniversal());
+      Out.Equations.push_back({V, U});
+      return;
+    }
+    case AssertKind::Contains: {
+      // contains(u, v) ⇒ v = z_c·u·z_c′.
+      std::vector<VarId> U = seqVars(A.Lhs), V = seqVars(A.Rhs);
+      U.insert(U.begin(), freshUniversal());
+      U.push_back(freshUniversal());
+      Out.Equations.push_back({V, U});
+      return;
+    }
+    case AssertKind::Diseq:
+      Out.Preds.push_back(
+          {PredKind::Diseq, seqVars(A.Lhs), seqVars(A.Rhs), {}});
+      return;
+    case AssertKind::NotPrefixof:
+      Out.Preds.push_back(
+          {PredKind::NotPrefix, seqVars(A.Lhs), seqVars(A.Rhs), {}});
+      return;
+    case AssertKind::NotSuffixof:
+      Out.Preds.push_back(
+          {PredKind::NotSuffix, seqVars(A.Lhs), seqVars(A.Rhs), {}});
+      return;
+    case AssertKind::NotContains:
+      Out.Preds.push_back(
+          {PredKind::NotContains, seqVars(A.Lhs), seqVars(A.Rhs), {}});
+      return;
+    case AssertKind::StrAtEq:
+    case AssertKind::StrAtNe: {
+      assert(A.Lhs.size() == 1 && "str.at left side must be one element");
+      std::vector<VarId> Xs = seqVars(A.Lhs);
+      if (Xs.empty()) // literal "" on the left
+        Xs.push_back(literalVar(""));
+      Out.Preds.push_back({A.Kind == AssertKind::StrAtEq
+                               ? PredKind::StrAtEq
+                               : PredKind::StrAtNe,
+                           Xs, seqVars(A.Rhs), A.Pos});
+      return;
+    }
+    case AssertKind::IntAtom:
+    case AssertKind::LenEq:
+      Out.IntAtoms.push_back({A.Pos, A.Op, A.IntRhs});
+      return;
+    }
+    assert(false && "bad assertion kind");
+  }
+
+  const Problem &P;
+  NormalForm Out;
+  std::map<std::string, VarId> LiteralVars;
+  std::map<VarId, std::vector<Nfa>> Memberships;
+};
+
+} // namespace
+
+NormalForm postr::strings::normalize(const Problem &P) {
+  return Normalizer(P).run();
+}

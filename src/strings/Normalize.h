@@ -1,0 +1,77 @@
+//===- strings/Normalize.h - To the normal form E ∧ R ∧ I ∧ P ----*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Brings a `Problem` to the paper's normal form (Sec. 2):
+///  (i)  positive prefixof/suffixof/contains become word equations with
+///       fresh variables (v = u·z_p, v = z_s·u, v = z_c·u·z_c′);
+///  (ii) string literals become fresh variables with singleton languages
+///       (footnote 3);
+///  (iii) per-variable regular memberships are merged by product
+///       intersection into a single NFA per variable (unconstrained
+///       variables get the universal language);
+///  (iv) the effective alphabet is closed with one fresh sentinel symbol
+///       so that "any other character" witnesses exist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_STRINGS_NORMALIZE_H
+#define POSTR_STRINGS_NORMALIZE_H
+
+#include "automata/Nfa.h"
+#include "eq/Stabilize.h"
+#include "strings/Ast.h"
+#include "tagaut/Encoder.h"
+
+#include <map>
+#include <vector>
+
+namespace postr {
+namespace strings {
+
+/// One position predicate in problem-level form (AtPos still an IntTerm;
+/// it becomes a `lia::LinTerm` once a per-disjunct arena exists).
+struct NormPred {
+  tagaut::PredKind Kind;
+  std::vector<VarId> Lhs, Rhs;
+  IntTerm AtPos;
+};
+
+/// One integer atom of the I part.
+struct NormIntAtom {
+  IntTerm Lhs;
+  lia::Cmp Op;
+  IntTerm Rhs;
+};
+
+/// The normal form E ∧ R ∧ I ∧ P plus the bookkeeping to interpret
+/// models.
+struct NormalForm {
+  Alphabet Sigma;
+  /// R: one NFA per solver variable (originals + literal + fresh vars).
+  std::map<VarId, automata::Nfa> Langs;
+  /// E.
+  std::vector<eq::WordEquation> Equations;
+  /// I.
+  std::vector<NormIntAtom> IntAtoms;
+  /// P.
+  std::vector<NormPred> Preds;
+  /// First VarId free for the stabilization pass.
+  VarId NextFresh = 0;
+  /// Number of problem-level integer variables.
+  uint32_t NumIntVars = 0;
+  /// Variables of the original problem (for model projection).
+  uint32_t NumOriginalVars = 0;
+};
+
+/// Normalizes \p P. Pure; does not modify the problem.
+NormalForm normalize(const Problem &P);
+
+} // namespace strings
+} // namespace postr
+
+#endif // POSTR_STRINGS_NORMALIZE_H

@@ -1,0 +1,230 @@
+//===- tagaut/MpSolver.cpp - Deciding Monadic-Position constraints ---------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tagaut/MpSolver.h"
+
+#include "lia/Mbqi.h"
+#include "lia/Solver.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::tagaut;
+
+namespace {
+
+/// The primitive root of a non-empty word: the shortest p with W = p^k.
+Word primitiveRoot(const Word &W) {
+  for (size_t D = 1; D <= W.size(); ++D) {
+    if (W.size() % D != 0)
+      continue;
+    bool Ok = true;
+    for (size_t I = D; I < W.size() && Ok; ++I)
+      Ok = W[I] == W[I - D];
+    if (Ok)
+      return Word(W.begin(), W.begin() + static_cast<ptrdiff_t>(D));
+  }
+  return W;
+}
+
+/// NFA for the language p* (a cycle through the letters of p).
+automata::Nfa starOfWord(const Word &P, uint32_t AlphabetSize) {
+  automata::Nfa A(AlphabetSize);
+  A.addStates(static_cast<uint32_t>(P.size()));
+  A.markInitial(0);
+  A.markFinal(0);
+  for (uint32_t I = 0; I < P.size(); ++I)
+    A.addTransition(I, P[I], (I + 1) % static_cast<uint32_t>(P.size()));
+  return A;
+}
+
+/// True if both sides of \p P are permutations of the same occurrence
+/// multiset and every involved language is contained in p* for a single
+/// word p. All values then iterate p, so concatenation commutes and the
+/// two sides are *equal* under every assignment — ¬contains (and ≠,
+/// ¬suffixof, …) can never hold. This is the primitive-word structure of
+/// the position-hard family (footnote 10).
+bool sidesForcedEqual(const std::map<VarId, automata::Nfa> &Langs,
+                      const PosPredicate &P, uint32_t AlphabetSize) {
+  std::vector<VarId> L = P.Lhs, R = P.Rhs;
+  std::sort(L.begin(), L.end());
+  std::sort(R.begin(), R.end());
+  if (L != R || L.empty())
+    return false;
+  // Find the root from the first language with a non-empty word (someWord
+  // returns a shortest word, which may be ε — intersect with Σ⁺ first).
+  automata::Nfa AnyPlus(AlphabetSize);
+  AnyPlus.addStates(2);
+  AnyPlus.markInitial(0);
+  AnyPlus.markFinal(1);
+  for (Symbol S = 0; S < AlphabetSize; ++S) {
+    AnyPlus.addTransition(0, S, 1);
+    AnyPlus.addTransition(1, S, 1);
+  }
+  Word Root;
+  for (VarId X : L) {
+    std::optional<Word> W =
+        automata::intersect(Langs.at(X), AnyPlus).someWord();
+    if (W && !W->empty()) {
+      Root = primitiveRoot(*W);
+      break;
+    }
+  }
+  if (Root.empty())
+    return false; // all-ε handled by the ε-needle check
+  automata::Nfa RootStar = starOfWord(Root, AlphabetSize);
+  automata::Nfa NotRootStar = automata::complement(RootStar);
+  for (VarId X : L)
+    if (!automata::intersect(Langs.at(X), NotRootStar).isEmpty())
+      return false;
+  return true;
+}
+
+} // namespace
+
+MpResult postr::tagaut::solveMP(lia::Arena &A,
+                                const std::map<VarId, automata::Nfa> &Langs,
+                                const std::vector<PosPredicate> &Preds,
+                                uint32_t AlphabetSize,
+                                const IntConstraintBuilder &IntConstraints,
+                                const MpOptions &Opts) {
+  MpResult Out;
+
+  // R′ alone is unsatisfiable if any variable's language is empty.
+  for (const auto &[X, Nfa] : Langs) {
+    (void)X;
+    if (Nfa.isEmpty()) {
+      Out.V = Verdict::Unsat;
+      return Out;
+    }
+  }
+
+  // Thm. 6.5's side condition; callers run heuristics before this point.
+  if (!notContainsVarsFlat(Langs, Preds)) {
+    Out.V = Verdict::Unknown;
+    return Out;
+  }
+
+  // ε-needle short-circuit: when every left-hand variable of a ¬contains
+  // is forced to ε, the needle is ε, which is contained in every word —
+  // unsatisfiable regardless of the rest. (MBQI alone cannot conclude
+  // this when the haystack language is infinite: there are infinitely
+  // many candidate models and each one gets refuted individually.)
+  // Commuting-powers short-circuit: when a mismatch-style predicate's two
+  // sides are forced equal (same occurrence multiset over one iterated
+  // word), it is unsatisfiable outright. ¬prefixof additionally requires
+  // a strictly longer left side, which equality also rules out.
+  for (const PosPredicate &P : Preds) {
+    if (P.Kind != PredKind::NotContains && P.Kind != PredKind::Diseq &&
+        P.Kind != PredKind::NotPrefix && P.Kind != PredKind::NotSuffix)
+      continue;
+    if (sidesForcedEqual(Langs, P, AlphabetSize)) {
+      Out.V = Verdict::Unsat;
+      return Out;
+    }
+  }
+
+  for (const PosPredicate &P : Preds) {
+    if (P.Kind != PredKind::NotContains)
+      continue;
+    bool NeedleForcedEmpty = true;
+    for (VarId X : P.Lhs) {
+      const automata::Nfa &L = Langs.at(X);
+      if (L.trim().numTransitions() != 0 || !L.accepts({})) {
+        NeedleForcedEmpty = false;
+        break;
+      }
+    }
+    if (NeedleForcedEmpty) {
+      Out.V = Verdict::Unsat;
+      return Out;
+    }
+    // Syntactic self-containment: if the needle's occurrence sequence is
+    // a contiguous subsequence of the haystack's, every assignment makes
+    // the needle a factor of the haystack (align it with its own copy),
+    // so ¬contains is unsatisfiable. Catches the common u ⊑ u·w shapes
+    // that MBQI would otherwise have to refute offset by offset.
+    if (!P.Lhs.empty() && P.Lhs.size() <= P.Rhs.size()) {
+      for (size_t Off = 0; Off + P.Lhs.size() <= P.Rhs.size(); ++Off) {
+        if (std::equal(P.Lhs.begin(), P.Lhs.end(),
+                       P.Rhs.begin() + static_cast<ptrdiff_t>(Off))) {
+          Out.V = Verdict::Unsat;
+          return Out;
+        }
+      }
+    }
+  }
+
+  SystemEncoding Enc =
+      encodeSystem(A, Langs, Preds, AlphabetSize, Opts.Encoder);
+
+  lia::FormulaId Goal = Enc.Outer;
+  if (IntConstraints)
+    Goal = A.conj({Goal, IntConstraints(A, Enc.LenTerms)});
+
+  if (Enc.Blocks.empty()) {
+    lia::QfOptions Qf = Opts.Qf;
+    if (Opts.TimeoutMs)
+      Qf.TimeoutMs = Qf.TimeoutMs ? std::min(Qf.TimeoutMs, Opts.TimeoutMs)
+                                  : Opts.TimeoutMs;
+    // Connectivity CEGAR: under SpanMode::Lazy every Sat model is only
+    // flow-consistent; disconnected pseudo-runs are refuted by cuts fed
+    // back through the solver's refinement hook (which keeps learned
+    // clauses across episodes). Unsat/Unknown are final — cuts only
+    // shrink the model space towards the true one.
+    uint32_t Cuts = 0;
+    bool ExceededCuts = false;
+    lia::ModelRefiner Refine =
+        [&](lia::Arena &Ar,
+            const std::vector<int64_t> &Model) -> std::optional<lia::FormulaId> {
+      if (Enc.Span != SpanMode::Lazy)
+        return std::nullopt;
+      std::vector<uint32_t> Gap = connectedComponentGap(Enc.Ta, Enc.Pf, Model);
+      if (Gap.empty())
+        return std::nullopt;
+      if (++Cuts > Opts.MaxConnectivityCuts) {
+        ExceededCuts = true;
+        return std::nullopt;
+      }
+      return connectivityCut(Enc.Ta, Enc.Pf, Ar, Gap);
+    };
+    lia::QfResult R = lia::solveQF(A, Goal, Qf, Refine);
+    Out.V = ExceededCuts ? Verdict::Unknown : R.V;
+    if (Out.V == Verdict::Sat) {
+      Out.Assignment = Enc.decode(R.Model);
+      Out.Model = std::move(R.Model);
+    }
+    return Out;
+  }
+
+  // Resource guard for the quantified path: every MBQI round re-encodes
+  // the outer instance plus one Parikh clone per accumulated lemma; past
+  // a few thousand tag transitions the per-round setup alone exceeds any
+  // sane budget. Answer Unknown up-front instead (the same resource-out
+  // the paper reports for OSTRICH-sized encodings).
+  if (Enc.Ta.transitions().size() > 4000) {
+    Out.V = Verdict::Unknown;
+    return Out;
+  }
+
+  lia::MbqiQuery Q;
+  Q.Outer = Goal;
+  Q.OuterVars = Enc.OuterVars;
+  Q.Blocks = Enc.Blocks;
+  Q.BlockTerms = Enc.BlockTerms;
+  lia::MbqiOptions Mb = Opts.Mbqi;
+  if (Opts.TimeoutMs)
+    Mb.TimeoutMs = Mb.TimeoutMs ? std::min(Mb.TimeoutMs, Opts.TimeoutMs)
+                                : Opts.TimeoutMs;
+  std::vector<int64_t> Model;
+  Out.V = lia::solveMbqi(A, Q, &Model, Mb);
+  if (Out.V == Verdict::Sat) {
+    Out.Assignment = Enc.decode(Model);
+    Out.Model = std::move(Model);
+  }
+  return Out;
+}

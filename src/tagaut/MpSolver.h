@@ -1,0 +1,74 @@
+//===- tagaut/MpSolver.h - Deciding Monadic-Position constraints -*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision procedure for the paper's MP problem (Sec. 1): a
+/// conjunction of a monadic constraint (regular memberships R′ + LIA
+/// length constraints I′) and position constraints P′. Encodes via
+/// `encodeSystem` and discharges with the QF-LIA solver, or with the MBQI
+/// layer when ¬contains blocks are present.
+///
+/// This is the procedure behind Theorems 7.3 (NP, existential position
+/// constraints) and 7.4 (NExpTime, flat ¬contains).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_TAGAUT_MPSOLVER_H
+#define POSTR_TAGAUT_MPSOLVER_H
+
+#include "tagaut/Encoder.h"
+
+#include <functional>
+#include <map>
+
+namespace postr {
+namespace tagaut {
+
+struct MpOptions {
+  lia::QfOptions Qf;
+  lia::MbqiOptions Mbqi;
+  /// Overall deadline in milliseconds (0 = none); distributed to the
+  /// underlying engines.
+  uint64_t TimeoutMs = 0;
+  /// Cap on connectivity-CEGAR rounds under SpanMode::Lazy before the
+  /// solver answers Unknown. Each round adds one cut; real workloads
+  /// converge in a handful.
+  uint32_t MaxConnectivityCuts = 4096;
+  EncoderOptions Encoder;
+};
+
+struct MpResult {
+  Verdict V = Verdict::Unknown;
+  /// On Sat: a witnessing string assignment for every variable.
+  std::map<VarId, Word> Assignment;
+  /// On Sat: the full LIA model (integer variables the caller minted can
+  /// be read off through their `lia::Var` handles).
+  std::vector<int64_t> Model;
+};
+
+/// Builds the I′ part: invoked after encoding with the per-variable
+/// length terms so `x_i = len(y…)` constraints (Sec. 6.1) and plain LIA
+/// atoms can be expressed over them. May return `A.trueF()`.
+using IntConstraintBuilder = std::function<lia::FormulaId(
+    lia::Arena &A, const std::map<VarId, lia::LinTerm> &LenTerms)>;
+
+/// Decides R′ ∧ I′ ∧ P′. The caller owns \p A and may have minted integer
+/// variables in it (e.g. for str.at position terms) before the call.
+/// Returns Unknown when a ¬contains predicate ranges over a non-flat
+/// language (callers apply the Sec. 8 heuristics first) or on resource
+/// exhaustion.
+MpResult solveMP(lia::Arena &A,
+                 const std::map<VarId, automata::Nfa> &Langs,
+                 const std::vector<PosPredicate> &Preds,
+                 uint32_t AlphabetSize,
+                 const IntConstraintBuilder &IntConstraints = nullptr,
+                 const MpOptions &Opts = {});
+
+} // namespace tagaut
+} // namespace postr
+
+#endif // POSTR_TAGAUT_MPSOLVER_H

@@ -1,0 +1,265 @@
+//===- tagaut/Parikh.cpp - Parikh formula construction ---------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tagaut/Parikh.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::tagaut;
+using lia::Cmp;
+using lia::FormulaId;
+using lia::LinTerm;
+
+ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
+                                                lia::Arena &A,
+                                                const std::string &Prefix,
+                                                SpanMode Span) {
+  ParikhFormula Pf;
+  uint32_t NumStates = Ta.numStates();
+  uint32_t NumTrans = static_cast<uint32_t>(Ta.transitions().size());
+
+  Pf.TransCount.reserve(NumTrans);
+  for (uint32_t I = 0; I < NumTrans; ++I)
+    Pf.TransCount.push_back(
+        A.freshVar(Prefix + "#d" + std::to_string(I), 0,
+                   Ta.transitions()[I].AtMostOnce ? 1 : INT64_MAX));
+  for (uint32_t Q = 0; Q < NumStates; ++Q) {
+    Pf.GammaInit.push_back(
+        A.freshVar(Prefix + "gI" + std::to_string(Q), 0,
+                   Ta.isInitial(Q) ? 1 : 0));
+    Pf.GammaFin.push_back(A.freshVar(Prefix + "gF" + std::to_string(Q), 0,
+                                     Ta.isFinal(Q) ? 1 : 0));
+  }
+  // Spanning-depth variables σ_q ∈ [-1, numStates]; -1 marks "not on the
+  // run" (Eq. 38 only needs σ_q <= -1; a single sentinel value suffices).
+  // Only minted in Eager mode; Lazy connectivity needs no extra state.
+  std::vector<lia::Var> Sigma;
+  if (Span == SpanMode::Eager)
+    for (uint32_t Q = 0; Q < NumStates; ++Q)
+      Sigma.push_back(A.freshVar(Prefix + "sg" + std::to_string(Q), -1,
+                                 static_cast<int64_t>(NumStates)));
+
+  // Incoming / outgoing transition lists per state; tag uses.
+  std::vector<std::vector<uint32_t>> In(NumStates), Out(NumStates);
+  for (uint32_t I = 0; I < NumTrans; ++I) {
+    const TaTransition &T = Ta.transitions()[I];
+    In[T.To].push_back(I);
+    Out[T.From].push_back(I);
+    for (TagId Tag : T.Tags)
+      Pf.TagUses[Tag].push_back(I);
+  }
+
+  std::vector<FormulaId> Parts;
+
+  // φ_Init (Eq. 34): exactly one first state, and only initial states may
+  // be first. The 0/1 range is intrinsic; non-initial states have an
+  // intrinsic upper bound of 0 already.
+  {
+    LinTerm SumInit;
+    for (uint32_t Q = 0; Q < NumStates; ++Q)
+      if (Ta.isInitial(Q))
+        SumInit += LinTerm::variable(Pf.GammaInit[Q]);
+    Parts.push_back(A.cmp(SumInit, Cmp::Eq, LinTerm(1)));
+  }
+  // φ_Fin (Eq. 35) is fully captured by the intrinsic bounds; the
+  // "exactly one last state" condition is induced by Kirchhoff (summing
+  // Eq. 36 over all states gives Σγ^F = Σγ^I = 1).
+
+  // φ_Kirch (Eq. 36) per state.
+  for (uint32_t Q = 0; Q < NumStates; ++Q) {
+    LinTerm Lhs = LinTerm::variable(Pf.GammaInit[Q]);
+    for (uint32_t I : In[Q])
+      Lhs += LinTerm::variable(Pf.TransCount[I]);
+    LinTerm Rhs = LinTerm::variable(Pf.GammaFin[Q]);
+    for (uint32_t I : Out[Q])
+      Rhs += LinTerm::variable(Pf.TransCount[I]);
+    Parts.push_back(A.cmp(Lhs, Cmp::Eq, Rhs));
+  }
+
+  // φ_Span (Eqs. 37–39) per state; skipped entirely in Lazy mode (the
+  // caller runs the connectivity CEGAR loop instead).
+  for (uint32_t Q = 0; Span == SpanMode::Eager && Q < NumStates; ++Q) {
+    LinTerm SigmaQ = LinTerm::variable(Sigma[Q]);
+    LinTerm GammaQ = LinTerm::variable(Pf.GammaInit[Q]);
+    // σ_q = 0 ⇔ γ^I_q = 1 (Eq. 37).
+    Parts.push_back(A.iff(A.cmp(SigmaQ, Cmp::Eq, LinTerm(0)),
+                          A.cmp(GammaQ, Cmp::Eq, LinTerm(1))));
+    // σ_q <= -1 ⇒ γ^I_q = 0 ∧ all incoming counts are 0 (Eq. 38).
+    {
+      std::vector<FormulaId> Zero{A.cmp(GammaQ, Cmp::Eq, LinTerm(0))};
+      for (uint32_t I : In[Q])
+        Zero.push_back(A.cmp(LinTerm::variable(Pf.TransCount[I]), Cmp::Eq,
+                             LinTerm(0)));
+      Parts.push_back(A.implies(A.cmp(SigmaQ, Cmp::Le, LinTerm(-1)),
+                                A.conj(std::move(Zero))));
+    }
+    // σ_q > 0 ⇒ some taken incoming transition comes from a tree
+    // predecessor one step shallower (Eq. 39).
+    {
+      std::vector<FormulaId> Witnesses;
+      for (uint32_t I : In[Q]) {
+        uint32_t P = Ta.transitions()[I].From;
+        if (P == Q)
+          continue; // self-loops cannot extend a spanning tree path
+        LinTerm SigmaP = LinTerm::variable(Sigma[P]);
+        Witnesses.push_back(A.conj(
+            {A.cmp(LinTerm::variable(Pf.TransCount[I]), Cmp::Gt,
+                   LinTerm(0)),
+             A.cmp(SigmaP, Cmp::Ge, LinTerm(0)),
+             A.cmp(SigmaQ, Cmp::Eq, SigmaP + LinTerm(1))}));
+      }
+      Parts.push_back(A.implies(A.cmp(SigmaQ, Cmp::Gt, LinTerm(0)),
+                                A.disj(std::move(Witnesses))));
+    }
+  }
+
+  Pf.Formula = A.conj(std::move(Parts));
+  return Pf;
+}
+
+std::vector<uint32_t> postr::tagaut::connectedComponentGap(
+    const TagAutomaton &Ta, const ParikhFormula &Pf,
+    const std::vector<int64_t> &Model) {
+  uint32_t NumStates = Ta.numStates();
+  std::vector<std::vector<uint32_t>> UsedOut(NumStates);
+  std::vector<bool> Touched(NumStates, false);
+  for (uint32_t I = 0; I < Ta.transitions().size(); ++I) {
+    if (Model[Pf.TransCount[I]] <= 0)
+      continue;
+    const TaTransition &T = Ta.transitions()[I];
+    UsedOut[T.From].push_back(T.To);
+    Touched[T.From] = Touched[T.To] = true;
+  }
+  uint32_t Start = ~0u;
+  for (uint32_t Q = 0; Q < NumStates; ++Q)
+    if (Model[Pf.GammaInit[Q]] == 1)
+      Start = Q;
+  assert(Start != ~0u && "model has no start state");
+
+  std::vector<bool> Reach(NumStates, false);
+  std::vector<uint32_t> Work{Start};
+  Reach[Start] = true;
+  while (!Work.empty()) {
+    uint32_t Q = Work.back();
+    Work.pop_back();
+    for (uint32_t R : UsedOut[Q])
+      if (!Reach[R]) {
+        Reach[R] = true;
+        Work.push_back(R);
+      }
+  }
+  std::vector<uint32_t> Gap;
+  for (uint32_t Q = 0; Q < NumStates; ++Q)
+    if (Touched[Q] && !Reach[Q])
+      Gap.push_back(Q);
+  return Gap;
+}
+
+lia::FormulaId
+postr::tagaut::connectivityCut(const TagAutomaton &Ta, const ParikhFormula &Pf,
+                               lia::Arena &A,
+                               const std::vector<uint32_t> &Gap) {
+  assert(!Gap.empty() && "cut requires a non-empty disconnected component");
+  std::vector<bool> InGap(Ta.numStates(), false);
+  for (uint32_t Q : Gap)
+    InGap[Q] = true;
+  LinTerm FlowFrom;  // Σ #δ with src ∈ Gap
+  LinTerm FlowInto;  // Σ #δ with src ∉ Gap, tgt ∈ Gap
+  for (uint32_t I = 0; I < Ta.transitions().size(); ++I) {
+    const TaTransition &T = Ta.transitions()[I];
+    if (InGap[T.From])
+      FlowFrom += LinTerm::variable(Pf.TransCount[I]);
+    else if (InGap[T.To])
+      FlowInto += LinTerm::variable(Pf.TransCount[I]);
+  }
+  std::vector<FormulaId> Alts;
+  Alts.push_back(A.cmp(FlowFrom, Cmp::Le, LinTerm(0)));
+  Alts.push_back(A.cmp(FlowInto, Cmp::Ge, LinTerm(1)));
+  for (uint32_t Q : Gap)
+    if (Ta.isInitial(Q))
+      Alts.push_back(A.cmp(LinTerm::variable(Pf.GammaInit[Q]), Cmp::Eq,
+                           LinTerm(1)));
+  return A.disj(std::move(Alts));
+}
+
+std::vector<uint32_t>
+postr::tagaut::decodeRun(const TagAutomaton &Ta, const ParikhFormula &Pf,
+                         const std::vector<int64_t> &Model) {
+  uint32_t NumStates = Ta.numStates();
+  // Remaining multiplicity per transition.
+  std::vector<int64_t> Remaining(Ta.transitions().size());
+  uint64_t Total = 0;
+  for (uint32_t I = 0; I < Remaining.size(); ++I) {
+    Remaining[I] = Model[Pf.TransCount[I]];
+    assert(Remaining[I] >= 0 && "negative transition count");
+    Total += static_cast<uint64_t>(Remaining[I]);
+  }
+  // Start state: the unique q with γ^I_q = 1.
+  uint32_t Start = ~0u;
+  for (uint32_t Q = 0; Q < NumStates; ++Q)
+    if (Model[Pf.GammaInit[Q]] == 1)
+      Start = Q;
+  assert(Start != ~0u && "model has no start state");
+
+  std::vector<std::vector<uint32_t>> Out(NumStates);
+  for (uint32_t I = 0; I < Ta.transitions().size(); ++I)
+    Out[Ta.transitions()[I].From].push_back(I);
+  std::vector<size_t> Cursor(NumStates, 0);
+
+  // Hierholzer's algorithm for an Euler path on the multigraph given by
+  // the counts; existence is guaranteed by Kirchhoff + φ_Span.
+  std::vector<uint32_t> Path;     // finished, reversed
+  std::vector<uint32_t> StackTr;  // transition stack
+  std::vector<uint32_t> StackSt{Start};
+  while (!StackSt.empty()) {
+    uint32_t Q = StackSt.back();
+    bool Advanced = false;
+    while (Cursor[Q] < Out[Q].size()) {
+      uint32_t I = Out[Q][Cursor[Q]];
+      if (Remaining[I] > 0) {
+        --Remaining[I];
+        StackSt.push_back(Ta.transitions()[I].To);
+        StackTr.push_back(I);
+        Advanced = true;
+        break;
+      }
+      ++Cursor[Q];
+    }
+    if (Advanced)
+      continue;
+    StackSt.pop_back();
+    if (!StackTr.empty() && !StackSt.empty()) {
+      Path.push_back(StackTr.back());
+      StackTr.pop_back();
+    }
+  }
+  std::reverse(Path.begin(), Path.end());
+  assert(Path.size() == Total && "model counts are not a connected walk");
+  return Path;
+}
+
+std::map<VarId, Word>
+postr::tagaut::runToAssignment(const TagAutomaton &Ta, const TagTable &Tags,
+                               const std::vector<uint32_t> &Run) {
+  std::map<VarId, Word> Out;
+  for (uint32_t I : Run) {
+    const TaTransition &T = Ta.transitions()[I];
+    std::optional<Symbol> Sym;
+    std::optional<VarId> Var;
+    for (TagId Id : T.Tags) {
+      const Tag &Tg = Tags.get(Id);
+      if (Tg.Kind == TagKind::Sym)
+        Sym = Tg.Sym;
+      if (Tg.Kind == TagKind::Len)
+        Var = Tg.Var;
+    }
+    if (Sym && Var)
+      Out[*Var].push_back(*Sym);
+  }
+  return Out;
+}

@@ -1,0 +1,136 @@
+//===- tagaut/TagAutomaton.cpp - Tag automaton constructions ---------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tagaut/TagAutomaton.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::tagaut;
+using automata::Nfa;
+using automata::Transition;
+
+VarConcat postr::tagaut::buildVarConcat(
+    const std::map<VarId, automata::Nfa> &Langs) {
+  VarConcat Vc;
+  // Per-variable state base offsets.
+  std::map<VarId, uint32_t> Base;
+  for (const auto &[X, A] : Langs) {
+    assert(!A.hasEpsilon() && "variable automata must be epsilon-free");
+    Vc.Order.push_back(X);
+    Base[X] = Vc.numStates();
+    Vc.AlphabetSize = std::max(Vc.AlphabetSize, A.alphabetSize());
+    for (uint32_t Q = 0; Q < A.numStates(); ++Q)
+      Vc.VarOfState.push_back(X);
+  }
+  Vc.IsInitial.assign(Vc.numStates(), false);
+  Vc.IsFinal.assign(Vc.numStates(), false);
+
+  // Block-internal symbol transitions.
+  for (const auto &[X, A] : Langs)
+    for (const Transition &T : A.transitions())
+      Vc.BaseDelta.push_back(
+          {Base[X] + T.From, Base[X] + T.To, T.Sym, X});
+
+  // ε-connectors between consecutive blocks, initial/final marking.
+  for (size_t I = 0; I < Vc.Order.size(); ++I) {
+    VarId X = Vc.Order[I];
+    const Nfa &A = Langs.at(X);
+    if (I == 0)
+      for (uint32_t Q : A.initialStates())
+        Vc.IsInitial[Base[X] + Q] = true;
+    if (I + 1 == Vc.Order.size())
+      for (uint32_t Q : A.finalStates())
+        Vc.IsFinal[Base[X] + Q] = true;
+    if (I + 1 < Vc.Order.size()) {
+      VarId Y = Vc.Order[I + 1];
+      const Nfa &B = Langs.at(Y);
+      for (uint32_t QF : A.finalStates())
+        for (uint32_t QI : B.initialStates())
+          Vc.BaseDelta.push_back(
+              {Base[X] + QF, Base[Y] + QI, VarConcat::Epsilon, X});
+    }
+  }
+  return Vc;
+}
+
+TagAutomaton postr::tagaut::buildSystemTagAutomaton(
+    const VarConcat &Vc, const SystemTaOptions &Opts, TagTable &Tags) {
+  uint32_t K = Opts.NumPreds;
+  uint32_t NumCopies = 2 * K + 1;
+  TagAutomaton Ta;
+  Ta.addStates(Vc.numStates() * NumCopies);
+
+  auto StateAt = [&](uint32_t Q, uint32_t Copy) {
+    // Copy is 1-based as in the paper.
+    return Q + (Copy - 1) * Vc.numStates();
+  };
+
+  for (uint32_t Q = 0; Q < Vc.numStates(); ++Q) {
+    if (Vc.IsInitial[Q])
+      Ta.markInitial(StateAt(Q, 1));
+    if (Vc.IsFinal[Q])
+      for (uint32_t Copy = 1; Copy <= NumCopies; Copy += 2)
+        Ta.markFinal(StateAt(Q, Copy));
+  }
+
+  for (uint32_t B = 0; B < Vc.BaseDelta.size(); ++B) {
+    const VarConcat::BaseTransition &T = Vc.BaseDelta[B];
+    if (T.Sym == VarConcat::Epsilon) {
+      // Connector transitions replicate per copy, tagless.
+      for (uint32_t Copy = 1; Copy <= NumCopies; ++Copy)
+        Ta.addTransition({StateAt(T.From, Copy), StateAt(T.To, Copy), B,
+                          /*AtMostOnce=*/false, {}});
+      continue;
+    }
+    TagId SymTag = Tags.intern(Tag::symbol(T.Sym));
+    TagId LenTag = Tags.intern(Tag::length(T.Var));
+    for (uint32_t Copy = 1; Copy <= NumCopies; ++Copy) {
+      // In-copy letter: ⟨S,a⟩⟨L,z⟩⟨P_Copy,z⟩.
+      TagId PosTag = Tags.intern(
+          Tag::position(static_cast<uint16_t>(Copy), T.Var));
+      Ta.addTransition({StateAt(T.From, Copy), StateAt(T.To, Copy), B,
+                        /*AtMostOnce=*/false, {SymTag, LenTag, PosTag}});
+      if (Copy > 2 * K)
+        continue;
+      // Mismatch jumps Copy → Copy+1: one per predicate and side,
+      // carrying ⟨M_Copy,z,D,s,a⟩ and the P tag of the *target* level
+      // (the sampled letter counts toward level Copy+1, cf. Sec. 5.3).
+      TagId NextPosTag = Tags.intern(
+          Tag::position(static_cast<uint16_t>(Copy + 1), T.Var));
+      for (uint32_t D = 0; D < K; ++D)
+        for (Side S : {Side::L, Side::R}) {
+          TagId MisTag = Tags.intern(Tag::mismatch(
+              static_cast<uint16_t>(Copy), T.Var, D, S, T.Sym));
+          Ta.addTransition({StateAt(T.From, Copy),
+                            StateAt(T.To, Copy + 1), B,
+                            /*AtMostOnce=*/true,
+                            {SymTag, LenTag, NextPosTag, MisTag}});
+        }
+    }
+  }
+
+  // Copy (C) jumps: stay at the same A_◦ state, advance one level,
+  // sharing the latest sampled symbol of the state's own variable
+  // (Sec. 5.3; taking the jump before any further letter is enforced by
+  // φ_Copies in the LIA reduction).
+  if (Opts.EmitCopies && K >= 1) {
+    for (uint32_t Q = 0; Q < Vc.numStates(); ++Q) {
+      VarId X = Vc.VarOfState[Q];
+      for (uint32_t Copy = 2; Copy <= 2 * K; ++Copy)
+        for (uint32_t D = 0; D < K; ++D)
+          for (Side S : {Side::L, Side::R}) {
+            TagId CopyTag = Tags.intern(
+                Tag::copy(static_cast<uint16_t>(Copy), X, D, S));
+            Ta.addTransition({StateAt(Q, Copy), StateAt(Q, Copy + 1),
+                              TaTransition::NoBase, /*AtMostOnce=*/true,
+                              {CopyTag}});
+          }
+    }
+  }
+  return Ta;
+}

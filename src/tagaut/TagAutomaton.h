@@ -1,0 +1,146 @@
+//===- tagaut/TagAutomaton.h - Tag automata (Sec. 4) -------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tag automata (Sec. 4): NFAs whose transitions carry sets of tags used
+/// for counting, plus the two building blocks the constructions of
+/// Secs. 5–6 need:
+///
+///  * `VarConcat` — the ε-concatenation A_◦ of the LenTag'd variable
+///    automata in a fixed variable order ≼ (Sec. 5.2), remembering which
+///    variable every state/transition belongs to;
+///  * `buildSystemTagAutomaton` — the 2K+1-copy construction of Sec. 5.3
+///    generalized to arbitrary predicate systems (Sec. 6.5), with
+///    mismatch (M) and copy (C) jump transitions.
+///
+/// Each tag-automaton transition remembers the A_◦ transition it projects
+/// to (`BaseIdx`), which is what the EqualWords predicate of the
+/// ¬contains encoding (Eq. 30) matches runs on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_TAGAUT_TAGAUTOMATON_H
+#define POSTR_TAGAUT_TAGAUTOMATON_H
+
+#include "automata/Nfa.h"
+#include "base/Base.h"
+#include "tagaut/Tags.h"
+
+#include <map>
+#include <vector>
+
+namespace postr {
+namespace tagaut {
+
+/// One transition of a tag automaton.
+struct TaTransition {
+  uint32_t From;
+  uint32_t To;
+  /// Index of the A_◦ transition this one projects to, or NoBase for the
+  /// copy (C) transitions, which exist only in the tag automaton.
+  uint32_t BaseIdx;
+  /// True for transitions no accepting run can take twice (the level-
+  /// increasing mismatch/copy jumps of the 2K+1-copy construction).
+  /// buildParikhFormula turns this into an intrinsic 0/1 bound on the
+  /// count variable, which keeps the LP relaxation tight (fractional
+  /// "half-mismatches" are the main source of integer-only conflicts).
+  bool AtMostOnce = false;
+  std::vector<TagId> Tags;
+
+  static constexpr uint32_t NoBase = ~0u;
+};
+
+/// A tag automaton T = (Q, Δ, I, F) over a shared TagTable.
+class TagAutomaton {
+public:
+  uint32_t addState() {
+    IsInitial.push_back(false);
+    IsFinal.push_back(false);
+    return numStates() - 1;
+  }
+  uint32_t addStates(uint32_t N) {
+    uint32_t First = numStates();
+    IsInitial.resize(IsInitial.size() + N, false);
+    IsFinal.resize(IsFinal.size() + N, false);
+    return First;
+  }
+  void markInitial(uint32_t Q) { IsInitial[Q] = true; }
+  void markFinal(uint32_t Q) { IsFinal[Q] = true; }
+  bool isInitial(uint32_t Q) const { return IsInitial[Q]; }
+  bool isFinal(uint32_t Q) const { return IsFinal[Q]; }
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(IsInitial.size());
+  }
+
+  void addTransition(TaTransition T) {
+    assert(T.From < numStates() && T.To < numStates());
+    Delta.push_back(std::move(T));
+  }
+  const std::vector<TaTransition> &transitions() const { return Delta; }
+
+private:
+  std::vector<bool> IsInitial, IsFinal;
+  std::vector<TaTransition> Delta;
+};
+
+/// The ε-concatenation A_◦ of all variables' automata (Sec. 5.2), in
+/// increasing VarId order (the fixed linear order ≼ on variables).
+struct VarConcat {
+  /// Distinct variables in concatenation order.
+  std::vector<VarId> Order;
+  /// States of A_◦ (indices into VarOfState); transitions in BaseDelta.
+  struct BaseTransition {
+    uint32_t From;
+    uint32_t To;
+    /// Symbol or `Epsilon` for the connector transitions between blocks.
+    Symbol Sym;
+    /// Variable whose automaton the transition came from; for connector
+    /// transitions, the *source* block's variable.
+    VarId Var;
+  };
+  static constexpr Symbol Epsilon = automata::Nfa::Epsilon;
+
+  std::vector<BaseTransition> BaseDelta;
+  std::vector<VarId> VarOfState;
+  std::vector<bool> IsInitial, IsFinal;
+  uint32_t AlphabetSize = 0;
+
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(VarOfState.size());
+  }
+};
+
+/// Builds A_◦ from per-variable (ε-free, non-empty) automata. The map
+/// iteration order gives the variable order ≼ (VarId-increasing).
+VarConcat buildVarConcat(const std::map<VarId, automata::Nfa> &Langs);
+
+/// Configuration of the 2K+1-copy system construction.
+struct SystemTaOptions {
+  /// Number of position predicates K; the automaton gets 2K+1 copies and
+  /// levels 1..2K of mismatch/copy jumps.
+  uint32_t NumPreds = 0;
+  /// Effective alphabet size (symbols 0..AlphabetSize-1 get M-tags).
+  uint32_t AlphabetSize = 0;
+  /// When false, no copy (C) transitions are emitted. The single-
+  /// predicate encodings (K = 1) never need sharing, and the naive
+  /// order-enumeration ablation disables copies too.
+  bool EmitCopies = true;
+};
+
+/// Builds the tag automaton of Sec. 5.3 for a system of K predicates over
+/// A_◦: states Q_◦ × {1..2K+1}; per-level symbol transitions carrying
+/// ⟨S,a⟩⟨L,z⟩⟨P_i,z⟩; mismatch jumps (level i → i+1) carrying
+/// ⟨M_i,z,D,s,a⟩ and ⟨P_{i+1},z⟩; copy jumps ⟨C_i,x,D,s⟩ at the state's
+/// own variable; initial = I_◦ × {1}; final = F_◦ × odd copies.
+TagAutomaton buildSystemTagAutomaton(const VarConcat &Vc,
+                                     const SystemTaOptions &Opts,
+                                     TagTable &Tags);
+
+} // namespace tagaut
+} // namespace postr
+
+#endif // POSTR_TAGAUT_TAGAUTOMATON_H

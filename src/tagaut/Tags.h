@@ -1,0 +1,115 @@
+//===- tagaut/Tags.h - Tag alphabet for tag automata -------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tag alphabet of Sec. 4/5: ⟨S,a⟩ (symbol), ⟨L,x⟩ (length), ⟨P_i,x⟩
+/// (position at copy level i), ⟨M_i,x,D,s,a⟩ (the i-th mismatch sample
+/// for predicate D, side s, in variable x, with symbol a), and
+/// ⟨C_i,x,D,s⟩ (copy: predicate D/side s shares the latest sampled symbol
+/// of x). Tags are interned into dense `TagId`s; the Parikh tag formula
+/// (Eq. 2) counts them per accepting run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_TAGAUT_TAGS_H
+#define POSTR_TAGAUT_TAGS_H
+
+#include "base/Base.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace postr {
+namespace tagaut {
+
+/// Identifier of one interned tag.
+using TagId = uint32_t;
+
+/// Side of a position predicate (Sec. 5.3 uses s ∈ {L, R}).
+enum class Side : uint8_t { L, R };
+
+inline const char *sideName(Side S) { return S == Side::L ? "L" : "R"; }
+
+enum class TagKind : uint8_t {
+  Sym,  ///< ⟨S,a⟩
+  Len,  ///< ⟨L,x⟩
+  Pos,  ///< ⟨P_i,x⟩, Level = i (1-based)
+  Mis,  ///< ⟨M_i,x,D,s,a⟩, Level = i
+  Copy, ///< ⟨C_i,x,D,s⟩, Level = i
+};
+
+/// One tag. Unused fields are zero.
+struct Tag {
+  TagKind Kind;
+  Side S = Side::L;
+  uint16_t Level = 0; ///< copy-level index i for Pos/Mis/Copy
+  VarId Var = 0;      ///< x for Len/Pos/Mis/Copy
+  uint32_t Pred = 0;  ///< D for Mis/Copy
+  Symbol Sym = 0;     ///< a for Sym/Mis
+
+  friend auto operator<=>(const Tag &A, const Tag &B) = default;
+
+  static Tag symbol(Symbol A) { return {TagKind::Sym, Side::L, 0, 0, 0, A}; }
+  static Tag length(VarId X) { return {TagKind::Len, Side::L, 0, X, 0, 0}; }
+  static Tag position(uint16_t Level, VarId X) {
+    return {TagKind::Pos, Side::L, Level, X, 0, 0};
+  }
+  static Tag mismatch(uint16_t Level, VarId X, uint32_t Pred, Side S,
+                      Symbol A) {
+    return {TagKind::Mis, S, Level, X, Pred, A};
+  }
+  static Tag copy(uint16_t Level, VarId X, uint32_t Pred, Side S) {
+    return {TagKind::Copy, S, Level, X, Pred, 0};
+  }
+};
+
+/// Interns tags to dense ids.
+class TagTable {
+public:
+  TagId intern(const Tag &T) {
+    auto [It, Inserted] = Index.try_emplace(T, 0);
+    if (Inserted) {
+      It->second = static_cast<TagId>(Table.size());
+      Table.push_back(T);
+    }
+    return It->second;
+  }
+
+  const Tag &get(TagId Id) const { return Table[Id]; }
+  uint32_t size() const { return static_cast<uint32_t>(Table.size()); }
+
+  std::string str(TagId Id) const {
+    const Tag &T = get(Id);
+    switch (T.Kind) {
+    case TagKind::Sym:
+      return "<S," + std::to_string(T.Sym) + ">";
+    case TagKind::Len:
+      return "<L,x" + std::to_string(T.Var) + ">";
+    case TagKind::Pos:
+      return "<P" + std::to_string(T.Level) + ",x" + std::to_string(T.Var) +
+             ">";
+    case TagKind::Mis:
+      return "<M" + std::to_string(T.Level) + ",x" + std::to_string(T.Var) +
+             ",D" + std::to_string(T.Pred) + "," + sideName(T.S) + "," +
+             std::to_string(T.Sym) + ">";
+    case TagKind::Copy:
+      return "<C" + std::to_string(T.Level) + ",x" + std::to_string(T.Var) +
+             ",D" + std::to_string(T.Pred) + "," + sideName(T.S) + ">";
+    }
+    return "?";
+  }
+
+private:
+  std::map<Tag, TagId> Index;
+  std::vector<Tag> Table;
+};
+
+} // namespace tagaut
+} // namespace postr
+
+#endif // POSTR_TAGAUT_TAGS_H

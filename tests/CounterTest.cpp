@@ -1,0 +1,160 @@
+//===- tests/CounterTest.cpp - One-counter fast path tests ------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Differential-tests the PTime path of Theorem 7.1 against the NP
+// tag-automaton/LIA path and against the brute-force oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counter/OneCounter.h"
+#include "regex/Regex.h"
+#include "solver/BruteForce.h"
+#include "tagaut/MpSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace postr;
+using namespace postr::counter;
+using namespace postr::tagaut;
+using automata::Nfa;
+
+namespace {
+
+struct Fixture {
+  Alphabet Sigma;
+  std::map<VarId, Nfa> Langs;
+  VarId NextVar = 0;
+  std::vector<std::pair<VarId, regex::NodePtr>> Pending;
+
+  Fixture() {
+    Sigma.intern('a');
+    Sigma.intern('b');
+  }
+  VarId var(const std::string &Regex) {
+    VarId X = NextVar++;
+    Result<regex::NodePtr> R = regex::parse(Regex);
+    assert(R && "bad regex in test");
+    regex::collectAlphabet(**R, Sigma);
+    Pending.emplace_back(X, std::move(*R));
+    return X;
+  }
+  void finalize() {
+    for (auto &[X, Node] : Pending)
+      Langs[X] = regex::compile(*Node, Sigma);
+    Pending.clear();
+  }
+  Verdict decide(const PosPredicate &Pred) {
+    finalize();
+    return decideSinglePredicate(Langs, Pred, Sigma.size());
+  }
+};
+
+TEST(OneCounterTest, Eligibility) {
+  PosPredicate D{PredKind::Diseq, {0}, {1}, {}};
+  PosPredicate C{PredKind::NotContains, {0}, {1}, {}};
+  EXPECT_TRUE(isEligible({D}));
+  EXPECT_FALSE(isEligible({C}));
+  EXPECT_FALSE(isEligible({D, D}));
+  EXPECT_FALSE(isEligible({}));
+}
+
+TEST(OneCounterTest, DiseqByLength) {
+  Fixture F;
+  VarId X = F.var("a*"), Y = F.var("b");
+  EXPECT_EQ(F.decide({PredKind::Diseq, {X}, {Y}, {}}), Verdict::Sat);
+}
+
+TEST(OneCounterTest, DiseqUnsatIdentical) {
+  Fixture F;
+  VarId X = F.var("ab");
+  EXPECT_EQ(F.decide({PredKind::Diseq, {X}, {X}, {}}), Verdict::Unsat);
+}
+
+TEST(OneCounterTest, DiseqMismatchOnly) {
+  // x, y ∈ a|b, same length always; mismatch must be found.
+  Fixture F;
+  VarId X = F.var("a|b"), Y = F.var("a|b");
+  EXPECT_EQ(F.decide({PredKind::Diseq, {X}, {Y}, {}}), Verdict::Sat);
+}
+
+TEST(OneCounterTest, CommutingPowersUnsat) {
+  Fixture F;
+  VarId X = F.var("aa"), Y = F.var("aaa");
+  EXPECT_EQ(F.decide({PredKind::Diseq, {X, Y}, {Y, X}, {}}),
+            Verdict::Unsat);
+}
+
+TEST(OneCounterTest, RepeatedVarMismatch) {
+  // xy ≠ yx with x ∈ ab, y ∈ a (footnote 8 example) — Sat.
+  Fixture F;
+  VarId X = F.var("ab"), Y = F.var("a");
+  EXPECT_EQ(F.decide({PredKind::Diseq, {X, Y}, {Y, X}, {}}), Verdict::Sat);
+}
+
+TEST(OneCounterTest, NotPrefixCases) {
+  Fixture F;
+  VarId X = F.var("a"), Y = F.var("ab*");
+  EXPECT_EQ(F.decide({PredKind::NotPrefix, {X}, {Y}, {}}), Verdict::Unsat);
+
+  Fixture F2;
+  VarId X2 = F2.var("aa+"), Y2 = F2.var("a");
+  EXPECT_EQ(F2.decide({PredKind::NotPrefix, {X2}, {Y2}, {}}),
+            Verdict::Sat);
+}
+
+TEST(OneCounterTest, NotSuffixCases) {
+  Fixture F;
+  VarId X = F.var("b"), Y = F.var("(a|b)*b");
+  EXPECT_EQ(F.decide({PredKind::NotSuffix, {X}, {Y}, {}}), Verdict::Unsat);
+
+  Fixture F2;
+  VarId X2 = F2.var("a|b"), Y2 = F2.var("(a|b)*b");
+  EXPECT_EQ(F2.decide({PredKind::NotSuffix, {X2}, {Y2}, {}}),
+            Verdict::Sat);
+}
+
+/// The key property: the PTime path agrees with the NP tag/LIA path and
+/// the brute-force oracle on random single predicates.
+TEST(OneCounterTest, DifferentialAgainstLiaPathAndOracle) {
+  const char *Pool[] = {"a",      "b",  "ab",     "(a|b)*", "a*",
+                        "(ab)*",  "a|b", "a+b*",  "ba|ab",  "a{1,3}",
+                        "",       "b+",  "(ab)+", "(a|b){0,2}"};
+  std::mt19937 Rng(31337);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    Fixture F;
+    uint32_t NumVars = 1 + Rng() % 3;
+    std::vector<VarId> Vars;
+    for (uint32_t V = 0; V < NumVars; ++V)
+      Vars.push_back(F.var(Pool[Rng() % (sizeof(Pool) / sizeof(char *))]));
+    auto RandOccs = [&] {
+      std::vector<VarId> Occs;
+      uint32_t Len = 1 + Rng() % 2;
+      for (uint32_t I = 0; I < Len; ++I)
+        Occs.push_back(Vars[Rng() % Vars.size()]);
+      return Occs;
+    };
+    PredKind Kind = static_cast<PredKind>(Rng() % 3); // Diseq/NotPre/NotSuf
+    PosPredicate Pred{Kind, RandOccs(), RandOccs(), {}};
+
+    Verdict Fast = F.decide(Pred);
+    ASSERT_NE(Fast, Verdict::Unknown) << "budget hit on tiny instance";
+
+    lia::Arena A;
+    MpResult Slow = solveMP(A, F.Langs, {Pred}, F.Sigma.size());
+    ASSERT_NE(Slow.V, Verdict::Unknown);
+    EXPECT_EQ(Fast, Slow.V) << "iteration " << Iter;
+
+    solver::BruteForceOptions BfOpts;
+    BfOpts.MaxWordLen = 4;
+    solver::BruteForceResult Bf = solver::solveBruteForce(F.Langs, {Pred},
+                                                          BfOpts);
+    if (Bf.V == Verdict::Sat)
+      EXPECT_EQ(Fast, Verdict::Sat) << "iteration " << Iter;
+  }
+}
+
+} // namespace

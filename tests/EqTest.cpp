@@ -1,0 +1,169 @@
+//===- tests/EqTest.cpp - Stabilization tests --------------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// The monadic-decomposition property (Sec. 3) is the contract everything
+// above relies on: every choice of words from a disjunct's languages,
+// substituted through its map, must solve the original equations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eq/Stabilize.h"
+#include "regex/Regex.h"
+
+#include <gtest/gtest.h>
+
+using namespace postr;
+using namespace postr::eq;
+using automata::Nfa;
+
+namespace {
+
+struct Fixture {
+  Alphabet Sigma;
+  std::map<VarId, Nfa> Langs;
+  std::vector<WordEquation> Eqs;
+  VarId Next = 0;
+
+  VarId var(const std::string &Re) {
+    VarId X = Next++;
+    Langs[X] = regex::compileString(Re, Sigma);
+    return X;
+  }
+
+  StabilizeResult run(const StabilizeOptions &Opts = {}) {
+    // Close the alphabet for every language: recompiling is not needed
+    // because compileString interns eagerly in declaration order and the
+    // tests only compare words, not complements.
+    VarId Fresh = Next + 100;
+    return stabilize(Langs, Eqs, Fresh, Opts);
+  }
+};
+
+/// Checks the monadic-decomposition contract on one disjunct by sampling
+/// words (shortest word per terminal variable).
+void checkDisjunct(const Fixture &F, const Decomposition &D) {
+  std::map<VarId, Word> Terminal;
+  for (const auto &[X, L] : D.Langs) {
+    std::optional<Word> W = L.someWord();
+    ASSERT_TRUE(W.has_value()) << "empty terminal language";
+    Terminal[X] = *W;
+  }
+  auto WordOf = [&](VarId X) {
+    Word Out;
+    auto It = D.Subst.find(X);
+    EXPECT_TRUE(It != D.Subst.end()) << "missing substitution";
+    for (VarId T : It->second) {
+      const Word &W = Terminal.at(T);
+      Out.insert(Out.end(), W.begin(), W.end());
+    }
+    return Out;
+  };
+  for (const WordEquation &E : F.Eqs) {
+    Word L, R;
+    for (VarId X : E.Lhs) {
+      Word W = WordOf(X);
+      L.insert(L.end(), W.begin(), W.end());
+    }
+    for (VarId X : E.Rhs) {
+      Word W = WordOf(X);
+      R.insert(R.end(), W.begin(), W.end());
+    }
+    EXPECT_EQ(L, R) << "decomposition violates an input equation";
+  }
+  // And terminal languages respect the original regular constraints:
+  // every original variable's substituted word is in its language.
+  for (const auto &[X, L] : F.Langs)
+    EXPECT_TRUE(L.accepts(WordOf(X)))
+        << "substituted word escapes the original language of x" << X;
+}
+
+TEST(StabilizeTest, NoEquationsIsIdentity) {
+  Fixture F;
+  F.var("a*");
+  F.var("b|c");
+  StabilizeResult R = F.run();
+  ASSERT_TRUE(R.Complete);
+  ASSERT_EQ(R.Disjuncts.size(), 1u);
+  checkDisjunct(F, R.Disjuncts[0]);
+}
+
+TEST(StabilizeTest, SimpleSyncEquation) {
+  // x = y with x in a*, y in (aa)*: solutions are even powers of a.
+  Fixture F;
+  VarId X = F.var("a*"), Y = F.var("(aa)*");
+  F.Eqs.push_back({{X}, {Y}});
+  StabilizeResult R = F.run();
+  ASSERT_TRUE(R.Complete);
+  ASSERT_FALSE(R.Disjuncts.empty());
+  for (const Decomposition &D : R.Disjuncts)
+    checkDisjunct(F, D);
+}
+
+TEST(StabilizeTest, UnsatByLanguages) {
+  // x = y with disjoint languages: no disjuncts.
+  Fixture F;
+  VarId X = F.var("a+"), Y = F.var("b+");
+  F.Eqs.push_back({{X}, {Y}});
+  StabilizeResult R = F.run();
+  ASSERT_TRUE(R.Complete);
+  EXPECT_TRUE(R.Disjuncts.empty());
+}
+
+TEST(StabilizeTest, ConcatenationSplit) {
+  // xy = z: z in abab? any split works.
+  Fixture F;
+  VarId X = F.var("(a|b)*"), Y = F.var("(a|b)*"), Z = F.var("abab");
+  F.Eqs.push_back({{X, Y}, {Z}});
+  StabilizeResult R = F.run();
+  ASSERT_TRUE(R.Complete);
+  ASSERT_FALSE(R.Disjuncts.empty());
+  for (const Decomposition &D : R.Disjuncts)
+    checkDisjunct(F, D);
+}
+
+TEST(StabilizeTest, CommutationEquation) {
+  // xy = yx over (ab)* languages: always satisfiable; decompositions
+  // must still verify.
+  Fixture F;
+  VarId X = F.var("(ab)*"), Y = F.var("(ab)*");
+  F.Eqs.push_back({{X, Y}, {Y, X}});
+  StabilizeResult R = F.run({/*Fuel=*/2000, /*MaxDisjuncts=*/64});
+  ASSERT_FALSE(R.Disjuncts.empty());
+  for (const Decomposition &D : R.Disjuncts)
+    checkDisjunct(F, D);
+}
+
+TEST(StabilizeTest, SystemOfTwoEquations) {
+  Fixture F;
+  VarId X = F.var("(a|b){0,3}"), Y = F.var("a*"), Z = F.var("(a|b){0,4}");
+  F.Eqs.push_back({{X, Y}, {Z}});
+  F.Eqs.push_back({{Y}, {X}});
+  StabilizeResult R = F.run();
+  ASSERT_FALSE(R.Disjuncts.empty());
+  for (const Decomposition &D : R.Disjuncts)
+    checkDisjunct(F, D);
+}
+
+TEST(StabilizeTest, FuelExhaustionIsReported) {
+  // Quadratic equation with cyclic structure burns fuel; the result must
+  // say so instead of silently claiming Unsat.
+  Fixture F;
+  VarId X = F.var("(a|b)*"), Y = F.var("(a|b)*"), Z = F.var("(a|b)*");
+  F.Eqs.push_back({{X, Y, Z}, {Z, Y, X}});
+  StabilizeResult R = F.run({/*Fuel=*/20, /*MaxDisjuncts=*/4});
+  EXPECT_FALSE(R.Complete);
+}
+
+TEST(StabilizeTest, EmptyLanguageShortCircuit) {
+  Fixture F;
+  VarId X = F.var("a"), Y = F.var("b");
+  F.Langs[Y] = automata::Nfa::emptyLanguage(F.Sigma.size());
+  F.Eqs.push_back({{X}, {Y}});
+  StabilizeResult R = F.run();
+  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.Disjuncts.empty());
+}
+
+} // namespace

@@ -1,0 +1,371 @@
+//===- tests/LiaTest.cpp - LIA solver tests ---------------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lia/Mbqi.h"
+#include "lia/Sat.h"
+#include "lia/Simplex.h"
+#include "lia/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace postr;
+using namespace postr::lia;
+
+namespace {
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ((Half + Third), Rational(5, 6));
+  EXPECT_EQ((Half - Third), Rational(1, 6));
+  EXPECT_EQ((Half * Third), Rational(1, 6));
+  EXPECT_EQ((Half / Third), Rational(3, 2));
+  EXPECT_TRUE(Third < Half);
+  EXPECT_EQ(Rational(-7, 2).floor(), Rational(-4));
+  EXPECT_EQ(Rational(-7, 2).ceil(), Rational(-3));
+  EXPECT_EQ(Rational(7, 2).floor(), Rational(3));
+  EXPECT_EQ(Rational(7, 2).ceil(), Rational(4));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(4, 2).asInt64(), 2);
+}
+
+TEST(LinTermTest, AlgebraAndEval) {
+  LinTerm X = LinTerm::variable(0), Y = LinTerm::variable(1);
+  LinTerm T = X * 2 + Y - LinTerm(3);
+  std::vector<int64_t> Model{5, 1};
+  EXPECT_EQ(T.eval(Model), 8);
+  LinTerm Zero = T - T;
+  EXPECT_TRUE(Zero.isConstant());
+  EXPECT_EQ(Zero.constant(), 0);
+  EXPECT_EQ(((X + Y) - X).coeffs().size(), 1u);
+}
+
+TEST(SatTest, TrivialSatUnsat) {
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar();
+  S.addClause({Lit(A, false), Lit(B, false)});
+  S.addClause({Lit(A, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Res::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  S.addClause({Lit(B, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Res::Unsat);
+}
+
+TEST(SatTest, PigeonHole3Into2IsUnsat) {
+  // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+  SatSolver S;
+  uint32_t P[3][2];
+  for (auto &Row : P)
+    for (uint32_t &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < 3; ++I)
+    S.addClause({Lit(P[I][0], false), Lit(P[I][1], false)});
+  for (int J = 0; J < 2; ++J)
+    for (int I1 = 0; I1 < 3; ++I1)
+      for (int I2 = I1 + 1; I2 < 3; ++I2)
+        S.addClause({Lit(P[I1][J], true), Lit(P[I2][J], true)});
+  EXPECT_EQ(S.solve(), SatSolver::Res::Unsat);
+}
+
+/// Brute-force SAT check by enumeration, used as a differential oracle.
+bool bruteForceSat(uint32_t NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  assert(NumVars <= 20);
+  for (uint32_t M = 0; M < (1u << NumVars); ++M) {
+    bool All = true;
+    for (const std::vector<Lit> &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C)
+        if (((M >> L.var()) & 1) != (L.negated() ? 1u : 0u))
+          Any = true;
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+TEST(SatTest, RandomDifferentialAgainstBruteForce) {
+  std::mt19937 Rng(777);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    uint32_t NumVars = 3 + Rng() % 8;
+    uint32_t NumClauses = 1 + Rng() % (3 * NumVars);
+    std::vector<std::vector<Lit>> Clauses;
+    for (uint32_t C = 0; C < NumClauses; ++C) {
+      uint32_t Len = 1 + Rng() % 3;
+      std::vector<Lit> Clause;
+      for (uint32_t K = 0; K < Len; ++K)
+        Clause.push_back(Lit(Rng() % NumVars, Rng() % 2));
+      Clauses.push_back(std::move(Clause));
+    }
+    SatSolver S;
+    for (uint32_t V = 0; V < NumVars; ++V)
+      S.newVar();
+    for (const std::vector<Lit> &C : Clauses)
+      S.addClause(C);
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    EXPECT_EQ(S.solve() == SatSolver::Res::Sat, Expected)
+        << "iteration " << Iter;
+  }
+}
+
+TEST(SimplexTest, FeasibleSystem) {
+  // x + y <= 4, x - y <= 1, x >= 0, y >= 0.
+  Simplex S(2);
+  S.setIntrinsicBounds(0, 0, INT64_MAX);
+  S.setIntrinsicBounds(1, 0, INT64_MAX);
+  uint32_t R1 = S.rowFor(LinTerm::variable(0) + LinTerm::variable(1));
+  uint32_t R2 = S.rowFor(LinTerm::variable(0) - LinTerm::variable(1));
+  EXPECT_TRUE(S.assertUpper(R1, Rational(4)));
+  EXPECT_TRUE(S.assertUpper(R2, Rational(1)));
+  EXPECT_TRUE(S.checkRational());
+  std::vector<int64_t> Model;
+  EXPECT_EQ(S.checkInteger(Model), TheoryResult::Sat);
+  EXPECT_LE(Model[0] + Model[1], 4);
+  EXPECT_LE(Model[0] - Model[1], 1);
+}
+
+TEST(SimplexTest, InfeasibleSystem) {
+  // x >= 3 and x <= 2.
+  Simplex S(1);
+  EXPECT_TRUE(S.assertLower(0, Rational(3)));
+  EXPECT_FALSE(S.assertUpper(0, Rational(2)));
+}
+
+TEST(SimplexTest, RationalFeasibleIntegerInfeasible) {
+  // 2x = 1 (x free): rationally feasible, integrally infeasible.
+  Simplex S(1);
+  uint32_t R = S.rowFor(LinTerm::variable(0) * 2);
+  EXPECT_TRUE(S.assertLower(R, Rational(1)));
+  EXPECT_TRUE(S.assertUpper(R, Rational(1)));
+  EXPECT_TRUE(S.checkRational());
+  std::vector<int64_t> Model;
+  EXPECT_EQ(S.checkInteger(Model), TheoryResult::Unsat);
+}
+
+TEST(SimplexTest, SnapshotRestore) {
+  Simplex S(1);
+  uint32_t R = S.rowFor(LinTerm::variable(0) * 3);
+  Simplex::Snapshot Snap = S.save();
+  EXPECT_TRUE(S.assertLower(R, Rational(6)));
+  EXPECT_TRUE(S.assertUpper(R, Rational(6)));
+  std::vector<int64_t> Model;
+  EXPECT_EQ(S.checkInteger(Model), TheoryResult::Sat);
+  EXPECT_EQ(Model[0], 2);
+  S.restore(Snap);
+  EXPECT_TRUE(S.assertUpper(R, Rational(-3)));
+  EXPECT_EQ(S.checkInteger(Model), TheoryResult::Sat);
+  EXPECT_LE(Model[0], -1);
+}
+
+TEST(SolveQfTest, SimpleConjunction) {
+  Arena A;
+  Var X = A.freshVar("x"), Y = A.freshVar("y");
+  FormulaId F = A.conj({
+      A.cmp(LinTerm::variable(X) + LinTerm::variable(Y), Cmp::Eq,
+            LinTerm(10)),
+      A.cmp(LinTerm::variable(X) - LinTerm::variable(Y), Cmp::Ge,
+            LinTerm(4)),
+      A.cmp(LinTerm::variable(Y), Cmp::Ge, LinTerm(1)),
+  });
+  QfResult R = solveQF(A, F);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_EQ(R.Model[X] + R.Model[Y], 10);
+  EXPECT_GE(R.Model[X] - R.Model[Y], 4);
+}
+
+TEST(SolveQfTest, UnsatConjunction) {
+  Arena A;
+  Var X = A.freshVar("x");
+  FormulaId F = A.conj({
+      A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(5)),
+      A.cmp(LinTerm::variable(X), Cmp::Le, LinTerm(4)),
+  });
+  EXPECT_EQ(solveQF(A, F).V, Verdict::Unsat);
+}
+
+TEST(SolveQfTest, DisjunctionNeedsTheoryConflicts) {
+  Arena A;
+  Var X = A.freshVar("x", 0, INT64_MAX);
+  // (x <= 2 or x >= 10) and x = 5 -> unsat.
+  FormulaId F = A.conj({
+      A.disj({A.cmp(LinTerm::variable(X), Cmp::Le, LinTerm(2)),
+              A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(10))}),
+      A.cmp(LinTerm::variable(X), Cmp::Eq, LinTerm(5)),
+  });
+  EXPECT_EQ(solveQF(A, F).V, Verdict::Unsat);
+
+  // (x <= 2 or x >= 10) and x >= 6 -> sat with x >= 10.
+  FormulaId G = A.conj({
+      A.disj({A.cmp(LinTerm::variable(X), Cmp::Le, LinTerm(2)),
+              A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(10))}),
+      A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(6)),
+  });
+  QfResult R = solveQF(A, G);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_GE(R.Model[X], 10);
+}
+
+TEST(SolveQfTest, NotEqualLowering) {
+  Arena A;
+  Var X = A.freshVar("x", 0, 1);
+  Var Y = A.freshVar("y", 0, 1);
+  FormulaId F = A.conj({
+      A.cmp(LinTerm::variable(X), Cmp::Ne, LinTerm::variable(Y)),
+      A.cmp(LinTerm::variable(X), Cmp::Le, LinTerm(0)),
+  });
+  QfResult R = solveQF(A, F);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_EQ(R.Model[X], 0);
+  EXPECT_EQ(R.Model[Y], 1);
+}
+
+TEST(SolveQfTest, IntrinsicBoundsRespected) {
+  Arena A;
+  Var X = A.freshVar("x", 3, 7);
+  FormulaId F = A.cmp(LinTerm::variable(X), Cmp::Le, LinTerm(100));
+  QfResult R = solveQF(A, F);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_GE(R.Model[X], 3);
+  EXPECT_LE(R.Model[X], 7);
+  FormulaId G = A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(8));
+  EXPECT_EQ(solveQF(A, G).V, Verdict::Unsat);
+}
+
+/// Differential test: random small formulae vs brute-force enumeration of
+/// variable values in a small box.
+TEST(SolveQfTest, RandomDifferentialAgainstEnumeration) {
+  std::mt19937 Rng(4242);
+  for (int Iter = 0; Iter < 120; ++Iter) {
+    Arena A;
+    uint32_t NumVars = 2 + Rng() % 2;
+    std::vector<Var> Vars;
+    for (uint32_t V = 0; V < NumVars; ++V)
+      Vars.push_back(A.freshVar("v" + std::to_string(V), 0, 4));
+
+    auto RandTerm = [&] {
+      LinTerm T(static_cast<int64_t>(Rng() % 9) - 4);
+      for (Var V : Vars)
+        T += LinTerm::variable(V, static_cast<int64_t>(Rng() % 5) - 2);
+      return T;
+    };
+    std::vector<FormulaId> Parts;
+    uint32_t NumAtoms = 2 + Rng() % 4;
+    for (uint32_t I = 0; I < NumAtoms; ++I) {
+      Cmp Op = static_cast<Cmp>(Rng() % 6);
+      FormulaId Atom = A.atom(RandTerm(), Op);
+      if (Rng() % 3 == 0)
+        Atom = A.neg(Atom);
+      Parts.push_back(Atom);
+    }
+    // Random and/or tree: pair up parts.
+    FormulaId F = Parts[0];
+    for (size_t I = 1; I < Parts.size(); ++I)
+      F = (Rng() % 2) ? A.conj({F, Parts[I]}) : A.disj({F, Parts[I]});
+
+    // Brute force over the box [0,4]^n.
+    bool Expected = false;
+    std::vector<int64_t> M(NumVars, 0);
+    uint32_t Total = 1;
+    for (uint32_t V = 0; V < NumVars; ++V)
+      Total *= 5;
+    for (uint32_t Code = 0; Code < Total && !Expected; ++Code) {
+      uint32_t C = Code;
+      for (uint32_t V = 0; V < NumVars; ++V) {
+        M[V] = C % 5;
+        C /= 5;
+      }
+      if (A.eval(F, M))
+        Expected = true;
+    }
+
+    QfResult R = solveQF(A, F);
+    ASSERT_NE(R.V, Verdict::Unknown) << "iteration " << Iter;
+    EXPECT_EQ(R.V == Verdict::Sat, Expected)
+        << "iteration " << Iter << ": " << A.str(F);
+  }
+}
+
+TEST(MbqiTest, NoBlocksBehavesLikeQf) {
+  Arena A;
+  Var X = A.freshVar("x", 0, 10);
+  MbqiQuery Q;
+  Q.Outer = A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(3));
+  Q.OuterVars = {X};
+  std::vector<int64_t> Model;
+  EXPECT_EQ(solveMbqi(A, Q, &Model), Verdict::Sat);
+  EXPECT_GE(Model[X], 3);
+}
+
+TEST(MbqiTest, ForallBlockFiltersModels) {
+  // ∃x ∈ [0,4] ∀κ ∈ [0,x] ∃y: y = κ ∧ y ≤ 2 ∧ x ≥ 2.
+  // For x ∈ {3,4} the offset κ=3 fails; x=2 works.
+  Arena A;
+  Var X = A.freshVar("x", 0, 4);
+  Var K = A.freshVar("kappa");
+  Var Y = A.freshVar("y");
+  MbqiQuery Q;
+  Q.Outer = A.cmp(LinTerm::variable(X), Cmp::Ge, LinTerm(2));
+  Q.OuterVars = {X};
+  ForallBlock B;
+  B.Kappa = K;
+  B.Upper = LinTerm::variable(X);
+  B.Inner = A.conj({
+      A.cmp(LinTerm::variable(Y), Cmp::Eq, LinTerm::variable(K)),
+      A.cmp(LinTerm::variable(Y), Cmp::Le, LinTerm(2)),
+  });
+  Q.Blocks.push_back(B);
+  std::vector<int64_t> Model;
+  ASSERT_EQ(solveMbqi(A, Q, &Model), Verdict::Sat);
+  EXPECT_EQ(Model[X], 2);
+}
+
+TEST(MbqiTest, UnsatWhenEveryModelRefuted) {
+  // ∃x ∈ [1,3] ∀κ ∈ [0,x] : κ <= 0 — fails for every x >= 1.
+  Arena A;
+  Var X = A.freshVar("x", 1, 3);
+  Var K = A.freshVar("kappa");
+  MbqiQuery Q;
+  Q.Outer = A.trueF();
+  Q.OuterVars = {X};
+  ForallBlock B;
+  B.Kappa = K;
+  B.Upper = LinTerm::variable(X);
+  B.Inner = A.cmp(LinTerm::variable(K), Cmp::Le, LinTerm(0));
+  Q.Blocks.push_back(B);
+  EXPECT_EQ(solveMbqi(A, Q), Verdict::Unsat);
+}
+
+TEST(ArenaTest, EvalAndLowerAgree) {
+  std::mt19937 Rng(99);
+  for (int Iter = 0; Iter < 100; ++Iter) {
+    Arena A;
+    Var X = A.freshVar("x"), Y = A.freshVar("y");
+    LinTerm T = LinTerm::variable(X, static_cast<int64_t>(Rng() % 5) - 2) +
+                LinTerm::variable(Y, static_cast<int64_t>(Rng() % 5) - 2) +
+                LinTerm(static_cast<int64_t>(Rng() % 7) - 3);
+    Cmp Op = static_cast<Cmp>(Rng() % 6);
+    FormulaId F = A.atom(T, Op);
+    if (Rng() % 2)
+      F = A.neg(F);
+    FormulaId L = A.lower(F);
+    for (int64_t XV = -2; XV <= 2; ++XV)
+      for (int64_t YV = -2; YV <= 2; ++YV) {
+        std::vector<int64_t> M{XV, YV};
+        EXPECT_EQ(A.eval(F, M), A.eval(L, M))
+            << A.str(F) << " vs " << A.str(L);
+      }
+  }
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/RegexTest.cpp - Regex frontend tests ---------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include <gtest/gtest.h>
+
+using namespace postr;
+using namespace postr::regex;
+using automata::Nfa;
+
+namespace {
+
+/// Compiles \p Pattern against a fresh alphabet and checks membership of
+/// the listed words (given as character strings).
+void expectLanguage(const std::string &Pattern,
+                    const std::vector<std::string> &In,
+                    const std::vector<std::string> &Out) {
+  Alphabet Sigma;
+  Nfa A = compileString(Pattern, Sigma);
+  for (const std::string &S : In) {
+    Word W;
+    for (char C : S)
+      W.push_back(Sigma.intern(C));
+    EXPECT_TRUE(A.accepts(W)) << Pattern << " should accept \"" << S << "\"";
+  }
+  for (const std::string &S : Out) {
+    Word W;
+    bool AllKnown = true;
+    for (char C : S) {
+      std::optional<Symbol> Sym = Sigma.lookup(C);
+      if (!Sym) {
+        AllKnown = false;
+        break;
+      }
+      W.push_back(*Sym);
+    }
+    if (!AllKnown)
+      continue; // word uses symbols outside the alphabet: trivially out
+    EXPECT_FALSE(A.accepts(W)) << Pattern << " should reject \"" << S
+                               << "\"";
+  }
+}
+
+TEST(RegexTest, Literals) {
+  expectLanguage("abc", {"abc"}, {"", "ab", "abcc", "acb"});
+}
+
+TEST(RegexTest, UnionAndGrouping) {
+  expectLanguage("a|bc", {"a", "bc"}, {"", "b", "c", "abc"});
+  expectLanguage("(a|b)c", {"ac", "bc"}, {"c", "ab", "abc"});
+}
+
+TEST(RegexTest, StarPlusOptional) {
+  expectLanguage("a*", {"", "a", "aaaa"}, {});
+  expectLanguage("a+", {"a", "aa"}, {""});
+  expectLanguage("ab?", {"a", "ab"}, {"", "abb"});
+  expectLanguage("(ab)*", {"", "ab", "abab"}, {"a", "ba", "aba"});
+}
+
+TEST(RegexTest, CharacterClasses) {
+  expectLanguage("[abc]+", {"a", "cab"}, {""});
+  expectLanguage("[a-c]", {"a", "b", "c"}, {""});
+  expectLanguage("x[0-2]y", {"x0y", "x2y"}, {"xy", "x3y"});
+}
+
+TEST(RegexTest, NegatedClassUsesEffectiveAlphabet) {
+  Alphabet Sigma;
+  Sigma.intern('a');
+  Sigma.intern('b');
+  Sigma.intern('c');
+  Result<NodePtr> R = parse("[^a]");
+  ASSERT_TRUE(static_cast<bool>(R));
+  collectAlphabet(**R, Sigma);
+  Nfa A = compile(**R, Sigma);
+  EXPECT_FALSE(A.accepts({*Sigma.lookup('a')}));
+  EXPECT_TRUE(A.accepts({*Sigma.lookup('b')}));
+  EXPECT_TRUE(A.accepts({*Sigma.lookup('c')}));
+}
+
+TEST(RegexTest, BoundedRepetition) {
+  expectLanguage("a{3}", {"aaa"}, {"", "a", "aa", "aaaa"});
+  expectLanguage("a{1,3}", {"a", "aa", "aaa"}, {"", "aaaa"});
+  expectLanguage("a{2,}", {"aa", "aaaaa"}, {"", "a"});
+  expectLanguage("(ab){2}", {"abab"}, {"ab", "ababab"});
+}
+
+TEST(RegexTest, Escapes) {
+  expectLanguage("\\*\\|", {"*|"}, {"", "*"});
+}
+
+TEST(RegexTest, DotMatchesWholeAlphabet) {
+  Alphabet Sigma;
+  Sigma.intern('a');
+  Sigma.intern('b');
+  Result<NodePtr> R = parse(".");
+  ASSERT_TRUE(static_cast<bool>(R));
+  Nfa A = compile(**R, Sigma);
+  EXPECT_TRUE(A.accepts({*Sigma.lookup('a')}));
+  EXPECT_TRUE(A.accepts({*Sigma.lookup('b')}));
+  EXPECT_FALSE(A.accepts({}));
+}
+
+TEST(RegexTest, EmptyPatternIsEpsilon) {
+  Alphabet Sigma;
+  Nfa A = compileString("", Sigma);
+  EXPECT_TRUE(A.accepts({}));
+}
+
+TEST(RegexTest, ParseErrors) {
+  EXPECT_FALSE(static_cast<bool>(parse("(ab")));
+  EXPECT_FALSE(static_cast<bool>(parse("a)")));
+  EXPECT_FALSE(static_cast<bool>(parse("*a")));
+  EXPECT_FALSE(static_cast<bool>(parse("a{,3}")));
+  EXPECT_FALSE(static_cast<bool>(parse("a{3,2}")));
+  EXPECT_FALSE(static_cast<bool>(parse("[b-a]")));
+  EXPECT_FALSE(static_cast<bool>(parse("[]")));
+  EXPECT_FALSE(static_cast<bool>(parse("a\\")));
+}
+
+TEST(RegexTest, FlatPaperLanguagesCompileFlat) {
+  // Languages used by the position-hard family (footnote 10).
+  Alphabet Sigma;
+  EXPECT_TRUE(compileString("a*", Sigma).isFlat());
+  EXPECT_TRUE(compileString("(abc)*", Sigma).isFlat());
+  EXPECT_TRUE(compileString("(ab)*c((ab)*|(ba)*)", Sigma).isFlat());
+  EXPECT_FALSE(compileString("(a|b)*", Sigma).isFlat());
+}
+
+} // namespace

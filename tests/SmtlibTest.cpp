@@ -1,0 +1,135 @@
+//===- tests/SmtlibTest.cpp - SMT-LIB reader tests ----------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Reader.h"
+#include "solver/PositionSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace postr;
+using strings::AssertKind;
+using strings::Problem;
+
+namespace {
+
+TEST(SmtlibTest, DeclarationsAndDiseq) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (set-logic QF_S)
+    (declare-fun x () String)
+    (declare-const y String)
+    (assert (not (= x y)))
+    (check-sat))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  EXPECT_EQ(P->numStrVars(), 2u);
+  ASSERT_EQ(P->assertions().size(), 1u);
+  EXPECT_EQ(P->assertions()[0].Kind, AssertKind::Diseq);
+}
+
+TEST(SmtlibTest, RegexMembership) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (assert (str.in_re x (re.+ (re.union (str.to_re "ab") (re.range "x" "z"))))))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  ASSERT_EQ(P->assertions().size(), 1u);
+  EXPECT_EQ(P->assertions()[0].Kind, AssertKind::InRe);
+  EXPECT_NE(P->assertions()[0].Re, nullptr);
+}
+
+TEST(SmtlibTest, PositionPredicates) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (declare-fun y () String)
+    (assert (not (str.prefixof x y)))
+    (assert (not (str.suffixof "s" y)))
+    (assert (not (str.contains y x)))
+    (assert (str.contains y "n")))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  ASSERT_EQ(P->assertions().size(), 4u);
+  EXPECT_EQ(P->assertions()[0].Kind, AssertKind::NotPrefixof);
+  EXPECT_EQ(P->assertions()[1].Kind, AssertKind::NotSuffixof);
+  // (str.contains haystack needle): needle lands on Lhs.
+  EXPECT_EQ(P->assertions()[2].Kind, AssertKind::NotContains);
+  EXPECT_TRUE(P->assertions()[2].Lhs[0].IsVar);
+  EXPECT_EQ(P->assertions()[3].Kind, AssertKind::Contains);
+  EXPECT_FALSE(P->assertions()[3].Lhs[0].IsVar);
+}
+
+TEST(SmtlibTest, IntegerAtomsAndLen) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (declare-fun n () Int)
+    (assert (<= (str.len x) 5))
+    (assert (not (< n (- (str.len x) 1))))
+    (assert (= n (+ (str.len x) 2))))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  EXPECT_EQ(P->numIntVars(), 1u);
+  ASSERT_EQ(P->assertions().size(), 3u);
+  for (const auto &A : P->assertions())
+    EXPECT_EQ(A.Kind, AssertKind::IntAtom);
+  // ¬(n < t) flips to n >= t.
+  EXPECT_EQ(P->assertions()[1].Op, lia::Cmp::Ge);
+}
+
+TEST(SmtlibTest, StrAtForms) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (declare-fun h () String)
+    (assert (= x (str.at h 2)))
+    (assert (not (= (str.at h 0) "a"))))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  ASSERT_EQ(P->assertions().size(), 2u);
+  EXPECT_EQ(P->assertions()[0].Kind, AssertKind::StrAtEq);
+  EXPECT_EQ(P->assertions()[1].Kind, AssertKind::StrAtNe);
+}
+
+TEST(SmtlibTest, ConcatAndLiterals) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (assert (= (str.++ "a" x "b") (str.++ x "ab"))))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  ASSERT_EQ(P->assertions().size(), 1u);
+  EXPECT_EQ(P->assertions()[0].Lhs.size(), 3u);
+  EXPECT_EQ(P->assertions()[0].Rhs.size(), 2u);
+}
+
+TEST(SmtlibTest, ErrorsCarryLocation) {
+  Result<Problem> P = smtlib::parseString("(assert (= x y))");
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.error().find("undeclared"), std::string::npos);
+  Result<Problem> Q = smtlib::parseString("(assert (= \"a\" ");
+  ASSERT_FALSE(static_cast<bool>(Q));
+  Result<Problem> R = smtlib::parseString("(frobnicate)");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().find("unsupported command"), std::string::npos);
+}
+
+TEST(SmtlibTest, CommentsAndEscapedQuotes) {
+  Result<Problem> P = smtlib::parseString(R"(
+    ; a comment
+    (declare-fun x () String) ; trailing comment
+    (assert (= x "say "" twice")))");
+  // "" escapes to a single quote character inside the literal.
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  const std::string &Lit = P->assertions()[0].Rhs[0].Lit;
+  EXPECT_NE(Lit.find('"'), std::string::npos);
+}
+
+TEST(SmtlibTest, EndToEndSolve) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (declare-fun y () String)
+    (assert (str.in_re x (re.* (str.to_re "ab"))))
+    (assert (str.in_re y (re.* (str.to_re "ab"))))
+    (assert (not (= (str.++ x y) (str.++ y x))))
+    (check-sat))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  solver::SolveOptions Opts;
+  Opts.TimeoutMs = 20000;
+  EXPECT_EQ(solver::solveProblem(*P, Opts).V, Verdict::Unsat);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/StringsTest.cpp - Normalization tests ----------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// The Sec. 2 normal-form transformation: positive prefixof / suffixof /
+// contains become word equations with fresh variables (step (i)),
+// literals become singleton-language variables (footnote 3), and every
+// variable ends up with exactly one NFA (step (ii)).
+//
+//===----------------------------------------------------------------------===//
+
+#include "strings/Eval.h"
+#include "strings/Normalize.h"
+
+#include <gtest/gtest.h>
+
+using namespace postr;
+using namespace postr::strings;
+
+namespace {
+
+TEST(NormalizeTest, EveryVariableGetsOneLanguage) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "a*");
+  P.assertInRe(X, "(aa)*"); // two memberships must intersect
+  NormalForm N = normalize(P);
+  ASSERT_EQ(N.Langs.count(X), 1u);
+  EXPECT_TRUE(N.Langs.at(X).accepts({}));
+  Word Aa = {N.Sigma.lookup('a').value(), N.Sigma.lookup('a').value()};
+  EXPECT_TRUE(N.Langs.at(X).accepts(Aa));
+  Word A = {N.Sigma.lookup('a').value()};
+  EXPECT_FALSE(N.Langs.at(X).accepts(A)) << "intersection not applied";
+}
+
+TEST(NormalizeTest, PositiveContainsBecomesEquation) {
+  Problem P;
+  VarId X = P.strVar("x"), Y = P.strVar("y");
+  P.assertInRe(X, "(a|b)*");
+  P.assertInRe(Y, "(a|b)*");
+  P.assertPred(AssertKind::Contains, {StrElem::var(X)}, {StrElem::var(Y)});
+  NormalForm N = normalize(P);
+  // y = z·x·z′ for fresh z, z′ (Sec. 2 step (i)).
+  ASSERT_EQ(N.Equations.size(), 1u);
+  EXPECT_EQ(N.Equations[0].Lhs, (std::vector<VarId>{Y}));
+  EXPECT_EQ(N.Equations[0].Rhs.size(), 3u);
+  EXPECT_TRUE(N.Preds.empty());
+}
+
+TEST(NormalizeTest, NegativePredicatesStayInP) {
+  Problem P;
+  VarId X = P.strVar("x"), Y = P.strVar("y");
+  P.assertInRe(X, "a*");
+  P.assertInRe(Y, "b*");
+  P.assertPred(AssertKind::NotPrefixof, {StrElem::var(X)},
+               {StrElem::var(Y)});
+  P.assertDiseq({StrElem::var(X)}, {StrElem::var(Y)});
+  NormalForm N = normalize(P);
+  EXPECT_TRUE(N.Equations.empty());
+  ASSERT_EQ(N.Preds.size(), 2u);
+  EXPECT_EQ(N.Preds[0].Kind, tagaut::PredKind::NotPrefix);
+  EXPECT_EQ(N.Preds[1].Kind, tagaut::PredKind::Diseq);
+}
+
+TEST(NormalizeTest, LiteralsBecomeSingletonVariables) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "(a|b)*");
+  P.assertDiseq({StrElem::var(X)}, {StrElem::lit("ab")});
+  NormalForm N = normalize(P);
+  ASSERT_EQ(N.Preds.size(), 1u);
+  ASSERT_EQ(N.Preds[0].Rhs.size(), 1u);
+  VarId LitVar = N.Preds[0].Rhs[0];
+  EXPECT_NE(LitVar, X);
+  Word Ab = {N.Sigma.lookup('a').value(), N.Sigma.lookup('b').value()};
+  EXPECT_TRUE(N.Langs.at(LitVar).accepts(Ab));
+  EXPECT_FALSE(N.Langs.at(LitVar).accepts({}));
+}
+
+TEST(NormalizeTest, SentinelSymbolExtendsAlphabet) {
+  // A disequality between variables over disjoint alphabets can only be
+  // witnessed by length or by the letters themselves; the normal form
+  // must keep the effective alphabet large enough for a fresh-letter
+  // witness (DESIGN.md "alphabet closure").
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "a");
+  P.assertDiseq({StrElem::var(X)}, {StrElem::lit("a")});
+  NormalForm N = normalize(P);
+  EXPECT_GE(N.Sigma.size(), 2u) << "no room for a witness symbol";
+}
+
+TEST(NormalizeTest, IntAtomsAndLenTerms) {
+  Problem P;
+  VarId X = P.strVar("x");
+  IntVarId K = P.intVar("k");
+  P.assertInRe(X, "a*");
+  P.assertIntAtom(IntTerm::lenOf(X) + IntTerm::constant(1), lia::Cmp::Le,
+                  IntTerm::intVar(K));
+  NormalForm N = normalize(P);
+  ASSERT_EQ(N.IntAtoms.size(), 1u);
+  EXPECT_EQ(N.IntAtoms[0].Op, lia::Cmp::Le);
+  EXPECT_EQ(N.NumIntVars, 1u);
+}
+
+TEST(EvaluatorTest, DirectSemanticsOfFig1) {
+  // Spot-check the Fig. 1 semantics through the concrete evaluator.
+  Problem P;
+  VarId X = P.strVar("x"), Y = P.strVar("y");
+  P.assertInRe(X, "(a|b)*");
+  P.assertInRe(Y, "(a|b)*");
+  P.assertPred(AssertKind::Prefixof, {StrElem::var(X)}, {StrElem::var(Y)});
+  P.assertPred(AssertKind::NotContains, {StrElem::lit("bb")},
+               {StrElem::var(Y)});
+  NormalForm N = normalize(P);
+  ConcreteEvaluator Eval(P, N.Sigma);
+  Symbol A = N.Sigma.lookup('a').value(), B = N.Sigma.lookup('b').value();
+  EXPECT_TRUE(Eval.evalAll({{X, {A}}, {Y, {A, B, A}}}, {}));
+  EXPECT_FALSE(Eval.evalAll({{X, {B}}, {Y, {A, B, A}}}, {}));   // not prefix
+  EXPECT_FALSE(Eval.evalAll({{X, {A}}, {Y, {A, B, B}}}, {}));   // contains bb
+}
+
+} // namespace
