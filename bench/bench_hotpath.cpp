@@ -1,0 +1,177 @@
+//===- bench/bench_hotpath.cpp - Automata→Parikh→LIA hot-path bench --------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Micro-benchmark of the pipeline stages every query pays for: NFA
+// product, determinization, the tag-automaton Parikh/system encoding,
+// the DPLL(T) LIA solve, and the end-to-end solver on the Workloads
+// generators. Emits machine-readable JSON (BENCH_hotpath.json and
+// stdout) so successive perf PRs leave a comparable trajectory.
+//
+// POSTR_BENCH_N scales repetition counts (not instance shapes, so
+// per-rep times stay comparable across runs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "automata/Nfa.h"
+#include "lia/Solver.h"
+#include "tagaut/Encoder.h"
+#include "tagaut/Parikh.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace postr;
+using namespace postr::automata;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Random ε-free NFA with a guaranteed non-empty language: a spine
+/// 0 → 1 → ... → N-1 plus random extra edges.
+Nfa randomNfa(uint32_t NumStates, uint32_t Sigma, uint32_t ExtraEdges,
+              uint32_t Seed) {
+  std::mt19937 Rng(Seed);
+  Nfa A(Sigma);
+  A.addStates(NumStates);
+  A.markInitial(0);
+  A.markFinal(NumStates - 1);
+  for (uint32_t Q = 0; Q + 1 < NumStates; ++Q)
+    A.addTransition(Q, Rng() % Sigma, Q + 1);
+  for (uint32_t E = 0; E < ExtraEdges; ++E)
+    A.addTransition(Rng() % NumStates, Rng() % Sigma, Rng() % NumStates);
+  return A;
+}
+
+struct StageResult {
+  std::string Name;
+  uint32_t Reps;
+  double WallMs;
+  uint64_t Checksum;
+};
+
+template <typename Fn>
+StageResult runStage(const std::string &Name, uint32_t Reps, Fn &&Body) {
+  // One warm-up rep keeps first-touch page faults out of the numbers.
+  uint64_t Checksum = Body(0);
+  Clock::time_point T0 = Clock::now();
+  for (uint32_t R = 0; R < Reps; ++R)
+    Checksum += Body(R + 1);
+  double Ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  std::fprintf(stderr, "[hotpath] %-13s reps=%-3u %9.2f ms  (%.3f ms/rep)\n",
+               Name.c_str(), Reps, Ms, Ms / Reps);
+  return {Name, Reps, Ms, Checksum};
+}
+
+uint64_t productRep(uint32_t Rep) {
+  Nfa A = randomNfa(160, 6, 3 * 160, 1000 + Rep);
+  Nfa B = randomNfa(160, 6, 3 * 160, 2000 + Rep);
+  Nfa P = intersect(A, B);
+  return P.numStates() + P.numTransitions();
+}
+
+uint64_t determinizeRep(uint32_t Rep) {
+  Nfa A = randomNfa(56, 4, 2 * 56, 3000 + Rep);
+  Nfa D = determinize(A);
+  return D.numStates() + D.numTransitions();
+}
+
+uint64_t parikhEncodeRep(uint32_t Rep) {
+  std::map<VarId, Nfa> Langs;
+  Langs[0] = randomNfa(10, 4, 12, 4000 + Rep).trim();
+  Langs[1] = randomNfa(10, 4, 12, 5000 + Rep).trim();
+  Langs[2] = randomNfa(10, 4, 12, 6000 + Rep).trim();
+  std::vector<tagaut::PosPredicate> Preds;
+  Preds.push_back({tagaut::PredKind::Diseq, {0, 1}, {1, 2}, {}});
+  Preds.push_back({tagaut::PredKind::NotPrefix, {0}, {2, 1}, {}});
+  lia::Arena A;
+  tagaut::SystemEncoding Enc = tagaut::encodeSystem(A, Langs, Preds, 4);
+  return A.numNodes() + Enc.Ta.transitions().size();
+}
+
+uint64_t solveRep(uint32_t Rep) {
+  // PF(A) satisfiability on a random tag automaton, eager φ_Span: the
+  // pure DPLL(T)+Simplex load with no encoder in the way.
+  std::mt19937 Rng(7000 + Rep);
+  tagaut::TagTable Tags;
+  tagaut::TagAutomaton Ta;
+  uint32_t NumStates = 28;
+  Ta.addStates(NumStates);
+  Ta.markInitial(0);
+  Ta.markFinal(NumStates - 1);
+  for (uint32_t Q = 0; Q + 1 < NumStates; ++Q)
+    Ta.addTransition({Q, Q + 1, 0, false,
+                      {Tags.intern(tagaut::Tag::symbol(Rng() % 2))}});
+  for (uint32_t E = 0; E < 2 * NumStates; ++E) {
+    uint32_t From = static_cast<uint32_t>(Rng() % NumStates);
+    uint32_t To = static_cast<uint32_t>(Rng() % NumStates);
+    Ta.addTransition({From, To, 0, false,
+                      {Tags.intern(tagaut::Tag::symbol(Rng() % 2))}});
+  }
+  lia::Arena A;
+  tagaut::ParikhFormula Pf =
+      buildParikhFormula(Ta, A, "b.", tagaut::SpanMode::Eager);
+  lia::QfOptions Opts;
+  Opts.TimeoutMs = 20000;
+  lia::QfResult R = lia::solveQF(A, Pf.Formula, Opts);
+  return static_cast<uint64_t>(R.V == Verdict::Sat ? 1 : 0);
+}
+
+uint64_t pipelineRep(uint32_t Rep) {
+  // End-to-end solver over the Workloads generators (one instance per
+  // family per rep, fixed seeds).
+  uint64_t Acc = 0;
+  for (bench::Family F : {bench::Family::Django, bench::Family::Thefuck,
+                          bench::Family::PositionHard}) {
+    strings::Problem P = bench::generate(F, 97, Rep % 8);
+    solver::SolveOptions O;
+    O.TimeoutMs = 5000;
+    O.ValidateModels = false;
+    Acc += static_cast<uint64_t>(solver::solveProblem(P, O).V);
+  }
+  return Acc;
+}
+
+} // namespace
+
+int main() {
+  // Clamp: POSTR_BENCH_N=0 (or garbage, which envU32 parses as 0) would
+  // make every per-rep figure meaningless.
+  uint32_t N = std::max(1u, bench::envU32("POSTR_BENCH_N", 12));
+  std::vector<StageResult> Stages;
+  Stages.push_back(runStage("product", N, productRep));
+  Stages.push_back(runStage("determinize", N, determinizeRep));
+  Stages.push_back(runStage("parikh-encode", N, parikhEncodeRep));
+  Stages.push_back(runStage("solve", std::max(1u, N / 4), solveRep));
+  Stages.push_back(runStage("pipeline", std::max(1u, N / 4), pipelineRep));
+
+  std::string Json = "{\n  \"bench\": \"hotpath\",\n  \"scale\": " +
+                     std::to_string(N) + ",\n  \"stages\": [\n";
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    const StageResult &S = Stages[I];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"name\": \"%s\", \"reps\": %u, \"wall_ms\": %.3f, "
+                  "\"ms_per_rep\": %.4f, \"checksum\": %llu}%s\n",
+                  S.Name.c_str(), S.Reps, S.WallMs, S.WallMs / S.Reps,
+                  static_cast<unsigned long long>(S.Checksum),
+                  I + 1 < Stages.size() ? "," : "");
+    Json += Buf;
+  }
+  Json += "  ]\n}\n";
+
+  std::fputs(Json.c_str(), stdout);
+  if (FILE *F = std::fopen("BENCH_hotpath.json", "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+  }
+  return 0;
+}

@@ -7,11 +7,13 @@
 
 #include "automata/Nfa.h"
 
+#include "base/Hash.h"
+
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <queue>
 #include <sstream>
+#include <unordered_map>
 
 using namespace postr;
 using namespace postr::automata;
@@ -52,46 +54,171 @@ std::vector<State> Nfa::finalStates() const {
   return R;
 }
 
-bool Nfa::hasEpsilon() const {
-  for (const Transition &T : transitions())
-    if (T.Sym == Epsilon)
-      return true;
-  return false;
+std::pair<const Transition *, const Transition *>
+Nfa::outgoingSym(State Q, Symbol Sym) const {
+  auto [Begin, End] = outgoing(Q);
+  // Rows are sorted by (Sym, To); narrow to the Sym run.
+  const Transition *Lo = std::lower_bound(
+      Begin, End, Sym,
+      [](const Transition &T, Symbol S) { return T.Sym < S; });
+  const Transition *Hi = Lo;
+  while (Hi != End && Hi->Sym == Sym)
+    ++Hi;
+  return {Lo, Hi};
+}
+
+void Nfa::epsClosureGrow(std::vector<State> &Set,
+                         std::vector<uint32_t> &Mark, uint32_t Stamp) const {
+  normalize();
+  // The tail of Set doubles as the worklist.
+  for (size_t I = 0; I < Set.size(); ++I) {
+    auto [Begin, End] = outgoingSym(Set[I], Epsilon);
+    for (const Transition *T = Begin; T != End; ++T)
+      if (Mark[T->To] != Stamp) {
+        Mark[T->To] = Stamp;
+        Set.push_back(T->To);
+      }
+  }
 }
 
 std::vector<State> Nfa::epsClosure(const std::vector<State> &Set) const {
-  normalize();
-  std::vector<bool> Seen(numStates(), false);
-  std::vector<State> Stack = Set;
-  for (State Q : Set)
-    Seen[Q] = true;
+  std::vector<uint32_t> Mark(numStates(), 0);
   std::vector<State> Out;
-  while (!Stack.empty()) {
-    State Q = Stack.back();
-    Stack.pop_back();
-    Out.push_back(Q);
-    auto [Begin, End] = outgoing(Q);
-    for (const Transition *T = Begin; T != End; ++T) {
-      if (T->Sym != Epsilon || Seen[T->To])
-        continue;
-      Seen[T->To] = true;
-      Stack.push_back(T->To);
+  Out.reserve(Set.size());
+  for (State Q : Set)
+    if (Mark[Q] != 1) {
+      Mark[Q] = 1;
+      Out.push_back(Q);
     }
-  }
+  epsClosureGrow(Out, Mark, 1);
   std::sort(Out.begin(), Out.end());
   return Out;
 }
 
+namespace {
+
+/// Iterative Tarjan SCC. Returns the SCC id of each state; ids come out
+/// in reverse topological order (every successor's SCC has a smaller
+/// id), which is what both users rely on: the ε-closure memoization
+/// below processes SCCs in increasing-id (successors-first) order, and
+/// isFlat only needs the partition. With \p EpsOnly, only ε-transitions
+/// are traversed (SCCs of the ε-subgraph).
+std::vector<uint32_t> tarjanScc(const Nfa &A, uint32_t &NumSccs,
+                                bool EpsOnly) {
+  uint32_t N = A.numStates();
+  std::vector<uint32_t> Index(N, ~0u), Low(N, 0), SccId(N, ~0u);
+  std::vector<bool> OnStack(N, false);
+  std::vector<State> Stack;
+  uint32_t NextIndex = 0;
+  NumSccs = 0;
+
+  auto Edges = [&](State Q) {
+    return EpsOnly ? A.outgoingSym(Q, Nfa::Epsilon) : A.outgoing(Q);
+  };
+  struct Frame {
+    State Q;
+    const Transition *It;
+    const Transition *End;
+  };
+  std::vector<Frame> CallStack;
+  for (State Root = 0; Root < N; ++Root) {
+    if (Index[Root] != ~0u)
+      continue;
+    auto [B, E] = Edges(Root);
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    CallStack.push_back({Root, B, E});
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      if (F.It != F.End) {
+        State W = F.It->To;
+        ++F.It;
+        if (Index[W] == ~0u) {
+          Index[W] = Low[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          auto [WB, WE] = Edges(W);
+          CallStack.push_back({W, WB, WE});
+        } else if (OnStack[W]) {
+          Low[F.Q] = std::min(Low[F.Q], Index[W]);
+        }
+        continue;
+      }
+      if (Low[F.Q] == Index[F.Q]) {
+        State W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccId[W] = NumSccs;
+        } while (W != F.Q);
+        ++NumSccs;
+      }
+      State Done = F.Q;
+      CallStack.pop_back();
+      if (!CallStack.empty())
+        Low[CallStack.back().Q] =
+            std::min(Low[CallStack.back().Q], Low[Done]);
+    }
+  }
+  return SccId;
+}
+
+} // namespace
+
 Nfa Nfa::removeEpsilon() const {
+  if (!HasEps)
+    return trim();
+  normalize();
+  uint32_t N = numStates();
+
+  // Memoized ε-closures: states in one ε-SCC share a closure, and a
+  // closure is the SCC's members plus the closures of its ε-successor
+  // SCCs. Computing per SCC in reverse topological order shares all
+  // closure work instead of redoing a DFS per state.
+  uint32_t NumSccs = 0;
+  std::vector<uint32_t> Scc = tarjanScc(*this, NumSccs, /*EpsOnly=*/true);
+  std::vector<std::vector<State>> SccStates(NumSccs);
+  for (State Q = 0; Q < N; ++Q)
+    SccStates[Scc[Q]].push_back(Q);
+
+  std::vector<std::vector<State>> Closure(NumSccs);
+  std::vector<uint32_t> StateMark(N, ~0u);
+  std::vector<uint32_t> SccMark(NumSccs, ~0u);
+  for (uint32_t S = 0; S < NumSccs; ++S) {
+    std::vector<State> &Out = Closure[S];
+    for (State Q : SccStates[S]) {
+      StateMark[Q] = S;
+      Out.push_back(Q);
+    }
+    SccMark[S] = S;
+    for (State Q : SccStates[S]) {
+      auto [Begin, End] = outgoingSym(Q, Epsilon);
+      for (const Transition *T = Begin; T != End; ++T) {
+        uint32_t Succ = Scc[T->To];
+        if (SccMark[Succ] == S)
+          continue;
+        SccMark[Succ] = S;
+        // Tarjan ids are reverse-topological, so Closure[Succ] is done.
+        for (State C : Closure[Succ])
+          if (StateMark[C] != S) {
+            StateMark[C] = S;
+            Out.push_back(C);
+          }
+      }
+    }
+    std::sort(Out.begin(), Out.end());
+  }
+
   Nfa Out(AlphabetSz);
-  Out.addStates(numStates());
+  Out.addStates(N);
   // For every state, fold the ε-closure: symbol transitions of closure
   // members become direct transitions, and finality propagates backwards.
-  for (State Q = 0; Q < numStates(); ++Q) {
-    std::vector<State> Closure = epsClosure({Q});
+  for (State Q = 0; Q < N; ++Q) {
     if (IsInitial[Q])
       Out.markInitial(Q);
-    for (State C : Closure) {
+    for (State C : Closure[Scc[Q]]) {
       if (IsFinal[C])
         Out.markFinal(Q);
       auto [Begin, End] = outgoing(C);
@@ -165,19 +292,32 @@ bool Nfa::isEmpty() const {
 }
 
 bool Nfa::accepts(const Word &W) const {
-  std::vector<State> Cur = epsClosure(initialStates());
+  normalize();
+  // One stamped mark buffer shared by every step and ε-closure of the
+  // run; per-symbol work is O(out-edges of the current set).
+  std::vector<uint32_t> Mark(numStates(), 0);
+  uint32_t Stamp = 1;
+  std::vector<State> Cur, Next;
+  for (State Q : initialStates()) {
+    Mark[Q] = Stamp;
+    Cur.push_back(Q);
+  }
+  if (HasEps)
+    epsClosureGrow(Cur, Mark, Stamp);
   for (Symbol S : W) {
-    std::vector<State> Next;
-    std::vector<bool> Seen(numStates(), false);
+    ++Stamp;
+    Next.clear();
     for (State Q : Cur) {
-      auto [Begin, End] = outgoing(Q);
+      auto [Begin, End] = outgoingSym(Q, S);
       for (const Transition *T = Begin; T != End; ++T)
-        if (T->Sym == S && !Seen[T->To]) {
-          Seen[T->To] = true;
+        if (Mark[T->To] != Stamp) {
+          Mark[T->To] = Stamp;
           Next.push_back(T->To);
         }
     }
-    Cur = epsClosure(Next);
+    if (HasEps)
+      epsClosureGrow(Next, Mark, Stamp);
+    Cur.swap(Next);
     if (Cur.empty())
       return false;
   }
@@ -262,16 +402,15 @@ std::vector<Word> Nfa::enumerateWords(uint32_t MaxLen) const {
       continue;
     for (Symbol S = 0; S < AlphabetSz; ++S) {
       std::vector<State> Next;
-      std::vector<bool> Seen(numStates(), false);
       for (State Q : It.States) {
-        auto [Begin, End] = outgoing(Q);
+        auto [Begin, End] = outgoingSym(Q, S);
         for (const Transition *T = Begin; T != End; ++T)
-          if (T->Sym == S && !Seen[T->To]) {
-            Seen[T->To] = true;
-            Next.push_back(T->To);
-          }
+          Next.push_back(T->To);
       }
-      Next = epsClosure(Next);
+      std::sort(Next.begin(), Next.end());
+      Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+      if (HasEps)
+        Next = epsClosure(Next);
       if (Next.empty())
         continue;
       Word W2 = It.W;
@@ -283,74 +422,11 @@ std::vector<Word> Nfa::enumerateWords(uint32_t MaxLen) const {
   return Out;
 }
 
-namespace {
-
-/// Iterative Tarjan SCC. Returns the SCC id of each state (ids are in
-/// reverse topological order).
-std::vector<uint32_t> tarjanScc(const Nfa &A, uint32_t &NumSccs) {
-  uint32_t N = A.numStates();
-  std::vector<uint32_t> Index(N, ~0u), Low(N, 0), SccId(N, ~0u);
-  std::vector<bool> OnStack(N, false);
-  std::vector<State> Stack;
-  uint32_t NextIndex = 0;
-  NumSccs = 0;
-
-  struct Frame {
-    State Q;
-    const Transition *It;
-    const Transition *End;
-  };
-  std::vector<Frame> CallStack;
-  for (State Root = 0; Root < N; ++Root) {
-    if (Index[Root] != ~0u)
-      continue;
-    auto [B, E] = A.outgoing(Root);
-    Index[Root] = Low[Root] = NextIndex++;
-    Stack.push_back(Root);
-    OnStack[Root] = true;
-    CallStack.push_back({Root, B, E});
-    while (!CallStack.empty()) {
-      Frame &F = CallStack.back();
-      if (F.It != F.End) {
-        State W = F.It->To;
-        ++F.It;
-        if (Index[W] == ~0u) {
-          Index[W] = Low[W] = NextIndex++;
-          Stack.push_back(W);
-          OnStack[W] = true;
-          auto [WB, WE] = A.outgoing(W);
-          CallStack.push_back({W, WB, WE});
-        } else if (OnStack[W]) {
-          Low[F.Q] = std::min(Low[F.Q], Index[W]);
-        }
-        continue;
-      }
-      if (Low[F.Q] == Index[F.Q]) {
-        State W;
-        do {
-          W = Stack.back();
-          Stack.pop_back();
-          OnStack[W] = false;
-          SccId[W] = NumSccs;
-        } while (W != F.Q);
-        ++NumSccs;
-      }
-      State Done = F.Q;
-      CallStack.pop_back();
-      if (!CallStack.empty())
-        Low[CallStack.back().Q] =
-            std::min(Low[CallStack.back().Q], Low[Done]);
-    }
-  }
-  return SccId;
-}
-
-} // namespace
 
 bool Nfa::isFlat() const {
   Nfa T = trim();
   uint32_t NumSccs = 0;
-  std::vector<uint32_t> Scc = tarjanScc(T, NumSccs);
+  std::vector<uint32_t> Scc = tarjanScc(T, NumSccs, /*EpsOnly=*/false);
   // Count intra-SCC out-transitions per state and per SCC.
   std::vector<uint32_t> SccSize(NumSccs, 0);
   for (State Q = 0; Q < T.numStates(); ++Q)
@@ -449,15 +525,21 @@ Nfa postr::automata::intersect(const Nfa &A, const Nfa &B) {
          "intersect requires epsilon-free inputs");
   assert(A.alphabetSize() == B.alphabetSize() && "alphabet mismatch");
   Nfa Out(A.alphabetSize());
-  std::map<std::pair<State, State>, State> Map;
-  std::vector<std::pair<State, State>> Work;
+  // Hashed pair interning; the key packs both states into one word.
+  std::unordered_map<uint64_t, State> Map;
+  Map.reserve(A.numStates() + B.numStates());
+  struct WorkItem {
+    State QA, QB, Id;
+  };
+  std::vector<WorkItem> Work;
   auto GetState = [&](State QA, State QB) {
-    auto [It, Inserted] = Map.try_emplace({QA, QB}, 0);
+    uint64_t Key = (static_cast<uint64_t>(QA) << 32) | QB;
+    auto [It, Inserted] = Map.try_emplace(Key, 0);
     if (Inserted) {
       It->second = Out.addState();
       if (A.isFinal(QA) && B.isFinal(QB))
         Out.markFinal(It->second);
-      Work.push_back({QA, QB});
+      Work.push_back({QA, QB, It->second});
     }
     return It->second;
   };
@@ -465,15 +547,34 @@ Nfa postr::automata::intersect(const Nfa &A, const Nfa &B) {
     for (State QB : B.initialStates())
       Out.markInitial(GetState(QA, QB));
   while (!Work.empty()) {
-    auto [QA, QB] = Work.back();
+    auto [QA, QB, From] = Work.back();
     Work.pop_back();
-    State From = Map.at({QA, QB});
-    auto [ABegin, AEnd] = A.outgoing(QA);
-    auto [BBegin, BEnd] = B.outgoing(QB);
-    for (const Transition *TA = ABegin; TA != AEnd; ++TA)
-      for (const Transition *TB = BBegin; TB != BEnd; ++TB)
-        if (TA->Sym == TB->Sym)
-          Out.addTransition(From, TA->Sym, GetState(TA->To, TB->To));
+    // Both rows are Sym-sorted: advance the two cursors in lockstep and
+    // expand the cartesian product of each shared-symbol run.
+    auto [TA, AEnd] = A.outgoing(QA);
+    auto [TB, BEnd] = B.outgoing(QB);
+    while (TA != AEnd && TB != BEnd) {
+      if (TA->Sym < TB->Sym) {
+        ++TA;
+        continue;
+      }
+      if (TB->Sym < TA->Sym) {
+        ++TB;
+        continue;
+      }
+      Symbol S = TA->Sym;
+      const Transition *ARunEnd = TA;
+      while (ARunEnd != AEnd && ARunEnd->Sym == S)
+        ++ARunEnd;
+      const Transition *BRunEnd = TB;
+      while (BRunEnd != BEnd && BRunEnd->Sym == S)
+        ++BRunEnd;
+      for (const Transition *IA = TA; IA != ARunEnd; ++IA)
+        for (const Transition *IB = TB; IB != BRunEnd; ++IB)
+          Out.addTransition(From, S, GetState(IA->To, IB->To));
+      TA = ARunEnd;
+      TB = BRunEnd;
+    }
   }
   return Out;
 }
@@ -525,41 +626,53 @@ Nfa postr::automata::concatenate(const Nfa &A, const Nfa &B) {
 
 Nfa postr::automata::determinize(const Nfa &In) {
   Nfa A = In.hasEpsilon() ? In.removeEpsilon() : In;
-  Nfa Out(A.alphabetSize());
-  std::map<std::vector<State>, State> Map;
-  std::vector<std::vector<State>> Work;
-  auto GetState = [&](std::vector<State> Set) {
-    auto [It, Inserted] = Map.try_emplace(Set, 0);
-    if (Inserted) {
-      It->second = Out.addState();
-      for (State Q : Set)
-        if (A.isFinal(Q)) {
-          Out.markFinal(It->second);
-          break;
-        }
-      Work.push_back(std::move(Set));
-    }
-    return It->second;
+  uint32_t Sigma = A.alphabetSize();
+  Nfa Out(Sigma);
+  std::unordered_map<std::vector<State>, State, U32VecHash> Map;
+  // Work items point at the interned keys (node-based unordered_map:
+  // stable addresses, never erased), so subsets are copied exactly once
+  // — on first interning — and cache hits copy nothing.
+  struct WorkItem {
+    const std::vector<State> *Set;
+    State Id;
+  };
+  std::vector<WorkItem> Work;
+  auto GetState = [&](std::vector<State> &&Set) {
+    auto It = Map.find(Set);
+    if (It != Map.end())
+      return It->second;
+    State Id = Out.addState();
+    for (State Q : Set)
+      if (A.isFinal(Q)) {
+        Out.markFinal(Id);
+        break;
+      }
+    auto [Ins, Inserted] = Map.emplace(std::move(Set), Id);
+    Work.push_back({&Ins->first, Id});
+    return Id;
   };
   State Start = GetState(A.initialStates());
   Out.markInitial(Start);
+  // Per-symbol successor buckets, reused across subsets: one pass over
+  // the subset's out-edges replaces an alphabet-sized sequence of full
+  // scans (each of which used to allocate a numStates-sized Seen mask).
+  std::vector<std::vector<State>> Buckets(Sigma);
   while (!Work.empty()) {
-    std::vector<State> Set = std::move(Work.back());
+    auto [Set, From] = Work.back();
     Work.pop_back();
-    State From = Map.at(Set);
-    for (Symbol S = 0; S < A.alphabetSize(); ++S) {
-      std::vector<State> Next;
-      std::vector<bool> Seen(A.numStates(), false);
-      for (State Q : Set) {
-        auto [Begin, End] = A.outgoing(Q);
-        for (const Transition *T = Begin; T != End; ++T)
-          if (T->Sym == S && !Seen[T->To]) {
-            Seen[T->To] = true;
-            Next.push_back(T->To);
-          }
-      }
-      std::sort(Next.begin(), Next.end());
-      Out.addTransition(From, S, GetState(std::move(Next)));
+    for (std::vector<State> &B : Buckets)
+      B.clear();
+    for (State Q : *Set) {
+      auto [Begin, End] = A.outgoing(Q);
+      for (const Transition *T = Begin; T != End; ++T)
+        Buckets[T->Sym].push_back(T->To);
+    }
+    for (Symbol S = 0; S < Sigma; ++S) {
+      std::vector<State> &B = Buckets[S];
+      std::sort(B.begin(), B.end());
+      B.erase(std::unique(B.begin(), B.end()), B.end());
+      // Moved-from buckets are reset by the clear() above next round.
+      Out.addTransition(From, S, GetState(std::move(B)));
     }
   }
   return Out;

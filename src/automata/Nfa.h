@@ -51,8 +51,9 @@ struct Transition {
 ///
 /// The representation favours the constructions in this code base: a flat,
 /// sorted transition vector (deterministic iteration order; the Parikh and
-/// tag-automaton builders index transitions by position) plus per-state
-/// adjacency computed on demand.
+/// tag-automaton builders index transitions by position) plus a CSR-style
+/// per-state row index rebuilt once per normalize() and cached until the
+/// next mutation.
 class Nfa {
 public:
   /// Reserved symbol value denoting an ε-transition.
@@ -81,6 +82,7 @@ public:
     assert((Sym == Epsilon || Sym < AlphabetSz) && "symbol out of range");
     Delta.push_back({From, Sym, To});
     Dirty = true;
+    HasEps |= Sym == Epsilon;
   }
 
   void markInitial(State Q) { IsInitial[Q] = true; }
@@ -105,11 +107,18 @@ public:
   /// Transitions leaving \p Q (sorted). Valid until the next mutation.
   std::pair<const Transition *, const Transition *> outgoing(State Q) const;
 
+  /// Transitions leaving \p Q labelled exactly \p Sym (binary search in
+  /// the sorted per-state range). Valid until the next mutation.
+  std::pair<const Transition *, const Transition *>
+  outgoingSym(State Q, Symbol Sym) const;
+
   std::vector<State> initialStates() const;
   std::vector<State> finalStates() const;
 
-  /// True if the automaton has at least one ε-transition.
-  bool hasEpsilon() const;
+  /// True if the automaton has at least one ε-transition. O(1): the flag
+  /// is maintained by addTransition (transitions are never removed from a
+  /// live automaton; the construction algorithms build fresh ones).
+  bool hasEpsilon() const { return HasEps; }
 
   //===--------------------------------------------------------------------===
   // Algorithms. All are pure (return new automata) unless stated otherwise.
@@ -179,12 +188,22 @@ private:
   /// ε-closure of a set of states (expects normalized Delta).
   std::vector<State> epsClosure(const std::vector<State> &Set) const;
 
+  /// Scratch-buffer ε-closure: grows \p Set in place with every state
+  /// ε-reachable from it. \p Mark is a caller-owned stamp buffer of size
+  /// numStates(); entries equal to \p Stamp are treated as already in the
+  /// set (states of \p Set must be pre-stamped by the caller). Avoids the
+  /// per-call O(numStates) allocation of `epsClosure`; the result is NOT
+  /// sorted.
+  void epsClosureGrow(std::vector<State> &Set, std::vector<uint32_t> &Mark,
+                      uint32_t Stamp) const;
+
   uint32_t AlphabetSz = 0;
   mutable std::vector<Transition> Delta;
   /// Index of the first transition of each state in Delta (size
   /// numStates()+1), valid when !Dirty.
   mutable std::vector<uint32_t> RowBegin;
   mutable bool Dirty = false;
+  bool HasEps = false;
   std::vector<bool> IsInitial;
   std::vector<bool> IsFinal;
 };

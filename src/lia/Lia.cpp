@@ -13,31 +13,105 @@
 using namespace postr;
 using namespace postr::lia;
 
-LinTerm LinTerm::operator+(const LinTerm &O) const {
-  LinTerm R;
-  R.Const = Const + O.Const;
-  size_t I = 0, J = 0;
-  while (I < Coeffs.size() || J < O.Coeffs.size()) {
-    if (J == O.Coeffs.size() ||
-        (I < Coeffs.size() && Coeffs[I].first < O.Coeffs[J].first)) {
-      R.Coeffs.push_back(Coeffs[I++]);
-      continue;
+LinTerm &LinTerm::mergeInPlace(const LinTerm &O, int64_t Sign) {
+  if (&O == this) {
+    // Self-aliasing t ± t: the merge below would read the operand
+    // through a reference invalidated by the resize; handle directly.
+    if (Sign == -1) {
+      Coeffs.clear();
+      Const = 0;
+    } else {
+      Const *= 2;
+      for (auto &[V, C] : Coeffs)
+        C *= 2;
     }
-    if (I == Coeffs.size() || O.Coeffs[J].first < Coeffs[I].first) {
-      R.Coeffs.push_back(O.Coeffs[J++]);
-      continue;
-    }
-    int64_t Sum = Coeffs[I].second + O.Coeffs[J].second;
-    if (Sum != 0)
-      R.Coeffs.push_back({Coeffs[I].first, Sum});
-    ++I;
-    ++J;
+    return *this;
   }
-  return R;
+  Const += Sign * O.Const;
+  const std::vector<std::pair<Var, int64_t>> &B = O.Coeffs;
+  if (B.empty())
+    return *this;
+  if (Coeffs.empty()) {
+    Coeffs = B;
+    if (Sign != 1)
+      for (auto &[V, C] : Coeffs)
+        C *= Sign;
+    return *this;
+  }
+  // Append fast path: every incoming variable is larger than ours.
+  if (Coeffs.back().first < B.front().first) {
+    size_t Old = Coeffs.size();
+    Coeffs.insert(Coeffs.end(), B.begin(), B.end());
+    if (Sign != 1)
+      for (size_t I = Old; I < Coeffs.size(); ++I)
+        Coeffs[I].second *= Sign;
+    return *this;
+  }
+  // General case: merge backward into the tail of the resized vector (the
+  // prefix [0, I] is never overwritten because W >= I + J + 1 throughout),
+  // then compact the written suffix over the gap, dropping zeros.
+  size_t N = Coeffs.size(), M = B.size();
+  Coeffs.resize(N + M);
+  ptrdiff_t I = static_cast<ptrdiff_t>(N) - 1;
+  ptrdiff_t J = static_cast<ptrdiff_t>(M) - 1;
+  size_t W = N + M;
+  while (J >= 0) {
+    if (I >= 0 && Coeffs[I].first > B[J].first) {
+      Coeffs[--W] = Coeffs[I--];
+    } else if (I >= 0 && Coeffs[I].first == B[J].first) {
+      int64_t C = Coeffs[I].second + Sign * B[J].second;
+      Coeffs[--W] = {B[J].first, C};
+      --I;
+      --J;
+    } else {
+      Coeffs[--W] = {B[J].first, Sign * B[J].second};
+      --J;
+    }
+  }
+  size_t Write = static_cast<size_t>(I + 1);
+  for (size_t Read = W; Read < N + M; ++Read)
+    if (Coeffs[Read].second != 0)
+      Coeffs[Write++] = Coeffs[Read];
+  Coeffs.resize(Write);
+  return *this;
 }
 
-LinTerm LinTerm::operator-(const LinTerm &O) const {
-  return *this + (O * -1);
+LinTerm &LinTerm::addMonomial(Var V, int64_t K) {
+  if (K == 0)
+    return *this;
+  if (Coeffs.empty() || Coeffs.back().first < V) {
+    Coeffs.push_back({V, K});
+    return *this;
+  }
+  auto It = std::lower_bound(
+      Coeffs.begin(), Coeffs.end(), V,
+      [](const std::pair<Var, int64_t> &P, Var X) { return P.first < X; });
+  if (It != Coeffs.end() && It->first == V) {
+    It->second += K;
+    if (It->second == 0)
+      Coeffs.erase(It);
+  } else {
+    Coeffs.insert(It, {V, K});
+  }
+  return *this;
+}
+
+LinTerm LinTerm::sum(const std::vector<Var> &Vars) {
+  LinTerm R;
+  R.Coeffs.reserve(Vars.size());
+  for (Var V : Vars)
+    R.Coeffs.push_back({V, 1});
+  std::sort(R.Coeffs.begin(), R.Coeffs.end());
+  // Collapse repeats (coefficients are all 1, so no zeros can form).
+  size_t Write = 0;
+  for (size_t Read = 0; Read < R.Coeffs.size(); ++Read) {
+    if (Write > 0 && R.Coeffs[Write - 1].first == R.Coeffs[Read].first)
+      ++R.Coeffs[Write - 1].second;
+    else
+      R.Coeffs[Write++] = R.Coeffs[Read];
+  }
+  R.Coeffs.resize(Write);
+  return R;
 }
 
 LinTerm LinTerm::operator*(int64_t K) const {

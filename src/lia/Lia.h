@@ -54,18 +54,43 @@ public:
     return T;
   }
 
+  /// Σ 1·v over \p Vars (need not be sorted or duplicate-free; repeats
+  /// accumulate). The bulk builder for Parikh tag/flow sums.
+  static LinTerm sum(const std::vector<Var> &Vars);
+
   int64_t constant() const { return Const; }
   const std::vector<std::pair<Var, int64_t>> &coeffs() const {
     return Coeffs;
   }
   bool isConstant() const { return Coeffs.empty(); }
 
-  LinTerm operator+(const LinTerm &O) const;
-  LinTerm operator-(const LinTerm &O) const;
+  /// Adds K·v in place. O(1) amortized when variables arrive in
+  /// ascending order (the dominant pattern: count variables are minted
+  /// in transition order); O(n) insert otherwise.
+  LinTerm &addMonomial(Var V, int64_t K);
+
+  /// Adds \p K to the constant in place.
+  LinTerm &addConstant(int64_t K) {
+    Const += K;
+    return *this;
+  }
+
+  LinTerm operator+(const LinTerm &O) const {
+    LinTerm R = *this;
+    R += O;
+    return R;
+  }
+  LinTerm operator-(const LinTerm &O) const {
+    LinTerm R = *this;
+    R -= O;
+    return R;
+  }
   LinTerm operator-() const { return *this * -1; }
   LinTerm operator*(int64_t K) const;
-  LinTerm &operator+=(const LinTerm &O) { return *this = *this + O; }
-  LinTerm &operator-=(const LinTerm &O) { return *this = *this - O; }
+  /// True in-place sorted merge (no reallocation of the left operand
+  /// beyond the final size; zero-coefficient entries are dropped).
+  LinTerm &operator+=(const LinTerm &O) { return mergeInPlace(O, 1); }
+  LinTerm &operator-=(const LinTerm &O) { return mergeInPlace(O, -1); }
 
   friend bool operator==(const LinTerm &A, const LinTerm &B) {
     return A.Const == B.Const && A.Coeffs == B.Coeffs;
@@ -77,6 +102,10 @@ public:
   std::string str() const;
 
 private:
+  /// Merges Sign·O into *this: backward in-place merge of the two sorted
+  /// coefficient runs, then one compaction pass dropping zeros.
+  LinTerm &mergeInPlace(const LinTerm &O, int64_t Sign);
+
   std::vector<std::pair<Var, int64_t>> Coeffs;
   int64_t Const = 0;
 };

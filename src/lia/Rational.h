@@ -51,18 +51,22 @@ public:
 
   /// Largest integer <= value.
   Rational floor() const {
+    if (Den == 1)
+      return *this;
     Int Q = Num / Den;
     if (Num % Den != 0 && Num < 0)
       --Q;
-    return Rational(Q);
+    return fromInt(Q);
   }
 
   /// Smallest integer >= value.
   Rational ceil() const {
+    if (Den == 1)
+      return *this;
     Int Q = Num / Den;
     if (Num % Den != 0 && Num > 0)
       ++Q;
-    return Rational(Q);
+    return fromInt(Q);
   }
 
   Rational operator-() const {
@@ -112,10 +116,17 @@ public:
   friend bool operator!=(const Rational &A, const Rational &B) {
     return !(A == B);
   }
+  // Comparisons skip the cross-multiplication when both operands are
+  // integral — the overwhelmingly common case in the ±1-coefficient
+  // Parikh/position tableaus (same rationale as the arithmetic above).
   friend bool operator<(const Rational &A, const Rational &B) {
+    if (A.Den == 1 && B.Den == 1)
+      return A.Num < B.Num;
     return A.Num * B.Den < B.Num * A.Den;
   }
   friend bool operator<=(const Rational &A, const Rational &B) {
+    if (A.Den == 1 && B.Den == 1)
+      return A.Num <= B.Num;
     return A.Num * B.Den <= B.Num * A.Den;
   }
   friend bool operator>(const Rational &A, const Rational &B) {

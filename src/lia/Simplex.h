@@ -22,11 +22,12 @@
 #ifndef POSTR_LIA_SIMPLEX_H
 #define POSTR_LIA_SIMPLEX_H
 
+#include "base/Hash.h"
 #include "lia/Lia.h"
 #include "lia/Rational.h"
 
-#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace postr {
@@ -174,7 +175,12 @@ private:
   /// columns, which is the main defence against fill-in.
   std::vector<uint32_t> ColCount;
 
-  std::map<std::vector<std::pair<Var, int64_t>>, uint32_t> TermToVar;
+  /// Slack interning: canonical (sorted, zero-free) coefficient vector →
+  /// extended variable. Hashed — term registration is on the DPLL(T)
+  /// setup hot path, one lookup per distinct atom.
+  std::unordered_map<std::vector<std::pair<Var, int64_t>>, uint32_t,
+                     TermKeyHash>
+      TermToVar;
 };
 
 } // namespace lia

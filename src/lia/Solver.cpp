@@ -7,6 +7,7 @@
 
 #include "lia/Solver.h"
 
+#include "base/Hash.h"
 #include "lia/Sat.h"
 #include "lia/Simplex.h"
 
@@ -16,6 +17,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 using namespace postr;
 using namespace postr::lia;
@@ -86,11 +88,12 @@ private:
   size_t BaselineMark = 0;
   /// Memoized Tseitin gates: FormulaId -> encoded literal (shared
   /// subformulas encode once).
-  std::map<FormulaId, Lit> GateOf;
+  std::unordered_map<FormulaId, Lit> GateOf;
   std::unique_ptr<Simplex> Theory;
   std::vector<TheoryAtom> Atoms;
-  std::map<std::pair<std::vector<std::pair<Var, int64_t>>, int64_t>,
-           uint32_t>
+  std::unordered_map<
+      std::pair<std::vector<std::pair<Var, int64_t>>, int64_t>, uint32_t,
+      AtomKeyHash>
       AtomIndex; ///< (coeffs, const) -> index into Atoms
   std::vector<uint32_t> AtomOfSatVar; ///< SAT var -> atom index or ~0u
   /// Undo bookkeeping: for every trail literal that tightened a Simplex

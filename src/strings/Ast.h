@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace postr {
@@ -205,9 +206,11 @@ public:
   }
 
 private:
-  std::map<std::string, VarId> StrIndex;
+  // Name lookups are hashed; the dense id vectors keep deterministic
+  // declaration order for anything that iterates variables.
+  std::unordered_map<std::string, VarId> StrIndex;
   std::vector<std::string> StrNames;
-  std::map<std::string, IntVarId> IntIndex;
+  std::unordered_map<std::string, IntVarId> IntIndex;
   std::vector<std::string> IntNames;
   std::vector<Assertion> Assertions;
 };

@@ -18,6 +18,7 @@
 #include "strings/Ast.h"
 
 #include <map>
+#include <unordered_map>
 
 namespace postr {
 namespace strings {
@@ -44,8 +45,9 @@ private:
 
   const Problem &P;
   const Alphabet &Sigma;
-  /// Compiled NFA per InRe assertion index.
-  std::map<size_t, automata::Nfa> CompiledRe;
+  /// Compiled NFA per InRe assertion index (hashed: looked up once per
+  /// assertion per candidate model in the enumeration baseline).
+  std::unordered_map<size_t, automata::Nfa> CompiledRe;
 };
 
 } // namespace strings

@@ -388,8 +388,8 @@ FormulaId buildEqualWords(Arena &A, const TagAutomaton &Ta,
     uint32_t B = Ta.transitions()[I].BaseIdx;
     if (B == TaTransition::NoBase)
       continue;
-    Sum1[B] += LinTerm::variable(Pf1.TransCount[I]);
-    Sum2[B] += LinTerm::variable(Pf2.TransCount[I]);
+    Sum1[B].addMonomial(Pf1.TransCount[I], 1);
+    Sum2[B].addMonomial(Pf2.TransCount[I], 1);
   }
   std::vector<FormulaId> Parts;
   for (uint32_t B = 0; B < Vc.BaseDelta.size(); ++B)
@@ -520,7 +520,7 @@ SystemEncoding postr::tagaut::encodeSystem(
     for (uint32_t I = 0; I < Enc.Ta.transitions().size(); ++I) {
       uint32_t Base = Enc.Ta.transitions()[I].BaseIdx;
       if (Base != TaTransition::NoBase)
-        Sums[Base] += LinTerm::variable(Enc.Pf.TransCount[I]);
+        Sums[Base].addMonomial(Enc.Pf.TransCount[I], 1);
     }
     Enc.BlockTerms = std::move(Sums);
   }

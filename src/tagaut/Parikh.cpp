@@ -63,7 +63,7 @@ ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
     LinTerm SumInit;
     for (uint32_t Q = 0; Q < NumStates; ++Q)
       if (Ta.isInitial(Q))
-        SumInit += LinTerm::variable(Pf.GammaInit[Q]);
+        SumInit.addMonomial(Pf.GammaInit[Q], 1);
     Parts.push_back(A.cmp(SumInit, Cmp::Eq, LinTerm(1)));
   }
   // φ_Fin (Eq. 35) is fully captured by the intrinsic bounds; the
@@ -74,10 +74,10 @@ ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
   for (uint32_t Q = 0; Q < NumStates; ++Q) {
     LinTerm Lhs = LinTerm::variable(Pf.GammaInit[Q]);
     for (uint32_t I : In[Q])
-      Lhs += LinTerm::variable(Pf.TransCount[I]);
+      Lhs.addMonomial(Pf.TransCount[I], 1);
     LinTerm Rhs = LinTerm::variable(Pf.GammaFin[Q]);
     for (uint32_t I : Out[Q])
-      Rhs += LinTerm::variable(Pf.TransCount[I]);
+      Rhs.addMonomial(Pf.TransCount[I], 1);
     Parts.push_back(A.cmp(Lhs, Cmp::Eq, Rhs));
   }
 
@@ -92,6 +92,7 @@ ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
     // σ_q <= -1 ⇒ γ^I_q = 0 ∧ all incoming counts are 0 (Eq. 38).
     {
       std::vector<FormulaId> Zero{A.cmp(GammaQ, Cmp::Eq, LinTerm(0))};
+      Zero.reserve(1 + In[Q].size());
       for (uint32_t I : In[Q])
         Zero.push_back(A.cmp(LinTerm::variable(Pf.TransCount[I]), Cmp::Eq,
                              LinTerm(0)));
@@ -173,9 +174,9 @@ postr::tagaut::connectivityCut(const TagAutomaton &Ta, const ParikhFormula &Pf,
   for (uint32_t I = 0; I < Ta.transitions().size(); ++I) {
     const TaTransition &T = Ta.transitions()[I];
     if (InGap[T.From])
-      FlowFrom += LinTerm::variable(Pf.TransCount[I]);
+      FlowFrom.addMonomial(Pf.TransCount[I], 1);
     else if (InGap[T.To])
-      FlowInto += LinTerm::variable(Pf.TransCount[I]);
+      FlowInto.addMonomial(Pf.TransCount[I], 1);
   }
   std::vector<FormulaId> Alts;
   Alts.push_back(A.cmp(FlowFrom, Cmp::Le, LinTerm(0)));

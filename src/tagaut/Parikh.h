@@ -42,13 +42,14 @@ struct ParikhFormula {
   /// The tag-count term #t (Eq. 2) of \p T, i.e. the sum of the count
   /// variables of all transitions carrying the tag.
   lia::LinTerm tagTerm(TagId T) const {
-    lia::LinTerm Sum;
     auto It = TagUses.find(T);
     if (It == TagUses.end())
-      return Sum;
+      return {};
+    std::vector<lia::Var> Vars;
+    Vars.reserve(It->second.size());
     for (uint32_t Idx : It->second)
-      Sum += lia::LinTerm::variable(TransCount[Idx]);
-    return Sum;
+      Vars.push_back(TransCount[Idx]);
+    return lia::LinTerm::sum(Vars);
   }
 
   /// True if any transition carries \p T.

@@ -229,6 +229,96 @@ TEST(FlatnessTest, SingleSelfLoopIsFlat) {
   EXPECT_TRUE(A.isFlat());
 }
 
+/// Random NFA that may also carry ε-transitions.
+Nfa randomNfaEps(std::mt19937 &Rng, uint32_t MaxStates, uint32_t Sigma,
+                 uint32_t EpsEdges) {
+  Nfa A = randomNfa(Rng, MaxStates, Sigma);
+  uint32_t N = A.numStates();
+  std::uniform_int_distribution<uint32_t> StateDist(0, N - 1);
+  for (uint32_t I = 0; I < EpsEdges; ++I)
+    A.addTransition(StateDist(Rng), Nfa::Epsilon, StateDist(Rng));
+  return A;
+}
+
+TEST(NfaTest, HasEpsilonFlag) {
+  Nfa A(2);
+  State Q0 = A.addState(), Q1 = A.addState();
+  A.markInitial(Q0);
+  A.markFinal(Q1);
+  EXPECT_FALSE(A.hasEpsilon());
+  A.addTransition(Q0, 0, Q1);
+  EXPECT_FALSE(A.hasEpsilon());
+  A.addTransition(Q0, Nfa::Epsilon, Q1);
+  EXPECT_TRUE(A.hasEpsilon());
+  EXPECT_FALSE(A.removeEpsilon().hasEpsilon());
+}
+
+// Property: the hashed-interning determinization is language-equivalent
+// to the source NFA under the bounded word-enumeration oracle, including
+// on inputs with ε-transitions (and the result is a complete DFA).
+TEST(NfaTest, DeterminizeMatchesEnumerationOracle) {
+  std::mt19937 Rng(777);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    Nfa A = randomNfaEps(Rng, 6, 2, Iter % 3);
+    Nfa D = determinize(A);
+    EXPECT_FALSE(D.hasEpsilon());
+    EXPECT_EQ(A.enumerateWords(5), D.enumerateWords(5)) << A.debugString();
+    // Completeness: every state has exactly Sigma out-transitions.
+    for (State Q = 0; Q < D.numStates(); ++Q) {
+      auto [Begin, End] = D.outgoing(Q);
+      EXPECT_EQ(static_cast<uint32_t>(End - Begin), D.alphabetSize());
+    }
+  }
+}
+
+// Property: the hashed-interning product accepts exactly the
+// intersection of the two languages (brute-force oracle).
+TEST(NfaTest, IntersectMatchesEnumerationOracle) {
+  std::mt19937 Rng(4242);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    Nfa A = randomNfaEps(Rng, 5, 2, Iter % 2).removeEpsilon();
+    Nfa B = randomNfaEps(Rng, 5, 2, Iter % 2).removeEpsilon();
+    Nfa P = intersect(A, B);
+    std::vector<Word> Expect;
+    for (const Word &W : A.enumerateWords(5))
+      if (B.accepts(W))
+        Expect.push_back(W);
+    EXPECT_EQ(P.enumerateWords(5), Expect)
+        << A.debugString() << " x " << B.debugString();
+  }
+}
+
+// Property: the SCC-memoized ε-removal preserves the language, also
+// through ε-cycles and ε-chains.
+TEST(NfaTest, RemoveEpsilonMatchesEnumerationOracle) {
+  std::mt19937 Rng(31337);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    Nfa A = randomNfaEps(Rng, 6, 2, 1 + Iter % 4);
+    Nfa B = A.removeEpsilon();
+    EXPECT_FALSE(B.hasEpsilon());
+    EXPECT_EQ(A.enumerateWords(5), B.enumerateWords(5)) << A.debugString();
+  }
+}
+
+TEST(NfaTest, RemoveEpsilonHandlesEpsilonCycle) {
+  // Q0 -ε-> Q1 -ε-> Q2 -ε-> Q0 cycle with exits: accepts {a, b}.
+  Nfa A(2);
+  State Q0 = A.addState(), Q1 = A.addState(), Q2 = A.addState(),
+        QF = A.addState();
+  A.markInitial(Q0);
+  A.markFinal(QF);
+  A.addTransition(Q0, Nfa::Epsilon, Q1);
+  A.addTransition(Q1, Nfa::Epsilon, Q2);
+  A.addTransition(Q2, Nfa::Epsilon, Q0);
+  A.addTransition(Q1, 0, QF);
+  A.addTransition(Q2, 1, QF);
+  Nfa B = A.removeEpsilon();
+  EXPECT_TRUE(B.accepts({0}));
+  EXPECT_TRUE(B.accepts({1}));
+  EXPECT_FALSE(B.accepts({}));
+  EXPECT_FALSE(B.accepts({0, 1}));
+}
+
 TEST(NfaTest, TrimDropsUnreachableAndDead) {
   Nfa A(2);
   State Q0 = A.addState(), Q1 = A.addState(), Q2 = A.addState(),

@@ -45,6 +45,100 @@ TEST(LinTermTest, AlgebraAndEval) {
   EXPECT_EQ(((X + Y) - X).coeffs().size(), 1u);
 }
 
+TEST(RationalTest, IntegerFastPathComparisons) {
+  // Den==1 comparisons short-circuit; mixed ones still cross-multiply.
+  EXPECT_TRUE(Rational(2) < Rational(3));
+  EXPECT_TRUE(Rational(-3) <= Rational(-3));
+  EXPECT_FALSE(Rational(3) < Rational(3));
+  EXPECT_TRUE(Rational(1, 2) < Rational(1));
+  EXPECT_TRUE(Rational(1) < Rational(3, 2));
+  EXPECT_EQ(Rational(5).floor(), Rational(5));
+  EXPECT_EQ(Rational(-5).ceil(), Rational(-5));
+}
+
+/// Reference merge with the pre-optimization copy semantics of
+/// LinTerm::operator+ (merge-and-reallocate), used as the oracle for the
+/// in-place fast paths.
+LinTerm refAdd(const LinTerm &A, const LinTerm &B, int64_t Sign = 1) {
+  std::map<Var, int64_t> Acc;
+  for (auto [V, C] : A.coeffs())
+    Acc[V] += C;
+  for (auto [V, C] : B.coeffs())
+    Acc[V] += Sign * C;
+  LinTerm R(A.constant() + Sign * B.constant());
+  for (auto [V, C] : Acc)
+    if (C != 0)
+      R += LinTerm::variable(V, C);
+  return R;
+}
+
+LinTerm randomTerm(std::mt19937 &Rng, uint32_t MaxVars) {
+  std::uniform_int_distribution<int64_t> CoeffDist(-3, 3);
+  std::uniform_int_distribution<uint32_t> VarDist(0, MaxVars - 1);
+  std::uniform_int_distribution<uint32_t> LenDist(0, MaxVars);
+  LinTerm T(CoeffDist(Rng));
+  for (uint32_t I = LenDist(Rng); I > 0; --I)
+    T += LinTerm::variable(VarDist(Rng), CoeffDist(Rng));
+  return T;
+}
+
+// Regression: the in-place sorted-merge += / -= match the old
+// copy-and-merge semantics, including cancellation to zero.
+TEST(LinTermTest, InPlaceAddSubMatchesCopySemantics) {
+  std::mt19937 Rng(99);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    LinTerm A = randomTerm(Rng, 8), B = randomTerm(Rng, 8);
+    LinTerm Sum = A;
+    Sum += B;
+    EXPECT_EQ(Sum, refAdd(A, B, 1)) << A.str() << " += " << B.str();
+    LinTerm Diff = A;
+    Diff -= B;
+    EXPECT_EQ(Diff, refAdd(A, B, -1)) << A.str() << " -= " << B.str();
+    // No zero coefficients may survive.
+    for (auto [V, C] : Sum.coeffs())
+      EXPECT_NE(C, 0);
+    LinTerm Zero = A;
+    Zero -= A;
+    EXPECT_TRUE(Zero.isConstant());
+    EXPECT_EQ(Zero.constant(), 0);
+    // Self-aliasing: t += t doubles, t -= t cancels to zero.
+    LinTerm Doubled = A;
+    Doubled += Doubled;
+    EXPECT_EQ(Doubled, refAdd(A, A, 1));
+    LinTerm SelfZero = A;
+    SelfZero -= SelfZero;
+    EXPECT_TRUE(SelfZero.isConstant());
+    EXPECT_EQ(SelfZero.constant(), 0);
+  }
+}
+
+TEST(LinTermTest, AddMonomialMatchesVariableAdd) {
+  std::mt19937 Rng(1234);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    LinTerm A = randomTerm(Rng, 6);
+    LinTerm ViaMonomial = A, ViaAdd = A;
+    std::uniform_int_distribution<int64_t> CoeffDist(-2, 2);
+    for (Var V = 0; V < 10; ++V) {
+      int64_t C = CoeffDist(Rng);
+      ViaMonomial.addMonomial(V, C);
+      ViaAdd += LinTerm::variable(V, C);
+    }
+    EXPECT_EQ(ViaMonomial, ViaAdd);
+  }
+}
+
+TEST(LinTermTest, SumBuilderCollapsesRepeats) {
+  // sum() over an unsorted list with repeats equals iterated addition.
+  std::vector<Var> Vars{5, 1, 3, 1, 5, 5, 0};
+  LinTerm ViaSum = LinTerm::sum(Vars);
+  LinTerm ViaAdd;
+  for (Var V : Vars)
+    ViaAdd += LinTerm::variable(V);
+  EXPECT_EQ(ViaSum, ViaAdd);
+  EXPECT_EQ(ViaSum.coeffs().size(), 4u);
+  EXPECT_TRUE(LinTerm::sum({}).isConstant());
+}
+
 TEST(SatTest, TrivialSatUnsat) {
   SatSolver S;
   uint32_t A = S.newVar(), B = S.newVar();
