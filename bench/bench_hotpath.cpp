@@ -97,6 +97,10 @@ uint64_t parikhEncodeRep(uint32_t Rep) {
   return A.numNodes() + Enc.Ta.transitions().size();
 }
 
+/// Search-core counters accumulated across the solve stage (emitted into
+/// the JSON so perf PRs can see *why* a stage moved, not only how much).
+lia::QfSearchStats SolveCounters;
+
 uint64_t solveRep(uint32_t Rep) {
   // PF(A) satisfiability on a random tag automaton, eager φ_Span: the
   // pure DPLL(T)+Simplex load with no encoder in the way.
@@ -122,7 +126,26 @@ uint64_t solveRep(uint32_t Rep) {
   lia::QfOptions Opts;
   Opts.TimeoutMs = 20000;
   lia::QfResult R = lia::solveQF(A, Pf.Formula, Opts);
+  SolveCounters += R.Stats;
   return static_cast<uint64_t>(R.V == Verdict::Sat ? 1 : 0);
+}
+
+/// One disjunct-pool rep: the word-equation-heavy thefuck instances fan
+/// out into 20–148 decompositions each, which is what the pool
+/// parallelizes. Timeouts are generous so verdicts — and therefore the
+/// checksum — are identical at every thread count even on an
+/// oversubscribed machine.
+uint64_t solveParallelRep(uint32_t, uint32_t Threads) {
+  uint64_t Acc = 0;
+  for (uint32_t I = 0; I < 4; ++I) {
+    strings::Problem P = bench::generate(bench::Family::Thefuck, 131, I);
+    solver::SolveOptions O;
+    O.TimeoutMs = 20000;
+    O.ValidateModels = false;
+    O.Threads = Threads;
+    Acc += static_cast<uint64_t>(solver::solveProblem(P, O).V);
+  }
+  return Acc;
 }
 
 uint64_t pipelineRep(uint32_t Rep) {
@@ -152,6 +175,11 @@ int main() {
   Stages.push_back(runStage("parikh-encode", N, parikhEncodeRep));
   Stages.push_back(runStage("solve", std::max(1u, N / 4), solveRep));
   Stages.push_back(runStage("pipeline", std::max(1u, N / 4), pipelineRep));
+  for (uint32_t Threads : {1u, 2u, 4u})
+    Stages.push_back(runStage("solve-parallel-" + std::to_string(Threads),
+                              std::max(1u, N / 4), [Threads](uint32_t Rep) {
+                                return solveParallelRep(Rep, Threads);
+                              }));
 
   std::string Json = "{\n  \"bench\": \"hotpath\",\n  \"scale\": " +
                      std::to_string(N) + ",\n  \"stages\": [\n";
@@ -166,7 +194,22 @@ int main() {
                   I + 1 < Stages.size() ? "," : "");
     Json += Buf;
   }
-  Json += "  ]\n}\n";
+  char Counters[512];
+  std::snprintf(
+      Counters, sizeof(Counters),
+      "  ],\n  \"solve_counters\": {\"conflicts\": %llu, "
+      "\"propagations\": %llu, \"decisions\": %llu, \"restarts\": %llu, "
+      "\"clauses_deleted\": %llu, \"pivots\": %llu, \"checks\": %llu, "
+      "\"theory_conflicts\": %llu}\n}\n",
+      (unsigned long long)SolveCounters.Conflicts,
+      (unsigned long long)SolveCounters.Propagations,
+      (unsigned long long)SolveCounters.Decisions,
+      (unsigned long long)SolveCounters.Restarts,
+      (unsigned long long)SolveCounters.ClausesDeleted,
+      (unsigned long long)SolveCounters.Pivots,
+      (unsigned long long)SolveCounters.Checks,
+      (unsigned long long)SolveCounters.TheoryConflicts);
+  Json += Counters;
 
   std::fputs(Json.c_str(), stdout);
   if (FILE *F = std::fopen("BENCH_hotpath.json", "w")) {

@@ -22,6 +22,8 @@ Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
                               const MbqiOptions &Opts) {
   Clock::time_point Start = Clock::now();
   auto TimedOut = [&] {
+    if (Opts.Qf.Cancel && Opts.Qf.Cancel->load(std::memory_order_relaxed))
+      return true;
     if (Opts.TimeoutMs == 0)
       return false;
     return std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -170,6 +170,18 @@ private:
       A = -A;
     if (B < 0)
       B = -B;
+    // Hardware-division fast path: __int128 % compiles to a libgcc call
+    // (__modti3), which dominated pivot-heavy Simplex profiles. Tableau
+    // coefficients overwhelmingly fit in 64 bits.
+    if (A <= UINT64_MAX && B <= UINT64_MAX) {
+      uint64_t X = static_cast<uint64_t>(A), Y = static_cast<uint64_t>(B);
+      while (Y != 0) {
+        uint64_t T = X % Y;
+        X = Y;
+        Y = T;
+      }
+      return static_cast<Int>(X);
+    }
     while (B != 0) {
       Int T = A % B;
       A = B;
@@ -180,6 +192,8 @@ private:
 
   void normalize() {
     assert(Den != 0 && "zero denominator");
+    if (Den == 1)
+      return; // integral values are already canonical
     if (Den < 0) {
       Num = -Num;
       Den = -Den;

@@ -13,16 +13,102 @@
 using namespace postr;
 using namespace postr::lia;
 
+namespace {
+
+/// The Luby restart sequence 1,1,2,1,1,2,4,... (0-indexed).
+uint64_t luby(uint32_t X) {
+  // Find the subsequence [0, 2^K - 2] containing X, then recurse into it.
+  uint32_t K = 1;
+  uint64_t Size = 1; // 2^K - 1
+  while (Size < X + 1u) {
+    ++K;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != X) {
+    Size = (Size - 1) >> 1;
+    --K;
+    X %= static_cast<uint32_t>(Size);
+  }
+  return uint64_t(1) << (K - 1);
+}
+
+} // namespace
+
 uint32_t SatSolver::newVar() {
   Assign.push_back(Unassigned);
   Level.push_back(0);
   Reason.push_back(NoClause);
   Activity.push_back(0.0);
   Polarity.push_back(FalseVal);
+  Seen.push_back(0);
+  HeapPos.push_back(~0u);
   Watches.emplace_back();
   Watches.emplace_back();
-  return numVars() - 1;
+  uint32_t V = numVars() - 1;
+  heapInsert(V);
+  return V;
 }
+
+//===----------------------------------------------------------------------===//
+// Order heap (indexed binary max-heap over Activity)
+//===----------------------------------------------------------------------===//
+
+void SatSolver::heapInsert(uint32_t V) {
+  assert(!inHeap(V) && "double insert");
+  HeapPos[V] = static_cast<uint32_t>(Heap.size());
+  Heap.push_back(V);
+  heapSiftUp(HeapPos[V]);
+}
+
+void SatSolver::heapSiftUp(uint32_t I) {
+  uint32_t V = Heap[I];
+  while (I > 0) {
+    uint32_t Parent = (I - 1) >> 1;
+    if (!heapLess(Heap[Parent], V))
+      break;
+    Heap[I] = Heap[Parent];
+    HeapPos[Heap[I]] = I;
+    I = Parent;
+  }
+  Heap[I] = V;
+  HeapPos[V] = I;
+}
+
+void SatSolver::heapSiftDown(uint32_t I) {
+  uint32_t V = Heap[I];
+  size_t N = Heap.size();
+  for (;;) {
+    size_t Child = 2 * size_t(I) + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N && heapLess(Heap[Child], Heap[Child + 1]))
+      ++Child;
+    if (!heapLess(V, Heap[Child]))
+      break;
+    Heap[I] = Heap[Child];
+    HeapPos[Heap[I]] = I;
+    I = static_cast<uint32_t>(Child);
+  }
+  Heap[I] = V;
+  HeapPos[V] = I;
+}
+
+uint32_t SatSolver::heapPop() {
+  uint32_t Top = Heap[0];
+  HeapPos[Top] = ~0u;
+  uint32_t Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty() && Last != Top) {
+    Heap[0] = Last;
+    HeapPos[Last] = 0;
+    heapSiftDown(0);
+  }
+  return Top;
+}
+
+//===----------------------------------------------------------------------===//
+// Clause management
+//===----------------------------------------------------------------------===//
 
 void SatSolver::addClause(std::vector<Lit> Lits) {
   // Clause addition happens between solve() calls; drop back to the root
@@ -58,7 +144,7 @@ void SatSolver::addClause(std::vector<Lit> Lits) {
     }
     return;
   }
-  Clauses.push_back({std::move(Kept), /*Learnt=*/false});
+  Clauses.push_back({std::move(Kept), /*Lbd=*/0, /*Learnt=*/false});
   attach(static_cast<ClauseRef>(Clauses.size() - 1));
 }
 
@@ -75,6 +161,8 @@ void SatSolver::enqueue(Lit L, ClauseRef From) {
   Level[L.var()] = static_cast<uint32_t>(TrailLim.size());
   Reason[L.var()] = From;
   Trail.push_back(L);
+  if (From != NoClause)
+    ++Stats.Propagations;
 }
 
 SatSolver::ClauseRef SatSolver::propagate() {
@@ -129,13 +217,49 @@ void SatSolver::bumpVar(uint32_t Var) {
       A *= 1e-100;
     ActivityInc *= 1e-100;
   }
+  if (inHeap(Var))
+    heapSiftUp(HeapPos[Var]);
+}
+
+uint32_t SatSolver::computeLbd(const std::vector<Lit> &Lits) {
+  ++Stamp;
+  uint32_t Lbd = 0;
+  for (Lit L : Lits) {
+    if (Assign[L.var()] == Unassigned) {
+      ++Lbd; // fresh splitting atoms: each its own block, conservatively
+      continue;
+    }
+    uint32_t Lv = Level[L.var()];
+    if (LevelStamp.size() <= Lv)
+      LevelStamp.resize(Lv + 1, 0);
+    if (LevelStamp[Lv] != Stamp) {
+      LevelStamp[Lv] = Stamp;
+      ++Lbd;
+    }
+  }
+  return Lbd;
+}
+
+bool SatSolver::litRedundant(Lit L) const {
+  // One-step self-subsuming resolution: L is implied by the rest of the
+  // learnt clause when every other literal of its reason is already in
+  // the clause (seen) or fixed at level 0.
+  ClauseRef CR = Reason[L.var()];
+  if (CR == NoClause)
+    return false;
+  for (Lit Q : Clauses[CR].Lits) {
+    if (Q.var() == L.var())
+      continue;
+    if (!Seen[Q.var()] && Level[Q.var()] != 0)
+      return false;
+  }
+  return true;
 }
 
 void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
-                        uint32_t &BackjumpLevel) {
+                        uint32_t &BackjumpLevel, uint32_t &LbdOut) {
   Learnt.clear();
   Learnt.push_back(Lit()); // slot for the asserting literal
-  std::vector<bool> Seen(numVars(), false);
   uint32_t Counter = 0;
   Lit P;
   size_t Index = Trail.size();
@@ -152,7 +276,7 @@ void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
         continue;
       if (Seen[Q.var()] || Level[Q.var()] == 0)
         continue;
-      Seen[Q.var()] = true;
+      Seen[Q.var()] = 1;
       bumpVar(Q.var());
       if (Level[Q.var()] == CurLevel)
         ++Counter;
@@ -164,13 +288,35 @@ void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
       --Index;
     --Index;
     P = Trail[Index];
-    Seen[P.var()] = false;
+    Seen[P.var()] = 0;
     CR = Reason[P.var()];
     FirstIter = false;
     if (--Counter == 0)
       break;
   }
   Learnt[0] = ~P;
+
+  // Minimize: drop literals implied by the rest of the clause. Seen still
+  // marks every non-asserting literal, which is exactly what litRedundant
+  // tests against (removability is checked against the original first-UIP
+  // clause, the standard local mode) — so decide redundancy for the whole
+  // clause first, then clear every mark, then compact.
+  RedundantScratch.assign(Learnt.size(), 0);
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    RedundantScratch[I] = litRedundant(Learnt[I]) ? 1 : 0;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    Seen[Learnt[I].var()] = 0;
+  size_t Kept = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (RedundantScratch[I]) {
+      ++Stats.LitsMinimized;
+      continue;
+    }
+    Learnt[Kept++] = Learnt[I];
+  }
+  Learnt.resize(Kept);
+
+  LbdOut = computeLbd(Learnt);
 
   // Backjump level: the second-highest level in the clause.
   BackjumpLevel = 0;
@@ -195,6 +341,8 @@ void SatSolver::backtrack(uint32_t TargetLevel) {
     Polarity[L.var()] = Assign[L.var()];
     Assign[L.var()] = Unassigned;
     Reason[L.var()] = NoClause;
+    if (!inHeap(L.var()))
+      heapInsert(L.var());
   }
   Trail.resize(Bound);
   TrailLim.resize(TargetLevel);
@@ -207,50 +355,110 @@ void SatSolver::backtrack(uint32_t TargetLevel) {
 }
 
 Lit SatSolver::pickBranchLit() {
-  uint32_t Best = ~0u;
-  double BestAct = -1.0;
-  for (uint32_t V = 0; V < numVars(); ++V)
-    if (Assign[V] == Unassigned && Activity[V] > BestAct) {
-      Best = V;
-      BestAct = Activity[V];
+  // Lazy heap: popped entries may have been assigned since insertion;
+  // skip them (they re-enter the heap when backtracking unassigns them).
+  while (!Heap.empty()) {
+    uint32_t V = heapPop();
+    if (Assign[V] == Unassigned)
+      return Lit(V, Polarity[V] == FalseVal);
+  }
+  return Lit();
+}
+
+void SatSolver::reduceDB() {
+  ++Stats.Reductions;
+  // Deletable: long high-LBD learnt clauses that are not the reason of an
+  // asserted literal. Binary and glue (LBD <= 2) clauses are kept forever.
+  std::vector<ClauseRef> Cand;
+  for (ClauseRef C = 0; C < Clauses.size(); ++C) {
+    const Clause &Cl = Clauses[C];
+    if (Cl.Learnt && Cl.Lits.size() > 2 && Cl.Lbd > 2 && !locked(C))
+      Cand.push_back(C);
+  }
+  if (Cand.empty()) {
+    ReduceLimit += ReduceBump;
+    return;
+  }
+  std::sort(Cand.begin(), Cand.end(), [&](ClauseRef A, ClauseRef B) {
+    if (Clauses[A].Lbd != Clauses[B].Lbd)
+      return Clauses[A].Lbd > Clauses[B].Lbd;
+    if (Clauses[A].Lits.size() != Clauses[B].Lits.size())
+      return Clauses[A].Lits.size() > Clauses[B].Lits.size();
+    return A > B; // younger (higher ref) first, so equals drop youngest
+  });
+  std::vector<uint8_t> Drop(Clauses.size(), 0);
+  for (size_t I = 0; I < Cand.size() / 2; ++I)
+    Drop[Cand[I]] = 1;
+
+  // Compact the clause arena and remap every live reference.
+  std::vector<ClauseRef> Remap(Clauses.size(), NoClause);
+  size_t Out = 0;
+  for (ClauseRef C = 0; C < Clauses.size(); ++C) {
+    if (Drop[C]) {
+      ++Stats.ClausesDeleted;
+      continue;
     }
-  if (Best == ~0u)
-    return Lit();
-  return Lit(Best, Polarity[Best] == FalseVal);
+    Remap[C] = static_cast<ClauseRef>(Out);
+    if (Out != C)
+      Clauses[Out] = std::move(Clauses[C]);
+    ++Out;
+  }
+  Clauses.resize(Out);
+  for (Lit L : Trail)
+    if (Reason[L.var()] != NoClause) {
+      assert(Remap[Reason[L.var()]] != NoClause &&
+             "reduction dropped the reason clause of an asserted literal");
+      Reason[L.var()] = Remap[Reason[L.var()]];
+    }
+  // Rebuild the watch lists; slots 0/1 are untouched by the compaction,
+  // so re-attaching preserves the watch invariant.
+  for (std::vector<ClauseRef> &W : Watches)
+    W.clear();
+  NumLearnt = 0;
+  for (ClauseRef C = 0; C < Clauses.size(); ++C) {
+    attach(C);
+    if (Clauses[C].Learnt)
+      ++NumLearnt;
+  }
+  ReduceLimit += ReduceBump;
 }
 
 bool SatSolver::resolveConflict(ClauseRef Conflict) {
+  ++Stats.Conflicts;
   if (TrailLim.empty()) {
     Unsatisfiable = true;
     return false;
   }
-  std::vector<Lit> Learnt;
-  uint32_t BackjumpLevel = 0;
-  analyze(Conflict, Learnt, BackjumpLevel);
+  uint32_t BackjumpLevel = 0, Lbd = 0;
+  analyze(Conflict, LearntScratch, BackjumpLevel, Lbd);
   backtrack(BackjumpLevel);
-  if (Learnt.size() == 1) {
-    if (!isUnassigned(Learnt[0])) {
+  if (LearntScratch.size() == 1) {
+    if (!isUnassigned(LearntScratch[0])) {
       Unsatisfiable = true;
       return false;
     }
-    enqueue(Learnt[0], NoClause);
+    enqueue(LearntScratch[0], NoClause);
   } else {
-    Clauses.push_back({Learnt, /*Learnt=*/true});
+    Clauses.push_back({LearntScratch, Lbd, /*Learnt=*/true});
+    ++NumLearnt;
     ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
     attach(CR);
-    enqueue(Learnt[0], CR);
+    enqueue(LearntScratch[0], CR);
   }
   ActivityInc *= 1.05;
   ++ConflictsSinceRestart;
   if (ConflictsSinceRestart >= RestartLimit) {
+    ++Stats.Restarts;
     ConflictsSinceRestart = 0;
-    RestartLimit = RestartLimit + RestartLimit / 2;
+    RestartLimit = 100 * luby(RestartCount++);
     backtrack(0);
   }
+  if (NumLearnt >= ReduceLimit)
+    reduceDB();
   return true;
 }
 
-bool SatSolver::handleTheoryConflict(std::vector<Lit> Lemma) {
+bool SatSolver::handleTheoryConflict(std::vector<Lit> &Lemma) {
   // Deduplicate; lemmas arrive from explanation machinery unordered.
   std::sort(Lemma.begin(), Lemma.end(),
             [](Lit A, Lit B) { return A.Code < B.Code; });
@@ -282,7 +490,9 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> Lemma) {
     // inconsistent atom polarities — the clause is a theory tautology.
     auto NotFalse = [&](Lit L) { return !valueIsFalse(L); };
     std::stable_partition(Lemma.begin(), Lemma.end(), NotFalse);
-    Clauses.push_back({std::move(Lemma), /*Learnt=*/true});
+    uint32_t Lbd = computeLbd(Lemma);
+    Clauses.push_back({std::move(Lemma), Lbd, /*Learnt=*/true});
+    ++NumLearnt;
     attach(static_cast<ClauseRef>(Clauses.size() - 1));
     return true;
   }
@@ -312,7 +522,9 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> Lemma) {
   };
   std::partial_sort(Lemma.begin(), Lemma.begin() + 2, Lemma.end(),
                     DeeperThan);
-  Clauses.push_back({std::move(Lemma), /*Learnt=*/true});
+  uint32_t Lbd = computeLbd(Lemma);
+  Clauses.push_back({std::move(Lemma), Lbd, /*Learnt=*/true});
+  ++NumLearnt;
   ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
   attach(CR);
   // The lemma is falsified at the current level: run ordinary conflict
@@ -326,7 +538,8 @@ SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
   Theory = TheoryIn;
   TheoryHead = 0;
   ConflictsSinceRestart = 0;
-  RestartLimit = 100;
+  RestartCount = 0;
+  RestartLimit = 100 * luby(RestartCount++);
   backtrack(0);
   Res Out = [&] {
     if (propagate() != NoClause) {
@@ -341,13 +554,14 @@ SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
         continue;
       }
       if (Theory && TheoryHead < Trail.size()) {
-        std::vector<Lit> Lemma;
-        TheoryClient::TRes TR = Theory->onAssign(Trail, TheoryHead, Lemma);
+        TheoryLemmaScratch.clear();
+        TheoryClient::TRes TR =
+            Theory->onAssign(Trail, TheoryHead, TheoryLemmaScratch);
         TheoryHead = Trail.size();
         if (TR == TheoryClient::TRes::Abort)
           return Res::Abort;
         if (TR == TheoryClient::TRes::Conflict) {
-          if (!handleTheoryConflict(std::move(Lemma)))
+          if (!handleTheoryConflict(TheoryLemmaScratch))
             return Res::Unsat;
           continue;
         }
@@ -355,18 +569,19 @@ SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
       Lit Next = pickBranchLit();
       if (Next.Code == ~0u) {
         if (Theory) {
-          std::vector<Lit> Lemma;
-          TheoryClient::TRes TR = Theory->onFinalModel(Lemma);
+          TheoryLemmaScratch.clear();
+          TheoryClient::TRes TR = Theory->onFinalModel(TheoryLemmaScratch);
           if (TR == TheoryClient::TRes::Abort)
             return Res::Abort;
           if (TR == TheoryClient::TRes::Conflict) {
-            if (!handleTheoryConflict(std::move(Lemma)))
+            if (!handleTheoryConflict(TheoryLemmaScratch))
               return Res::Unsat;
             continue;
           }
         }
         return Res::Sat;
       }
+      ++Stats.Decisions;
       TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
       enqueue(Next, NoClause);
     }

@@ -8,9 +8,11 @@
 /// \file
 /// A compact conflict-driven clause-learning SAT solver used as the
 /// boolean core of the DPLL(T) LIA solver (`lia/Solver.h`). Watched
-/// literals, activity-based decisions, first-UIP learning, geometric
-/// restarts. Supports incremental clause addition between solve() calls,
-/// which is how theory conflicts (blocking clauses) are fed back.
+/// literals, VSIDS decisions through an indexed order-heap, first-UIP
+/// learning with self-subsuming minimization, LBD-tagged learnt clauses
+/// with periodic clause-DB reduction, Luby restarts. Supports incremental
+/// clause addition between solve() calls, which is how theory conflicts
+/// (blocking clauses) are fed back.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,6 +67,17 @@ public:
   virtual TRes onFinalModel(std::vector<Lit> &ConflictOut) = 0;
 };
 
+/// Cumulative search-core counters, exposed for benchmarks and tests.
+struct SatStats {
+  uint64_t Conflicts = 0;    ///< boolean + theory conflicts resolved
+  uint64_t Propagations = 0; ///< literals enqueued by unit propagation
+  uint64_t Decisions = 0;
+  uint64_t Restarts = 0;
+  uint64_t Reductions = 0;     ///< clause-DB reduction passes
+  uint64_t ClausesDeleted = 0; ///< learnt clauses dropped by reduction
+  uint64_t LitsMinimized = 0;  ///< literals removed by self-subsumption
+};
+
 /// CDCL SAT solver.
 class SatSolver {
 public:
@@ -98,11 +111,23 @@ public:
     return Assign[Var] == TrueVal;
   }
 
+  const SatStats &stats() const { return Stats; }
+
+  /// Overrides the clause-DB reduction schedule: the first reduction
+  /// fires once \p First learnt clauses are live, each pass raising the
+  /// cap by \p Bump. Tests use tiny values to force reductions on small
+  /// instances; the defaults suit the tag-framework formulae.
+  void setReduceSchedule(uint64_t First, uint64_t Bump) {
+    ReduceLimit = First;
+    ReduceBump = Bump;
+  }
+
 private:
   static constexpr uint8_t Unassigned = 2, TrueVal = 1, FalseVal = 0;
 
   struct Clause {
     std::vector<Lit> Lits;
+    uint32_t Lbd = 0; ///< literal-block distance at learn time (0 = problem)
     bool Learnt = false;
   };
 
@@ -120,7 +145,7 @@ private:
   void enqueue(Lit L, ClauseRef Reason);
   ClauseRef propagate();
   void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
-               uint32_t &BackjumpLevel);
+               uint32_t &BackjumpLevel, uint32_t &LbdOut);
   void backtrack(uint32_t Level);
   void bumpVar(uint32_t Var);
   void attach(ClauseRef C);
@@ -129,7 +154,40 @@ private:
   /// returns false when the instance became UNSAT.
   bool resolveConflict(ClauseRef Conflict);
   /// Integrates a falsified theory lemma mid-search; false → UNSAT.
-  bool handleTheoryConflict(std::vector<Lit> Lemma);
+  /// Operates in place on \p Lemma (a reusable caller buffer).
+  bool handleTheoryConflict(std::vector<Lit> &Lemma);
+  /// True when `Learnt[I]` is implied by the rest of the learnt clause
+  /// (its reason's literals are all seen or at level 0) and can be
+  /// dropped — one-step self-subsuming resolution.
+  bool litRedundant(Lit L) const;
+  /// Number of distinct decision levels among the assigned literals of
+  /// \p Lits (unassigned literals count as one extra block each).
+  uint32_t computeLbd(const std::vector<Lit> &Lits);
+  /// Drops the worst half of the deletable learnt clauses (high LBD,
+  /// long), compacting the clause arena and rebuilding the watch lists.
+  /// Clauses that are the reason of an asserted literal are kept.
+  void reduceDB();
+  bool locked(ClauseRef C) const {
+    uint32_t V = Clauses[C].Lits[0].var();
+    return Assign[V] != Unassigned && Reason[V] == C &&
+           valueIsTrue(Clauses[C].Lits[0]);
+  }
+
+  // Order heap: a binary max-heap over Activity holding candidate
+  // decision variables. Lazy: popped entries may be assigned (skipped by
+  // pickBranchLit), unassigned-on-backtrack variables are re-inserted.
+  bool inHeap(uint32_t V) const { return HeapPos[V] != ~0u; }
+  void heapInsert(uint32_t V);
+  void heapSiftUp(uint32_t I);
+  void heapSiftDown(uint32_t I);
+  uint32_t heapPop();
+  bool heapLess(uint32_t A, uint32_t B) const {
+    // Ties break toward the smaller variable index: atom variables are
+    // minted in structural (Parikh flow) order, and preferring them over
+    // arbitrary heap order measurably helps the tag encodings.
+    return Activity[A] < Activity[B] ||
+           (Activity[A] == Activity[B] && A > B);
+  }
 
   std::vector<Clause> Clauses;
   std::vector<std::vector<ClauseRef>> Watches; ///< per literal code
@@ -142,11 +200,27 @@ private:
   std::vector<double> Activity;
   double ActivityInc = 1.0;
   std::vector<uint8_t> Polarity; ///< phase saving
+  std::vector<uint32_t> Heap;    ///< order heap (var indices)
+  std::vector<uint32_t> HeapPos; ///< var -> index in Heap, ~0u if absent
+  /// Conflict-analysis scratch, reused across conflicts (no per-conflict
+  /// allocation): the DFS-seen marks, the learnt-clause buffer, and the
+  /// level-stamp table behind computeLbd.
+  std::vector<uint8_t> Seen;
+  std::vector<uint8_t> RedundantScratch;
+  std::vector<Lit> LearntScratch;
+  std::vector<Lit> TheoryLemmaScratch;
+  std::vector<uint32_t> LevelStamp;
+  uint32_t Stamp = 0;
   bool Unsatisfiable = false;
-  TheoryClient *Theory = nullptr;   ///< active during solve() only
-  size_t TheoryHead = 0;            ///< trail prefix already sent to Theory
+  TheoryClient *Theory = nullptr; ///< active during solve() only
+  size_t TheoryHead = 0;          ///< trail prefix already sent to Theory
   uint64_t ConflictsSinceRestart = 0;
   uint64_t RestartLimit = 100;
+  uint32_t RestartCount = 0; ///< Luby sequence index
+  uint64_t NumLearnt = 0;    ///< live deletable learnt clauses
+  uint64_t ReduceLimit = 4000;
+  uint64_t ReduceBump = 1000;
+  SatStats Stats;
 };
 
 } // namespace lia

@@ -8,27 +8,6 @@
 #include "lia/Simplex.h"
 
 #include <algorithm>
-#include <chrono>
-
-namespace {
-struct ScopedNs {
-  uint64_t &Acc;
-  std::chrono::steady_clock::time_point T0;
-  explicit ScopedNs(uint64_t &Acc)
-      : Acc(Acc), T0(std::chrono::steady_clock::now()) {}
-  ~ScopedNs() {
-    Acc += std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - T0)
-               .count();
-  }
-};
-uint64_t GPivotNs = 0, GCheckNs = 0, GUpdateNs = 0, GIntNs = 0;
-} // namespace
-extern "C" void postrSimplexProfileDump() {
-  std::fprintf(stderr, "[simplex] pivot=%.2fs check=%.2fs update=%.2fs int=%.2fs\n",
-    GPivotNs/1e9, GCheckNs/1e9, GUpdateNs/1e9, GIntNs/1e9);
-}
-#include <cstdio>
 
 using namespace postr;
 using namespace postr::lia;
@@ -38,7 +17,10 @@ Simplex::Simplex(uint32_t NumProblemVars)
       RowOf(NumProblemVars, ~0u), Beta(NumProblemVars),
       Lo(NumProblemVars), Hi(NumProblemVars),
       LoReason(NumProblemVars, NoReason), HiReason(NumProblemVars, NoReason),
-      InViolQueue(NumProblemVars, 0), ColCount(NumProblemVars, 0) {}
+      InViolQueue(NumProblemVars, 0), ColCount(NumProblemVars, 0) {
+  ColNz.resize(NumProblemVars);
+  InColNz.resize(NumProblemVars);
+}
 
 void Simplex::setIntrinsicBounds(Var V, int64_t LoV, int64_t HiV) {
   assert(V < NumProblemVars && "intrinsic bounds on slack variable");
@@ -70,6 +52,8 @@ uint32_t Simplex::rowFor(const LinTerm &T) {
   HiReason.push_back(NoReason);
   InViolQueue.push_back(0);
   ColCount.push_back(0);
+  ColNz.emplace_back();
+  InColNz.emplace_back();
   // Extend existing rows with a zero column for the new variable.
   for (std::vector<Rational> &Row : Tableau)
     Row.push_back(Rational::zero());
@@ -100,11 +84,14 @@ uint32_t Simplex::rowFor(const LinTerm &T) {
       Nz.push_back(X);
       In[X] = 1;
     }
+  uint32_t NewRow = static_cast<uint32_t>(Tableau.size());
   for (uint32_t X : Nz)
     ++ColCount[X];
   Tableau.push_back(std::move(Row));
   RowNz.push_back(std::move(Nz));
   InRowNz.push_back(std::move(In));
+  for (uint32_t X : RowNz.back())
+    noteColNonzero(NewRow, X);
   BasicVar.push_back(Slack);
   Beta.push_back(Value);
   TermToVar.emplace(T.coeffs(), Slack);
@@ -167,19 +154,59 @@ void Simplex::rollback(size_t Mark) {
   }
 }
 
+void Simplex::markBaseline() {
+  BaseLo = Lo;
+  BaseHi = Hi;
+  BaseLoReason = LoReason;
+  BaseHiReason = HiReason;
+  // The baseline bounds are never rolled back; drop their undo records.
+  AssertTrail.clear();
+}
+
+void Simplex::resetToBaseline() {
+  for (uint32_t X = 0; X < NumVars; ++X) {
+    if (X < BaseLo.size()) {
+      Lo[X] = BaseLo[X];
+      Hi[X] = BaseHi[X];
+      LoReason[X] = BaseLoReason[X];
+      HiReason[X] = BaseHiReason[X];
+    } else {
+      Lo[X] = std::nullopt;
+      Hi[X] = std::nullopt;
+      LoReason[X] = NoReason;
+      HiReason[X] = NoReason;
+    }
+  }
+  AssertTrail.clear();
+  // Bounds only got looser and β is untouched, so rows stay satisfied;
+  // conservatively requeue the basics for the next feasibility check.
+  for (uint32_t X : BasicVar)
+    touchBasic(X);
+}
+
 void Simplex::updateNonbasic(uint32_t N, const Rational &V) {
-  ScopedNs Prof(GUpdateNs);
   Rational Delta = V - Beta[N];
   if (Delta.isZero())
     return;
-  for (uint32_t R = 0; R < Tableau.size(); ++R) {
-    const Rational &A = Tableau[R][N];
-    if (!A.isZero()) {
-      Beta[BasicVar[R]] += A * Delta;
-      touchBasic(BasicVar[R]);
-    }
+  for (uint32_t R : compactCol(N)) {
+    Beta[BasicVar[R]] += Tableau[R][N] * Delta;
+    touchBasic(BasicVar[R]);
   }
   Beta[N] = V;
+}
+
+const std::vector<uint32_t> &Simplex::compactCol(uint32_t X) {
+  std::vector<uint32_t> &Nz = ColNz[X];
+  std::vector<uint8_t> &In = InColNz[X];
+  size_t Keep = 0;
+  for (uint32_t R : Nz) {
+    if (Tableau[R][X].isZero())
+      In[R] = 0;
+    else
+      Nz[Keep++] = R;
+  }
+  Nz.resize(Keep);
+  return Nz;
 }
 
 const std::vector<uint32_t> &Simplex::compactRow(uint32_t R) {
@@ -197,7 +224,6 @@ const std::vector<uint32_t> &Simplex::compactRow(uint32_t R) {
 }
 
 void Simplex::pivot(uint32_t B, uint32_t N) {
-  ScopedNs Prof(GPivotNs);
   ++NumPivots;
   uint32_t R = RowOf[B];
   std::vector<Rational> &Row = Tableau[R];
@@ -222,6 +248,7 @@ void Simplex::pivot(uint32_t B, uint32_t N) {
   Row[B] = InvA;
   if (!InRowNz[R][B])
     InRowNz[R][B] = 1;
+  noteColNonzero(R, B);
   ++ColCount[B];
   NewNz.push_back(B);
   RowNz[R] = std::move(NewNz);
@@ -229,16 +256,15 @@ void Simplex::pivot(uint32_t B, uint32_t N) {
   RowOf[N] = R;
   RowOf[B] = ~0u;
 
-  // Substitute N in every other row, walking the pivot row's support.
+  // Substitute N in every other row with a nonzero N-column entry,
+  // walking the transposed support instead of scanning all rows.
   const std::vector<Rational> &Piv = Tableau[R];
   const std::vector<uint32_t> &PivNz = RowNz[R];
-  for (uint32_t R2 = 0; R2 < Tableau.size(); ++R2) {
+  for (uint32_t R2 : compactCol(N)) {
     if (R2 == R)
       continue;
     std::vector<Rational> &Other = Tableau[R2];
     Rational C = Other[N];
-    if (C.isZero())
-      continue;
     Other[N] = Rational::zero();
     --ColCount[N];
     for (uint32_t X : PivNz) {
@@ -261,14 +287,11 @@ bool Simplex::pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
   Rational Theta = (V - Beta[B]) / A;
   Beta[B] = V;
   Beta[N] += Theta;
-  for (uint32_t R2 = 0; R2 < Tableau.size(); ++R2) {
+  for (uint32_t R2 : compactCol(N)) {
     if (R2 == R)
       continue;
-    const Rational &C = Tableau[R2][N];
-    if (!C.isZero()) {
-      Beta[BasicVar[R2]] += C * Theta;
-      touchBasic(BasicVar[R2]);
-    }
+    Beta[BasicVar[R2]] += Tableau[R2][N] * Theta;
+    touchBasic(BasicVar[R2]);
   }
   pivot(B, N);
   touchBasic(N);
@@ -276,16 +299,23 @@ bool Simplex::pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
 }
 
 bool Simplex::checkRational() {
-  ScopedNs Prof(GCheckNs);
   ++NumChecks;
-  // Leaving variable: Bland's smallest violated basic. Entering
-  // variable: the eligible column with the fewest tableau nonzeros
-  // (anti-fill-in) while the run is short, falling back to Bland's
-  // smallest-index — which terminates unconditionally — if it
-  // degenerates.
+  // Leaving variable: Bland's smallest violated basic (sparsest-row and
+  // most-violated variants both blow up on some workload instances —
+  // see ROADMAP before changing this). Entering variable: the eligible
+  // column with the fewest tableau nonzeros (anti-fill-in) while the
+  // run is short, falling back to Bland's smallest-index — which
+  // terminates unconditionally — if it degenerates.
   uint64_t PivotsThisCheck = 0;
   const uint64_t BlandThreshold = 256;
   for (;;) {
+    // A single feasibility restoration can pivot for a long time on
+    // adversarial tableaus; poll the interrupt and bail out claiming
+    // feasibility. The interrupt predicate is sticky (deadline/cancel),
+    // and every caller that would trust a model re-checks it first, so
+    // the white lie only ever leads to an Abort/Unknown.
+    if (Interrupt && (PivotsThisCheck & 15) == 15 && Interrupt())
+      return true;
     bool Bland = PivotsThisCheck >= BlandThreshold;
     uint32_t B = ~0u;
     bool NeedIncrease = false;
@@ -386,6 +416,8 @@ TheoryResult Simplex::branch(std::vector<int64_t> &ModelOut,
                              uint64_t &Budget) {
   if (Budget == 0)
     return TheoryResult::Unknown;
+  if (Interrupt && Interrupt())
+    return TheoryResult::Unknown;
   --Budget;
   if (!checkRational()) {
     // Leaf of the refutation tree: fold its explanation into the core.
@@ -402,6 +434,10 @@ TheoryResult Simplex::branch(std::vector<int64_t> &ModelOut,
       break;
     }
   if (Frac == ~0u) {
+    // An interrupted checkRational above may have claimed feasibility
+    // spuriously; never hand out a model without re-checking.
+    if (Interrupt && Interrupt())
+      return TheoryResult::Unknown;
     ModelOut.resize(NumProblemVars);
     for (uint32_t V = 0; V < NumProblemVars; ++V)
       ModelOut[V] = Beta[V].asInt64();

@@ -26,6 +26,8 @@
 #include "lia/Lia.h"
 #include "lia/Rational.h"
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -74,6 +76,17 @@ public:
   /// can only improve when bounds get looser).
   void rollback(size_t Mark);
 
+  /// Declares the current bound set the *baseline* (typically right after
+  /// the intrinsic bounds). `resetToBaseline` then restores it wholesale
+  /// — O(vars) instead of walking a long assertion trail one bound at a
+  /// time — while keeping the tableau basis and the current assignment,
+  /// which warm-starts the next CEGAR episode from the last vertex.
+  void markBaseline();
+  /// Restores the baseline bounds. Variables registered after
+  /// markBaseline() become unbounded. The assertion trail is cleared
+  /// (mark() == 0 afterwards).
+  void resetToBaseline();
+
   /// Rational feasibility of the current bounds. On infeasibility,
   /// `conflictReasons()` holds the reasons of an inconsistent bound set
   /// (the violated basic bound plus the blocking nonbasic bounds — the
@@ -108,6 +121,15 @@ public:
   /// Cumulative pivot / feasibility-scan counters (perf triage).
   uint64_t numPivots() const { return NumPivots; }
   uint64_t numChecks() const { return NumChecks; }
+
+  /// Cooperative interruption: when the callback returns true,
+  /// checkInteger() gives up at the next branch node (returning Unknown,
+  /// the same resource-out its budget produces). The QF engine installs
+  /// its deadline-or-cancelled predicate here, so neither a timeout nor
+  /// the parallel disjunct pool's first-Sat cancellation has to sit out
+  /// a full branch-and-bound tree (nodes cost whole Simplex re-checks;
+  /// budgets alone overran deadlines by many seconds).
+  void setInterrupt(std::function<bool()> F) { Interrupt = std::move(F); }
 
 private:
   bool isBasic(uint32_t X) const { return RowOf[X] != ~0u; }
@@ -144,14 +166,39 @@ private:
       InRowNz[R][X] = 1;
       RowNz[R].push_back(X);
     }
+    noteColNonzero(R, X);
   }
+
+  /// Transposed support: for each column X, the rows where X may be
+  /// nonzero — the same stale-tolerant scheme as RowNz, so
+  /// updateNonbasic/pivotAndUpdate/pivot touch O(col nnz) rows instead of
+  /// scanning the whole tableau per column.
+  void noteColNonzero(uint32_t R, uint32_t X) {
+    std::vector<uint8_t> &In = InColNz[X];
+    if (In.size() <= R)
+      In.resize(Tableau.size() + 1, 0);
+    if (!In[R]) {
+      In[R] = 1;
+      ColNz[X].push_back(R);
+    }
+  }
+  /// Compacts ColNz[X] (drops rows whose entry went back to zero) and
+  /// returns a reference.
+  const std::vector<uint32_t> &compactCol(uint32_t X);
+  std::vector<std::vector<uint32_t>> ColNz;  ///< per extended variable
+  std::vector<std::vector<uint8_t>> InColNz; ///< per extended variable
   std::vector<uint32_t> RowOf;     ///< var -> row index or ~0u
   std::vector<uint32_t> BasicVar;  ///< row index -> var
   std::vector<Rational> Beta;      ///< current assignment
   std::vector<std::optional<Rational>> Lo, Hi;
   std::vector<uint32_t> LoReason, HiReason; ///< per extended variable
 
+  std::function<bool()> Interrupt;
   std::vector<BoundUndo> AssertTrail;
+  /// Baseline bound set captured by markBaseline() (sized to the
+  /// variable count at capture time; later variables reset to unbounded).
+  std::vector<std::optional<Rational>> BaseLo, BaseHi;
+  std::vector<uint32_t> BaseLoReason, BaseHiReason;
   std::vector<uint32_t> Conflict;
   std::vector<uint32_t> IntegerCore; ///< accumulator for branch()
   uint64_t NumPivots = 0, NumChecks = 0;

@@ -60,17 +60,21 @@ private:
   uint32_t atomVarForTerm(const LinTerm &T);
   void addLatticeLemmas();
   /// Negations of the reason literals Simplex reports — a theory lemma.
-  static std::vector<Lit> lemmaFromReasons(const std::vector<uint32_t> &Rs) {
-    std::vector<Lit> Out;
+  /// Fills the caller-owned buffer in place (no per-conflict allocation;
+  /// the SAT core hands the same scratch vector to every callback).
+  static void lemmaFromReasons(const std::vector<uint32_t> &Rs,
+                               std::vector<Lit> &Out) {
+    Out.clear();
     Out.reserve(Rs.size());
     for (uint32_t Code : Rs) {
       Lit L;
       L.Code = Code;
       Out.push_back(~L);
     }
-    return Out;
   }
   bool timedOut() const {
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed))
+      return true;
     if (Opts.TimeoutMs == 0)
       return false;
     return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -83,9 +87,6 @@ private:
   const ModelRefiner &Refine;
   FormulaId Root;
   SatSolver Sat;
-  /// Simplex assertion-trail position right after the intrinsic bounds;
-  /// the refinement loop resets to it between search episodes.
-  size_t BaselineMark = 0;
   /// Memoized Tseitin gates: FormulaId -> encoded literal (shared
   /// subformulas encode once).
   std::unordered_map<FormulaId, Lit> GateOf;
@@ -269,7 +270,7 @@ TheoryClient::TRes QfEngine::onAssign(const std::vector<Lit> &Trail,
     }
     if (!Ok) {
       ++TheoryConflicts;
-      ConflictOut = lemmaFromReasons(Theory->conflictReasons());
+      lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
       return TRes::Conflict;
     }
   }
@@ -279,7 +280,7 @@ TheoryClient::TRes QfEngine::onAssign(const std::vector<Lit> &Trail,
     ++TheoryConflicts;
     if (TheoryConflicts > Opts.MaxTheoryConflicts)
       return TRes::Abort;
-    ConflictOut = lemmaFromReasons(Theory->conflictReasons());
+    lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
     return TRes::Conflict;
   }
   return TRes::Ok;
@@ -302,6 +303,8 @@ TheoryClient::TRes QfEngine::onFinalModel(std::vector<Lit> &ConflictOut) {
   ++NumFinalChecks;
   trace("final", 0);
   TheoryResult R = Theory->checkInteger(FinalModel, Opts.TheoryNodeBudget);
+  if (timedOut())
+    return TRes::Abort; // cancel/deadline interrupted branch-and-bound
   if (R == TheoryResult::Sat)
     return TRes::Ok;
   ++TheoryConflicts;
@@ -310,7 +313,7 @@ TheoryClient::TRes QfEngine::onFinalModel(std::vector<Lit> &ConflictOut) {
   if (R == TheoryResult::Unsat) {
     // Integrality conflict: branch-and-bound reports the union of its
     // leaf explanations as a core over the asserted bounds.
-    ConflictOut = lemmaFromReasons(Theory->conflictReasons());
+    lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
     return TRes::Conflict;
   }
   // Budget exhausted: split on demand. Mint the atom x ≤ ⌊β(x)⌋ for a
@@ -319,6 +322,8 @@ TheoryClient::TRes QfEngine::onFinalModel(std::vector<Lit> &ConflictOut) {
   // over the integrality branching that exhausted the local search.
   if (!Theory->checkRational())
     return TRes::Abort; // cannot happen: bounds only got looser
+  if (timedOut())
+    return TRes::Abort; // interrupted mid-check: the vertex is untrusted
   uint32_t Frac = ~0u;
   for (Var V = 0; V < A.numVars(); ++V)
     if (!Theory->value(V).isInteger()) {
@@ -371,12 +376,13 @@ QfResult QfEngine::run() {
   // Register every atom's linear part with the Simplex up-front so row
   // additions never happen mid-search.
   Theory = std::make_unique<Simplex>(A.numVars());
+  Theory->setInterrupt([this] { return timedOut(); });
   for (Var V = 0; V < A.numVars(); ++V)
     Theory->setIntrinsicBounds(V, A.varLo(V), A.varHi(V));
   for (TheoryAtom &TA : Atoms)
     TA.SimplexRow = Theory->rowFor(TA.Term);
 
-  BaselineMark = Theory->mark();
+  Theory->markBaseline();
 
   for (bool Done = false; !Done;) {
     switch (Sat.solve(this)) {
@@ -384,11 +390,13 @@ QfResult QfEngine::run() {
       if (Refine) {
         std::optional<FormulaId> Cut = Refine(A, FinalModel);
         if (Cut) {
-          // Reset the theory to its baseline (the SAT core starts the
-          // next episode with an empty trail), conjoin the cut, and
-          // resume — keeping every learned clause.
+          // Reset the theory bounds to the baseline wholesale (the SAT
+          // core starts the next episode with an empty trail), conjoin
+          // the cut, and resume — keeping every learned clause AND the
+          // tableau basis: the next episode warm-starts from the last
+          // feasible vertex instead of replaying the bound trail.
           Asserted.clear();
-          Theory->rollback(BaselineMark);
+          Theory->resetToBaseline();
           Sat.addClause({encode(A.lower(*Cut))});
           for (TheoryAtom &TA : Atoms)
             if (TA.SimplexRow == ~0u)
@@ -411,11 +419,29 @@ QfResult QfEngine::run() {
       break;
     }
   }
+  if (Theory && std::getenv("POSTR_SIMPLEX_STATS"))
+    std::fprintf(stderr, "[simplex] pivots=%llu checks=%llu\n",
+                 (unsigned long long)Theory->numPivots(),
+                 (unsigned long long)Theory->numChecks());
+  const SatStats &SS = Sat.stats();
+  Out.Stats.Conflicts = SS.Conflicts;
+  Out.Stats.Propagations = SS.Propagations;
+  Out.Stats.Decisions = SS.Decisions;
+  Out.Stats.Restarts = SS.Restarts;
+  Out.Stats.ClausesDeleted = SS.ClausesDeleted;
+  Out.Stats.Pivots = Theory ? Theory->numPivots() : 0;
+  Out.Stats.Checks = Theory ? Theory->numChecks() : 0;
+  Out.Stats.TheoryConflicts = TheoryConflicts;
   if (Stats)
     std::fprintf(
-        stderr, "[qf] v=%d atoms=%zu satvars=%u tconf=%u ms=%lld\n",
+        stderr,
+        "[qf] v=%d atoms=%zu satvars=%u tconf=%u confl=%llu prop=%llu "
+        "dec=%llu restart=%llu del=%llu piv=%llu ms=%lld\n",
         static_cast<int>(Out.V), Atoms.size(), Sat.numVars(),
-        TheoryConflicts,
+        TheoryConflicts, (unsigned long long)SS.Conflicts,
+        (unsigned long long)SS.Propagations, (unsigned long long)SS.Decisions,
+        (unsigned long long)SS.Restarts, (unsigned long long)SS.ClausesDeleted,
+        (unsigned long long)Out.Stats.Pivots,
         static_cast<long long>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 Clock::now() - Start)

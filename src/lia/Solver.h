@@ -28,6 +28,7 @@
 #include "base/Base.h"
 #include "lia/Lia.h"
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -45,6 +46,34 @@ struct QfOptions {
   uint32_t MaxTheoryConflicts = 2000000;
   /// Optional deadline in milliseconds (0 = none) measured from the call.
   uint64_t TimeoutMs = 0;
+  /// Optional cooperative cancellation: when the pointee becomes true the
+  /// solve aborts (Verdict::Unknown) at the next theory callback. The
+  /// parallel disjunct pool uses this for first-Sat cancellation.
+  const std::atomic<bool> *Cancel = nullptr;
+};
+
+/// Search-core counters of one QF_LIA solve, for benchmarks and triage.
+struct QfSearchStats {
+  uint64_t Conflicts = 0;      ///< CDCL conflicts (boolean + theory)
+  uint64_t Propagations = 0;   ///< unit propagations
+  uint64_t Decisions = 0;      ///< decision literals
+  uint64_t Restarts = 0;       ///< Luby restarts taken
+  uint64_t ClausesDeleted = 0; ///< learnt clauses dropped by DB reduction
+  uint64_t Pivots = 0;         ///< Simplex pivots
+  uint64_t Checks = 0;         ///< Simplex feasibility scans
+  uint64_t TheoryConflicts = 0;
+
+  QfSearchStats &operator+=(const QfSearchStats &O) {
+    Conflicts += O.Conflicts;
+    Propagations += O.Propagations;
+    Decisions += O.Decisions;
+    Restarts += O.Restarts;
+    ClausesDeleted += O.ClausesDeleted;
+    Pivots += O.Pivots;
+    Checks += O.Checks;
+    TheoryConflicts += O.TheoryConflicts;
+    return *this;
+  }
 };
 
 /// Outcome of a QF_LIA query. On Sat, Model is indexed by `Var` and
@@ -52,6 +81,7 @@ struct QfOptions {
 struct QfResult {
   Verdict V = Verdict::Unknown;
   std::vector<int64_t> Model;
+  QfSearchStats Stats;
 };
 
 /// Model-refinement callback for CEGAR loops layered on the solver (the

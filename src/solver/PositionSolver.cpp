@@ -10,7 +10,10 @@
 #include "strings/Eval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <mutex>
+#include <thread>
 
 using namespace postr;
 using namespace postr::solver;
@@ -55,7 +58,12 @@ private:
     return Out;
   }
 
-  Verdict solveDisjunct(const eq::Decomposition &D, SolveResult &Result);
+  /// Solves one decomposition. Thread-safe: all mutable state is local or
+  /// reached through \p Result and \p St, which each worker owns; \p
+  /// Cancel (may be null) cooperatively aborts the underlying engines.
+  Verdict solveDisjunct(const eq::Decomposition &D, SolveResult &Result,
+                        SolveStats &St,
+                        const std::atomic<bool> *Cancel) const;
 
   const Problem &P;
   SolveOptions Opts;
@@ -65,7 +73,8 @@ private:
 };
 
 Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
-                                SolveResult &Result) {
+                                SolveResult &Result, SolveStats &St,
+                                const std::atomic<bool> *Cancel) const {
   std::map<VarId, Nfa> Langs = D.Langs;
   VarId NextLocal = NF.NextFresh + 1000000; // disjunct-local fresh ids
   auto EnsureNonEmptySeq = [&](std::vector<VarId> &Seq) {
@@ -122,29 +131,32 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
   }
   bool Approximated = !ApproxLenGt.empty();
   if (Approximated)
-    Stats.UsedApproximation = true;
+    St.UsedApproximation = true;
   bool HasIntSide = !NF.IntAtoms.empty() || Approximated;
+
+  if (Cancel && Cancel->load(std::memory_order_relaxed))
+    return Verdict::Unknown; // a sibling disjunct already answered Sat
 
   // PTime fast path (Thm. 7.1): a single eligible predicate, no I part.
   if (Opts.UseOcaFastPath && !HasIntSide && counter::isEligible(Preds)) {
     Verdict V = counter::decideSinglePredicate(Langs, Preds.front(),
                                                NF.Sigma.size());
     if (V == Verdict::Unsat) {
-      ++Stats.FastPathDecisions;
+      ++St.FastPathDecisions;
       return Verdict::Unsat;
     }
     if (V == Verdict::Sat && !Opts.BuildModel) {
-      ++Stats.FastPathDecisions;
+      ++St.FastPathDecisions;
       return Verdict::Sat;
     }
     // Sat with a model requested, or Unknown: the LIA path below also
     // produces the witness.
   }
 
-  ++Stats.MpCalls;
+  ++St.MpCalls;
   for (const PosPredicate &Pred : Preds)
     if (Pred.Kind == PredKind::NotContains)
-      Stats.UsedMbqi = true;
+      St.UsedMbqi = true;
 
   tagaut::IntConstraintBuilder IntBuilder =
       [&](lia::Arena &Ar,
@@ -179,6 +191,8 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
     MpOpts.TimeoutMs = MpOpts.TimeoutMs
                            ? std::min(MpOpts.TimeoutMs, remainingMs())
                            : remainingMs();
+  if (!MpOpts.Cancel)
+    MpOpts.Cancel = Cancel;
   tagaut::MpResult R =
       tagaut::solveMP(A, Langs, Preds, NF.Sigma.size(), IntBuilder, MpOpts);
 
@@ -226,21 +240,99 @@ SolveResult Pipeline::run() {
   Stats.StabilizationIncomplete = !Stab.Complete;
 
   bool AnyUnknown = !Stab.Complete;
-  for (const eq::Decomposition &D : Stab.Disjuncts) {
-    if (timedOut()) {
-      AnyUnknown = true;
-      break;
+
+  uint32_t Threads = Opts.Threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : Opts.Threads;
+  Threads = std::min<uint32_t>(
+      Threads, static_cast<uint32_t>(Stab.Disjuncts.size()));
+
+  if (Threads <= 1) {
+    for (const eq::Decomposition &D : Stab.Disjuncts) {
+      if (timedOut()) {
+        AnyUnknown = true;
+        break;
+      }
+      Verdict V = solveDisjunct(D, Result, Stats, nullptr);
+      if (V == Verdict::Sat) {
+        Result.V = Verdict::Sat;
+        Result.Stats = Stats;
+        return Result;
+      }
+      if (V == Verdict::Unknown)
+        AnyUnknown = true;
     }
-    Verdict V = solveDisjunct(D, Result);
-    if (V == Verdict::Sat) {
-      Result.V = Verdict::Sat;
-      Result.Stats = Stats;
-      return Result;
-    }
-    if (V == Verdict::Unknown)
-      AnyUnknown = true;
+    Result.V = AnyUnknown ? Verdict::Unknown : Verdict::Unsat;
+    Result.Stats = Stats;
+    return Result;
   }
-  Result.V = AnyUnknown ? Verdict::Unknown : Verdict::Unsat;
+
+  // Disjunct pool: the decompositions are independent (each worker builds
+  // its own arena, tag automata, Simplex and SAT core), so grab them off
+  // a shared index — the atomic counter is the work-stealing deque of
+  // this coarse-grained pool. The first Sat raises the cancel flag, which
+  // the engines poll at their theory callbacks; cancelled losers come
+  // back Unknown and are ignored once a winner exists. Verdicts stay
+  // deterministic at any thread count: Sat wins outright, and without a
+  // Sat no disjunct is ever cancelled, so Unsat/Unknown aggregate exactly
+  // as in the serial loop.
+  std::atomic<size_t> NextIdx{0};
+  std::atomic<bool> Cancel{false};
+  std::atomic<bool> PoolUnknown{AnyUnknown};
+  std::mutex WinnerMu;
+  bool HaveWinner = false;
+  size_t WinnerIdx = 0;
+  SolveResult Winner;
+  SolveStats Merged = Stats;
+
+  auto Worker = [&] {
+    SolveStats Local;
+    for (;;) {
+      size_t I = NextIdx.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Stab.Disjuncts.size())
+        break;
+      if (Cancel.load(std::memory_order_relaxed))
+        break;
+      if (timedOut()) {
+        PoolUnknown.store(true, std::memory_order_relaxed);
+        break;
+      }
+      SolveResult R;
+      Verdict V = solveDisjunct(Stab.Disjuncts[I], R, Local, &Cancel);
+      if (V == Verdict::Sat) {
+        std::lock_guard<std::mutex> Lock(WinnerMu);
+        if (!HaveWinner || I < WinnerIdx) {
+          HaveWinner = true;
+          WinnerIdx = I;
+          Winner = std::move(R);
+        }
+        Cancel.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (V == Verdict::Unknown && !Cancel.load(std::memory_order_relaxed))
+        PoolUnknown.store(true, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> Lock(WinnerMu);
+    Merged.FastPathDecisions += Local.FastPathDecisions;
+    Merged.MpCalls += Local.MpCalls;
+    Merged.UsedMbqi |= Local.UsedMbqi;
+    Merged.UsedApproximation |= Local.UsedApproximation;
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (uint32_t T = 0; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+
+  Stats = Merged;
+  if (HaveWinner) {
+    Result = std::move(Winner);
+    Result.V = Verdict::Sat;
+  } else {
+    Result.V = PoolUnknown.load() ? Verdict::Unknown : Verdict::Unsat;
+  }
   Result.Stats = Stats;
   return Result;
 }

@@ -93,6 +93,12 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
                                 const IntConstraintBuilder &IntConstraints,
                                 const MpOptions &Opts) {
   MpResult Out;
+  // Cooperative cancellation: the disjunct pool flips the flag once a
+  // sibling answers Sat; the automata shortcuts and the encoder below
+  // can run for a while, so bail out between phases.
+  auto Cancelled = [&Opts] {
+    return Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed);
+  };
 
   // R′ alone is unsatisfiable if any variable's language is empty.
   for (const auto &[X, Nfa] : Langs) {
@@ -119,6 +125,10 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
   // word), it is unsatisfiable outright. ¬prefixof additionally requires
   // a strictly longer left side, which equality also rules out.
   for (const PosPredicate &P : Preds) {
+    if (Cancelled()) {
+      Out.V = Verdict::Unknown;
+      return Out;
+    }
     if (P.Kind != PredKind::NotContains && P.Kind != PredKind::Diseq &&
         P.Kind != PredKind::NotPrefix && P.Kind != PredKind::NotSuffix)
       continue;
@@ -159,8 +169,16 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     }
   }
 
+  if (Cancelled()) {
+    Out.V = Verdict::Unknown;
+    return Out;
+  }
   SystemEncoding Enc =
       encodeSystem(A, Langs, Preds, AlphabetSize, Opts.Encoder);
+  if (Cancelled()) {
+    Out.V = Verdict::Unknown;
+    return Out;
+  }
 
   lia::FormulaId Goal = Enc.Outer;
   if (IntConstraints)
@@ -171,6 +189,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     if (Opts.TimeoutMs)
       Qf.TimeoutMs = Qf.TimeoutMs ? std::min(Qf.TimeoutMs, Opts.TimeoutMs)
                                   : Opts.TimeoutMs;
+    if (!Qf.Cancel)
+      Qf.Cancel = Opts.Cancel;
     // Connectivity CEGAR: under SpanMode::Lazy every Sat model is only
     // flow-consistent; disconnected pseudo-runs are refuted by cuts fed
     // back through the solver's refinement hook (which keeps learned
@@ -220,6 +240,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
   if (Opts.TimeoutMs)
     Mb.TimeoutMs = Mb.TimeoutMs ? std::min(Mb.TimeoutMs, Opts.TimeoutMs)
                                 : Opts.TimeoutMs;
+  if (!Mb.Qf.Cancel)
+    Mb.Qf.Cancel = Opts.Cancel;
   std::vector<int64_t> Model;
   Out.V = lia::solveMbqi(A, Q, &Model, Mb);
   if (Out.V == Verdict::Sat) {

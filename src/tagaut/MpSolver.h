@@ -34,6 +34,10 @@ struct MpOptions {
   /// Overall deadline in milliseconds (0 = none); distributed to the
   /// underlying engines.
   uint64_t TimeoutMs = 0;
+  /// Optional cooperative cancellation, forwarded into the QF and MBQI
+  /// engines; the parallel disjunct pool uses it to stop the losers once
+  /// one disjunct answers Sat.
+  const std::atomic<bool> *Cancel = nullptr;
   /// Cap on connectivity-CEGAR rounds under SpanMode::Lazy before the
   /// solver answers Unknown. Each round adds one cut; real workloads
   /// converge in a handful.
