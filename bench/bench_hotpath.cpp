@@ -194,21 +194,30 @@ int main() {
                   I + 1 < Stages.size() ? "," : "");
     Json += Buf;
   }
-  char Counters[512];
+  char Counters[768];
   std::snprintf(
       Counters, sizeof(Counters),
       "  ],\n  \"solve_counters\": {\"conflicts\": %llu, "
       "\"propagations\": %llu, \"decisions\": %llu, \"restarts\": %llu, "
-      "\"clauses_deleted\": %llu, \"pivots\": %llu, \"checks\": %llu, "
-      "\"theory_conflicts\": %llu}\n}\n",
+      "\"reductions\": %llu, \"clauses_deleted\": %llu, \"pivots\": %llu, "
+      "\"checks\": %llu, \"theory_conflicts\": %llu},\n"
+      "  \"simplex_counters\": {\"pivots\": %llu, \"checks\": %llu, "
+      "\"row_fill_in\": %llu, \"max_row_nnz\": %llu, "
+      "\"den_normalizations\": %llu}\n}\n",
       (unsigned long long)SolveCounters.Conflicts,
       (unsigned long long)SolveCounters.Propagations,
       (unsigned long long)SolveCounters.Decisions,
       (unsigned long long)SolveCounters.Restarts,
+      (unsigned long long)SolveCounters.Reductions,
       (unsigned long long)SolveCounters.ClausesDeleted,
       (unsigned long long)SolveCounters.Pivots,
       (unsigned long long)SolveCounters.Checks,
-      (unsigned long long)SolveCounters.TheoryConflicts);
+      (unsigned long long)SolveCounters.TheoryConflicts,
+      (unsigned long long)SolveCounters.Pivots,
+      (unsigned long long)SolveCounters.Checks,
+      (unsigned long long)SolveCounters.RowFillIn,
+      (unsigned long long)SolveCounters.MaxRowNnz,
+      (unsigned long long)SolveCounters.DenNormalizations);
   Json += Counters;
 
   std::fputs(Json.c_str(), stdout);

@@ -158,13 +158,7 @@ public:
     return Render(Num) + "/" + Render(Den);
   }
 
-private:
-  static Rational fromInt(Int N) {
-    Rational R;
-    R.Num = N;
-    return R;
-  }
-
+  /// gcd of |A| and |B|, shared with the Simplex row normalization.
   static Int gcdInt(Int A, Int B) {
     if (A < 0)
       A = -A;
@@ -188,6 +182,13 @@ private:
       B = T;
     }
     return A;
+  }
+
+private:
+  static Rational fromInt(Int N) {
+    Rational R;
+    R.Num = N;
+    return R;
   }
 
   void normalize() {

@@ -535,6 +535,12 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> &Lemma) {
 SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
   if (Unsatisfiable)
     return Res::Unsat;
+  // Derive the first clause-DB reduction cap from the instance: a fixed
+  // cap has no right value across the 80-clause MBQI probes and the
+  // multi-thousand-clause Parikh encodings (the old 4000 simply never
+  // fired — every tag-framework DB is smaller than that).
+  if (ReduceLimit == 0)
+    ReduceLimit = std::max<uint64_t>(300, (Clauses.size() - NumLearnt) / 4);
   Theory = TheoryIn;
   TheoryHead = 0;
   ConflictsSinceRestart = 0;

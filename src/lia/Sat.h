@@ -116,7 +116,11 @@ public:
   /// Overrides the clause-DB reduction schedule: the first reduction
   /// fires once \p First learnt clauses are live, each pass raising the
   /// cap by \p Bump. Tests use tiny values to force reductions on small
-  /// instances; the defaults suit the tag-framework formulae.
+  /// instances; by default the first cap is derived from the problem
+  /// size at solve() (max(300, problem clauses / 4) — a fixed cap of
+  /// 4000 never fired on the tag-framework formulae, whose whole clause
+  /// DBs are smaller than that). \p First = 0 restores that adaptive
+  /// default; use 1 to reduce from the first learnt clause.
   void setReduceSchedule(uint64_t First, uint64_t Bump) {
     ReduceLimit = First;
     ReduceBump = Bump;
@@ -218,7 +222,7 @@ private:
   uint64_t RestartLimit = 100;
   uint32_t RestartCount = 0; ///< Luby sequence index
   uint64_t NumLearnt = 0;    ///< live deletable learnt clauses
-  uint64_t ReduceLimit = 4000;
+  uint64_t ReduceLimit = 0;  ///< 0 = derive from problem size at solve()
   uint64_t ReduceBump = 1000;
   SatStats Stats;
 };

@@ -8,16 +8,45 @@
 #include "lia/Simplex.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 using namespace postr;
 using namespace postr::lia;
+
+namespace {
+
+using Int = Rational::Int;
+
+Int lcmInt(Int A, Int B) { return A / Rational::gcdInt(A, B) * B; }
+
+PivotRule ruleFromEnv() {
+  const char *E = std::getenv("POSTR_SIMPLEX_PIVOT_RULE");
+  if (!E)
+    return PivotRule::Bland;
+  if (!std::strcmp(E, "sparsest") || !std::strcmp(E, "sparsest-row"))
+    return PivotRule::SparsestRow;
+  if (!std::strcmp(E, "violated") || !std::strcmp(E, "most-violated"))
+    return PivotRule::MostViolated;
+  return PivotRule::Bland;
+}
+
+} // namespace
+
+size_t Simplex::SparseRow::find(uint32_t X) const {
+  auto It = std::lower_bound(Cols.begin(), Cols.end(), X);
+  if (It == Cols.end() || *It != X)
+    return SIZE_MAX;
+  return static_cast<size_t>(It - Cols.begin());
+}
 
 Simplex::Simplex(uint32_t NumProblemVars)
     : NumProblemVars(NumProblemVars), NumVars(NumProblemVars),
       RowOf(NumProblemVars, ~0u), Beta(NumProblemVars),
       Lo(NumProblemVars), Hi(NumProblemVars),
       LoReason(NumProblemVars, NoReason), HiReason(NumProblemVars, NoReason),
-      InViolQueue(NumProblemVars, 0), ColCount(NumProblemVars, 0) {
+      Rule(ruleFromEnv()), InViolQueue(NumProblemVars, 0),
+      ColCount(NumProblemVars, 0) {
   ColNz.resize(NumProblemVars);
   InColNz.resize(NumProblemVars);
 }
@@ -36,6 +65,38 @@ void Simplex::setIntrinsicBounds(Var V, int64_t LoV, int64_t HiV) {
   }
 }
 
+void Simplex::normalizeRow(SparseRow &Row) {
+  if (Row.Cols.size() > Stats.MaxRowNnz)
+    Stats.MaxRowNnz = Row.Cols.size();
+  if (Row.Nums.empty()) {
+    Row.Den = 1;
+    return;
+  }
+  // Den > 0 and gcd-reduced rows are canonical; integral rows (Den == 1)
+  // need no pass at all, which is the overwhelmingly common case in the
+  // ±1-coefficient Parikh/position tableaus.
+  if (Row.Den == 1)
+    return;
+  Int G = Row.Den;
+  for (Int N : Row.Nums) {
+    G = Rational::gcdInt(G, N);
+    if (G == 1)
+      return;
+  }
+  for (Int &N : Row.Nums)
+    N /= G;
+  Row.Den /= G;
+  ++Stats.DenNormalizations;
+}
+
+Rational Simplex::rowCoeff(uint32_t R, uint32_t X) const {
+  const SparseRow &Row = Tableau[R];
+  size_t I = Row.find(X);
+  if (I == SIZE_MAX)
+    return Rational::zero();
+  return Rational(Row.Nums[I], Row.Den);
+}
+
 uint32_t Simplex::rowFor(const LinTerm &T) {
   // A single-variable unit term needs no slack row.
   if (T.coeffs().size() == 1 && T.coeffs().front().second == 1)
@@ -45,7 +106,8 @@ uint32_t Simplex::rowFor(const LinTerm &T) {
     return It->second;
 
   uint32_t Slack = NumVars++;
-  RowOf.push_back(static_cast<uint32_t>(Tableau.size()));
+  uint32_t NewRow = static_cast<uint32_t>(Tableau.size());
+  RowOf.push_back(NewRow);
   Lo.push_back(std::nullopt);
   Hi.push_back(std::nullopt);
   LoReason.push_back(NoReason);
@@ -54,43 +116,55 @@ uint32_t Simplex::rowFor(const LinTerm &T) {
   ColCount.push_back(0);
   ColNz.emplace_back();
   InColNz.emplace_back();
-  // Extend existing rows with a zero column for the new variable.
-  for (std::vector<Rational> &Row : Tableau)
-    Row.push_back(Rational::zero());
-  for (std::vector<uint8_t> &In : InRowNz)
-    In.push_back(0);
 
-  // New row: Slack = Σ ci·xi. Substitute any basic xi by its row so the
-  // tableau stays in solved form (rows range over nonbasic vars only).
-  std::vector<Rational> Row(NumVars, Rational::zero());
+  // New row: Slack = Σ ci·xi, with any basic xi substituted by its row so
+  // the tableau stays in solved form (rows range over nonbasic vars
+  // only). Accumulate into the dense rational scratch, then emit the
+  // sparse row over one common denominator.
+  if (DenseScratch.size() < NumVars) {
+    DenseScratch.resize(NumVars, Rational::zero());
+    DenseMark.resize(NumVars, 0);
+  }
+  DenseTouched.clear();
+  auto Add = [&](uint32_t X, const Rational &V) {
+    if (!DenseMark[X]) {
+      DenseMark[X] = 1;
+      DenseTouched.push_back(X);
+    }
+    DenseScratch[X] += V;
+  };
   Rational Value = Rational::zero();
   for (auto [V, C] : T.coeffs()) {
     Rational Coef(C);
     if (!isBasic(V)) {
-      Row[V] += Coef;
+      Add(V, Coef);
     } else {
-      const std::vector<Rational> &Sub = Tableau[RowOf[V]];
-      for (uint32_t X : RowNz[RowOf[V]])
-        if (!Sub[X].isZero())
-          Row[X] += Coef * Sub[X];
+      const SparseRow &Sub = Tableau[RowOf[V]];
+      for (size_t I = 0; I < Sub.size(); ++I)
+        Add(Sub.Cols[I], Coef * Rational(Sub.Nums[I], Sub.Den));
     }
     Value += Coef * Beta[V];
   }
-  Row[Slack] = Rational::zero();
-  std::vector<uint32_t> Nz;
-  std::vector<uint8_t> In(NumVars, 0);
-  for (uint32_t X = 0; X < NumVars; ++X)
-    if (!Row[X].isZero()) {
-      Nz.push_back(X);
-      In[X] = 1;
+  std::sort(DenseTouched.begin(), DenseTouched.end());
+  SparseRow Row;
+  Int L = 1;
+  for (uint32_t X : DenseTouched)
+    if (!DenseScratch[X].isZero())
+      L = lcmInt(L, DenseScratch[X].den());
+  for (uint32_t X : DenseTouched) {
+    const Rational &V = DenseScratch[X];
+    if (!V.isZero()) {
+      Row.Cols.push_back(X);
+      Row.Nums.push_back(V.num() * (L / V.den()));
+      ++ColCount[X];
     }
-  uint32_t NewRow = static_cast<uint32_t>(Tableau.size());
-  for (uint32_t X : Nz)
-    ++ColCount[X];
+    DenseScratch[X] = Rational::zero();
+    DenseMark[X] = 0;
+  }
+  Row.Den = L;
+  normalizeRow(Row);
   Tableau.push_back(std::move(Row));
-  RowNz.push_back(std::move(Nz));
-  InRowNz.push_back(std::move(In));
-  for (uint32_t X : RowNz.back())
+  for (uint32_t X : Tableau.back().Cols)
     noteColNonzero(NewRow, X);
   BasicVar.push_back(Slack);
   Beta.push_back(Value);
@@ -188,10 +262,24 @@ void Simplex::updateNonbasic(uint32_t N, const Rational &V) {
   Rational Delta = V - Beta[N];
   if (Delta.isZero())
     return;
-  for (uint32_t R : compactCol(N)) {
-    Beta[BasicVar[R]] += Tableau[R][N] * Delta;
+  // One pass over the column support: drop stale rows and push the delta
+  // through the genuine entries (a single binary search per row serves
+  // both the staleness test and the coefficient).
+  std::vector<uint32_t> &Nz = ColNz[N];
+  std::vector<uint8_t> &In = InColNz[N];
+  size_t Keep = 0;
+  for (uint32_t R : Nz) {
+    const SparseRow &Row = Tableau[R];
+    size_t I = Row.find(N);
+    if (I == SIZE_MAX) {
+      In[R] = 0;
+      continue;
+    }
+    Nz[Keep++] = R;
+    Beta[BasicVar[R]] += Rational(Row.Nums[I], Row.Den) * Delta;
     touchBasic(BasicVar[R]);
   }
+  Nz.resize(Keep);
   Beta[N] = V;
 }
 
@@ -200,7 +288,7 @@ const std::vector<uint32_t> &Simplex::compactCol(uint32_t X) {
   std::vector<uint8_t> &In = InColNz[X];
   size_t Keep = 0;
   for (uint32_t R : Nz) {
-    if (Tableau[R][X].isZero())
+    if (!Tableau[R].contains(X))
       In[R] = 0;
     else
       Nz[Keep++] = R;
@@ -209,88 +297,110 @@ const std::vector<uint32_t> &Simplex::compactCol(uint32_t X) {
   return Nz;
 }
 
-const std::vector<uint32_t> &Simplex::compactRow(uint32_t R) {
-  std::vector<uint32_t> &Nz = RowNz[R];
-  const std::vector<Rational> &Row = Tableau[R];
-  size_t Keep = 0;
-  for (uint32_t X : Nz) {
-    if (Row[X].isZero())
-      InRowNz[R][X] = 0;
-    else
-      Nz[Keep++] = X;
-  }
-  Nz.resize(Keep);
-  return Nz;
-}
-
 void Simplex::pivot(uint32_t B, uint32_t N) {
-  ++NumPivots;
+  ++Stats.Pivots;
   uint32_t R = RowOf[B];
-  std::vector<Rational> &Row = Tableau[R];
-  Rational A = Row[N];
-  assert(!A.isZero() && "pivot on zero coefficient");
+  SparseRow &Row = Tableau[R];
+  size_t IN = Row.find(N);
+  assert(IN != SIZE_MAX && "pivot on zero coefficient");
+  Int NN = Row.Nums[IN];
+  bool Neg = NN < 0;
 
-  // Solve the row B = ... + A*N + ... for N, touching only its support.
-  Rational InvA = Rational::one() / A;
-  const std::vector<uint32_t> &OldNz = compactRow(R);
-  std::vector<uint32_t> NewNz;
-  NewNz.reserve(OldNz.size());
-  for (uint32_t X : OldNz) {
-    if (X == N) {
-      Row[X] = Rational::zero();
-      InRowNz[R][X] = 0;
-      --ColCount[X];
-      continue;
-    }
-    Row[X] = -Row[X] * InvA;
-    NewNz.push_back(X);
-  }
-  Row[B] = InvA;
-  if (!InRowNz[R][B])
-    InRowNz[R][B] = 1;
-  noteColNonzero(R, B);
+  // Solve the row B = ... + (NN/Den)·N for N in place:
+  //   N = (Den·B − Σ_{X≠N} Num_X·X) / NN,
+  // sign-adjusted so the denominator stays positive. Same support minus
+  // N plus B, so fill-in can only come from the elimination below.
+  Row.Cols.erase(Row.Cols.begin() + static_cast<ptrdiff_t>(IN));
+  Row.Nums.erase(Row.Nums.begin() + static_cast<ptrdiff_t>(IN));
+  --ColCount[N];
+  for (Int &Num : Row.Nums)
+    Num = Neg ? Num : -Num;
+  Int BNum = Neg ? -Row.Den : Row.Den;
+  size_t IB = static_cast<size_t>(
+      std::lower_bound(Row.Cols.begin(), Row.Cols.end(), B) -
+      Row.Cols.begin());
+  Row.Cols.insert(Row.Cols.begin() + static_cast<ptrdiff_t>(IB), B);
+  Row.Nums.insert(Row.Nums.begin() + static_cast<ptrdiff_t>(IB), BNum);
   ++ColCount[B];
-  NewNz.push_back(B);
-  RowNz[R] = std::move(NewNz);
+  Row.Den = Neg ? -NN : NN;
+  normalizeRow(Row);
+  noteColNonzero(R, B);
   BasicVar[R] = N;
   RowOf[N] = R;
   RowOf[B] = ~0u;
 
-  // Substitute N in every other row with a nonzero N-column entry,
-  // walking the transposed support instead of scanning all rows.
-  const std::vector<Rational> &Piv = Tableau[R];
-  const std::vector<uint32_t> &PivNz = RowNz[R];
+  // Substitute N out of every other row with a genuine N entry, walking
+  // the transposed support: Other += (m_N/e)·Piv with the N column
+  // dropped, computed as an integer sorted-merge over the common
+  // denominator e·q and gcd-normalized once per row.
+  const SparseRow &Piv = Tableau[R];
+  Int Q = Piv.Den;
   for (uint32_t R2 : compactCol(N)) {
-    if (R2 == R)
-      continue;
-    std::vector<Rational> &Other = Tableau[R2];
-    Rational C = Other[N];
-    Other[N] = Rational::zero();
-    --ColCount[N];
-    for (uint32_t X : PivNz) {
-      bool WasZero = Other[X].isZero();
-      Other[X] += C * Piv[X];
-      bool IsZero = Other[X].isZero();
-      if (WasZero && !IsZero) {
-        noteNonzero(R2, X);
-        ++ColCount[X];
-      } else if (!WasZero && IsZero) {
-        --ColCount[X];
+    assert(R2 != R && "pivot row still lists its own entering column");
+    SparseRow &Other = Tableau[R2];
+    size_t J = Other.find(N);
+    assert(J != SIZE_MAX && "compacted column lists a zero entry");
+    Int MN = Other.Nums[J];
+    Int E = Other.Den;
+    MergeScratch.Cols.clear();
+    MergeScratch.Nums.clear();
+    MergeScratch.Cols.reserve(Other.size() + Piv.size());
+    MergeScratch.Nums.reserve(Other.size() + Piv.size());
+    size_t I1 = 0, I2 = 0, N1 = Other.size(), N2 = Piv.size();
+    while (I1 < N1 || I2 < N2) {
+      if (I1 == J) {
+        ++I1;
+        continue;
+      }
+      uint32_t C1 = I1 < N1 ? Other.Cols[I1] : UINT32_MAX;
+      uint32_t C2 = I2 < N2 ? Piv.Cols[I2] : UINT32_MAX;
+      if (C1 < C2) {
+        MergeScratch.Cols.push_back(C1);
+        MergeScratch.Nums.push_back(Other.Nums[I1] * Q);
+        ++I1;
+      } else if (C2 < C1) {
+        // Fill-in: the pivot row contributes a column Other lacked.
+        MergeScratch.Cols.push_back(C2);
+        MergeScratch.Nums.push_back(MN * Piv.Nums[I2]);
+        ++ColCount[C2];
+        noteColNonzero(R2, C2);
+        ++Stats.RowFillIn;
+        ++I2;
+      } else {
+        Int S = Other.Nums[I1] * Q + MN * Piv.Nums[I2];
+        if (S == 0)
+          --ColCount[C1]; // cancelled; ColNz keeps a stale entry
+        else {
+          MergeScratch.Cols.push_back(C1);
+          MergeScratch.Nums.push_back(S);
+        }
+        ++I1;
+        ++I2;
       }
     }
+    MergeScratch.Den = E * Q;
+    normalizeRow(MergeScratch);
+    std::swap(Other.Cols, MergeScratch.Cols);
+    std::swap(Other.Nums, MergeScratch.Nums);
+    Other.Den = MergeScratch.Den;
+    --ColCount[N];
   }
+  // No row contains N anymore (it is basic): reset its column support.
+  for (uint32_t R2 : ColNz[N])
+    InColNz[N][R2] = 0;
+  ColNz[N].clear();
 }
 
 bool Simplex::pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
   uint32_t R = RowOf[B];
-  Rational A = Tableau[R][N];
+  Rational A = rowCoeff(R, N);
   Rational Theta = (V - Beta[B]) / A;
   Beta[B] = V;
   Beta[N] += Theta;
   for (uint32_t R2 : compactCol(N)) {
     if (R2 == R)
       continue;
-    Beta[BasicVar[R2]] += Tableau[R2][N] * Theta;
+    Beta[BasicVar[R2]] += rowCoeff(R2, N) * Theta;
     touchBasic(BasicVar[R2]);
   }
   pivot(B, N);
@@ -299,13 +409,14 @@ bool Simplex::pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
 }
 
 bool Simplex::checkRational() {
-  ++NumChecks;
-  // Leaving variable: Bland's smallest violated basic (sparsest-row and
-  // most-violated variants both blow up on some workload instances —
-  // see ROADMAP before changing this). Entering variable: the eligible
+  ++Stats.Checks;
+  // Leaving variable: Bland's smallest violated basic by default, with
+  // sparsest-row / most-violated behind POSTR_SIMPLEX_PIVOT_RULE (both
+  // blow up on some workload instances — A/B over bench/workloads before
+  // changing the default; see ROADMAP). Entering variable: the eligible
   // column with the fewest tableau nonzeros (anti-fill-in) while the
-  // run is short, falling back to Bland's smallest-index — which
-  // terminates unconditionally — if it degenerates.
+  // run is short. Past the threshold both selections fall back to
+  // Bland's smallest-index — which terminates unconditionally.
   uint64_t PivotsThisCheck = 0;
   const uint64_t BlandThreshold = 256;
   for (;;) {
@@ -319,6 +430,8 @@ bool Simplex::checkRational() {
     bool Bland = PivotsThisCheck >= BlandThreshold;
     uint32_t B = ~0u;
     bool NeedIncrease = false;
+    Rational BestViol;
+    size_t BestNnz = 0;
     size_t Keep = 0;
     for (size_t I = 0; I < ViolQueue.size(); ++I) {
       uint32_t X = ViolQueue[I];
@@ -329,7 +442,21 @@ bool Simplex::checkRational() {
         continue;
       }
       ViolQueue[Keep++] = X;
-      if (B == ~0u || X < B) {
+      bool Better;
+      if (Bland || Rule == PivotRule::Bland) {
+        Better = B == ~0u || X < B;
+      } else if (Rule == PivotRule::SparsestRow) {
+        size_t Nnz = Tableau[RowOf[X]].size();
+        Better = B == ~0u || Nnz < BestNnz || (Nnz == BestNnz && X < B);
+        if (Better)
+          BestNnz = Nnz;
+      } else { // PivotRule::MostViolated
+        Rational V = ViolLo ? *Lo[X] - Beta[X] : Beta[X] - *Hi[X];
+        Better = B == ~0u || BestViol < V || (!(V < BestViol) && X < B);
+        if (Better)
+          BestViol = V;
+      }
+      if (Better) {
         B = X;
         NeedIncrease = ViolLo;
       }
@@ -339,20 +466,20 @@ bool Simplex::checkRational() {
       return true;
     ++PivotsThisCheck;
 
-    const std::vector<Rational> &Row = Tableau[RowOf[B]];
-    const std::vector<uint32_t> &Nz = compactRow(RowOf[B]);
+    const SparseRow &Row = Tableau[RowOf[B]];
     uint32_t N = ~0u;
-    for (uint32_t X : Nz) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      uint32_t X = Row.Cols[I];
       if (X == B || isBasic(X))
         continue;
-      const Rational &A = Row[X];
+      bool Pos = Row.Nums[I] > 0; // Den > 0: numerator sign = coeff sign
       bool CanUse;
       if (NeedIncrease)
-        CanUse = (A > Rational::zero() && (!Hi[X] || Beta[X] < *Hi[X])) ||
-                 (A < Rational::zero() && (!Lo[X] || Beta[X] > *Lo[X]));
+        CanUse = (Pos && (!Hi[X] || Beta[X] < *Hi[X])) ||
+                 (!Pos && (!Lo[X] || Beta[X] > *Lo[X]));
       else
-        CanUse = (A < Rational::zero() && (!Hi[X] || Beta[X] < *Hi[X])) ||
-                 (A > Rational::zero() && (!Lo[X] || Beta[X] > *Lo[X]));
+        CanUse = (!Pos && (!Hi[X] || Beta[X] < *Hi[X])) ||
+                 (Pos && (!Lo[X] || Beta[X] > *Lo[X]));
       if (!CanUse)
         continue;
       if (N == ~0u ||
@@ -367,14 +494,15 @@ bool Simplex::checkRational() {
       uint32_t BReason = NeedIncrease ? LoReason[B] : HiReason[B];
       if (BReason != NoReason)
         Conflict.push_back(BReason);
-      for (uint32_t X : Nz) {
-        if (X == B || Row[X].isZero() || isBasic(X))
+      for (size_t I = 0; I < Row.size(); ++I) {
+        uint32_t X = Row.Cols[I];
+        if (X == B || isBasic(X))
           continue;
-        bool StuckAtHi = NeedIncrease ? (Row[X] > Rational::zero())
-                                      : (Row[X] < Rational::zero());
-        uint32_t R = StuckAtHi ? HiReason[X] : LoReason[X];
-        if (R != NoReason)
-          Conflict.push_back(R);
+        bool StuckAtHi = NeedIncrease ? (Row.Nums[I] > 0)
+                                      : (Row.Nums[I] < 0);
+        uint32_t RR = StuckAtHi ? HiReason[X] : LoReason[X];
+        if (RR != NoReason)
+          Conflict.push_back(RR);
       }
       std::sort(Conflict.begin(), Conflict.end());
       Conflict.erase(std::unique(Conflict.begin(), Conflict.end()),

@@ -17,6 +17,13 @@
 /// variables. Bounds are snapshot/restorable, which both the DPLL(T)
 /// conflict-minimization loop and the branch-and-bound recursion use.
 ///
+/// Rows are sparse: sorted column indices with integer numerators over
+/// one common denominator per row. The Parikh/position encoders emit
+/// length- and span-sum terms 1000+ monomials wide, so pivots are bound
+/// by actual support, the per-entry rational normalization of a dense
+/// `vector<Rational>` tableau collapses into a single gcd pass per row,
+/// and registering a variable no longer extends every existing row.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POSTR_LIA_SIMPLEX_H
@@ -38,6 +45,29 @@ namespace lia {
 /// Tri-state outcome of an integer feasibility check. `Unknown` is
 /// produced only when the branch-and-bound node budget is exhausted.
 enum class TheoryResult { Sat, Unsat, Unknown };
+
+/// Leaving-variable selection rule for the feasibility loop. The rules
+/// are extremely instance-sensitive on the tag-framework workloads (see
+/// ROADMAP), so they are an A/B flag — `POSTR_SIMPLEX_PIVOT_RULE` =
+/// `bland` | `sparsest` | `violated` — rather than a code fork. Entering
+/// selection (anti-fill-in with a Bland fallback) is unaffected, and
+/// every rule degrades to Bland's — which terminates unconditionally —
+/// once a single check loops past its pivot threshold.
+enum class PivotRule : uint8_t {
+  Bland,        ///< smallest violated basic index (default)
+  SparsestRow,  ///< violated basic with the fewest row nonzeros
+  MostViolated, ///< violated basic with the largest bound violation
+};
+
+/// Cumulative tableau counters (perf triage; emitted by bench_hotpath as
+/// `simplex_counters`).
+struct SimplexStats {
+  uint64_t Pivots = 0;   ///< basis changes
+  uint64_t Checks = 0;   ///< feasibility scans (checkRational calls)
+  uint64_t RowFillIn = 0; ///< entries created by pivot elimination
+  uint64_t MaxRowNnz = 0; ///< widest row ever produced
+  uint64_t DenNormalizations = 0; ///< row gcd passes that actually reduced
+};
 
 class Simplex {
 public:
@@ -118,9 +148,16 @@ public:
   /// successful checkRational()).
   const Rational &value(uint32_t X) const { return Beta[X]; }
 
-  /// Cumulative pivot / feasibility-scan counters (perf triage).
-  uint64_t numPivots() const { return NumPivots; }
-  uint64_t numChecks() const { return NumChecks; }
+  /// Cumulative tableau counters (perf triage).
+  const SimplexStats &stats() const { return Stats; }
+  uint64_t numPivots() const { return Stats.Pivots; }
+  uint64_t numChecks() const { return Stats.Checks; }
+
+  /// Overrides the leaving-variable rule (the constructor reads the
+  /// POSTR_SIMPLEX_PIVOT_RULE environment variable; this setter is for
+  /// in-process A/B experiments and tests).
+  void setPivotRule(PivotRule R) { Rule = R; }
+  PivotRule pivotRule() const { return Rule; }
 
   /// Cooperative interruption: when the callback returns true,
   /// checkInteger() gives up at the next branch node (returning Unknown,
@@ -132,10 +169,33 @@ public:
   void setInterrupt(std::function<bool()> F) { Interrupt = std::move(F); }
 
 private:
+  using Int = Rational::Int;
+
+  /// One tableau row: value(BasicVar) = Σ (Nums[i]/Den)·Cols[i]. Cols is
+  /// sorted ascending and zero-free — it doubles as the row's exact
+  /// support list — and Den > 0 with gcd(Den, Nums...) == 1 (one
+  /// normalization pass per mutation, not one per entry).
+  struct SparseRow {
+    std::vector<uint32_t> Cols;
+    std::vector<Int> Nums;
+    Int Den = 1;
+
+    size_t size() const { return Cols.size(); }
+    /// Index of column \p X, or SIZE_MAX when absent (binary search).
+    size_t find(uint32_t X) const;
+    bool contains(uint32_t X) const { return find(X) != SIZE_MAX; }
+  };
+
   bool isBasic(uint32_t X) const { return RowOf[X] != ~0u; }
   void pivot(uint32_t B, uint32_t N);
   void updateNonbasic(uint32_t N, const Rational &V);
   bool pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V);
+
+  /// Divides the row's numerators and denominator by their common gcd
+  /// and records the row's width in the fill statistics.
+  void normalizeRow(SparseRow &Row);
+  /// Entry (R, X) as a normalized rational (zero when absent).
+  Rational rowCoeff(uint32_t R, uint32_t X) const;
 
   TheoryResult branch(std::vector<int64_t> &ModelOut, uint64_t &Budget);
 
@@ -149,30 +209,16 @@ private:
   uint32_t NumProblemVars;
   uint32_t NumVars; ///< original + slack
 
-  /// Rows: for each basic variable B, Beta[B] == Σ Tableau[RowOf[B]][N]
-  /// over nonbasic N. Dense rows over extended variables, with a
-  /// per-row support list (RowNz, kept duplicate-free via InRowNz but
-  /// allowed to carry stale zero entries) so pivots touch O(nnz) cells
-  /// instead of O(columns).
-  std::vector<std::vector<Rational>> Tableau;
-  std::vector<std::vector<uint32_t>> RowNz;
-  std::vector<std::vector<uint8_t>> InRowNz;
-
-  /// Compacts RowNz[R] (drops stale zeros) and returns a reference.
-  const std::vector<uint32_t> &compactRow(uint32_t R);
-  /// Records that column X of row R may have become nonzero.
-  void noteNonzero(uint32_t R, uint32_t X) {
-    if (!InRowNz[R][X]) {
-      InRowNz[R][X] = 1;
-      RowNz[R].push_back(X);
-    }
-    noteColNonzero(R, X);
-  }
+  /// Rows: for each basic variable B, Beta[B] == value of row RowOf[B]
+  /// under the nonbasic assignment. Sparse — see SparseRow.
+  std::vector<SparseRow> Tableau;
 
   /// Transposed support: for each column X, the rows where X may be
-  /// nonzero — the same stale-tolerant scheme as RowNz, so
-  /// updateNonbasic/pivotAndUpdate/pivot touch O(col nnz) rows instead of
-  /// scanning the whole tableau per column.
+  /// nonzero — stale-tolerant (rows whose entry cancelled to zero linger
+  /// until the next walk compacts them), kept duplicate-free via InColNz
+  /// — so updateNonbasic/pivotAndUpdate/pivot touch O(col nnz) rows
+  /// instead of scanning the whole tableau per column. The per-row
+  /// support needs no such scheme: a SparseRow's Cols is exact.
   void noteColNonzero(uint32_t R, uint32_t X) {
     std::vector<uint8_t> &In = InColNz[X];
     if (In.size() <= R)
@@ -201,7 +247,8 @@ private:
   std::vector<uint32_t> BaseLoReason, BaseHiReason;
   std::vector<uint32_t> Conflict;
   std::vector<uint32_t> IntegerCore; ///< accumulator for branch()
-  uint64_t NumPivots = 0, NumChecks = 0;
+  SimplexStats Stats;
+  PivotRule Rule;
 
   /// Lazily maintained superset of the basic variables whose β may be
   /// outside their bounds. Every code path that moves a basic β or
@@ -221,6 +268,14 @@ private:
   /// and rowFor(). The entering-variable heuristic prefers sparse
   /// columns, which is the main defence against fill-in.
   std::vector<uint32_t> ColCount;
+
+  /// Reused scratch: dense rational accumulator for rowFor's basic-row
+  /// substitution (with its touched-marks), and the merge target of
+  /// pivot elimination.
+  std::vector<Rational> DenseScratch;
+  std::vector<uint8_t> DenseMark;
+  std::vector<uint32_t> DenseTouched;
+  SparseRow MergeScratch;
 
   /// Slack interning: canonical (sorted, zero-free) coefficient vector →
   /// extended variable. Hashed — term registration is on the DPLL(T)

@@ -419,18 +419,31 @@ QfResult QfEngine::run() {
       break;
     }
   }
-  if (Theory && std::getenv("POSTR_SIMPLEX_STATS"))
-    std::fprintf(stderr, "[simplex] pivots=%llu checks=%llu\n",
-                 (unsigned long long)Theory->numPivots(),
-                 (unsigned long long)Theory->numChecks());
+  if (Theory && std::getenv("POSTR_SIMPLEX_STATS")) {
+    const SimplexStats &TS = Theory->stats();
+    std::fprintf(stderr,
+                 "[simplex] pivots=%llu checks=%llu fill=%llu maxnnz=%llu "
+                 "dennorm=%llu\n",
+                 (unsigned long long)TS.Pivots, (unsigned long long)TS.Checks,
+                 (unsigned long long)TS.RowFillIn,
+                 (unsigned long long)TS.MaxRowNnz,
+                 (unsigned long long)TS.DenNormalizations);
+  }
   const SatStats &SS = Sat.stats();
   Out.Stats.Conflicts = SS.Conflicts;
   Out.Stats.Propagations = SS.Propagations;
   Out.Stats.Decisions = SS.Decisions;
   Out.Stats.Restarts = SS.Restarts;
+  Out.Stats.Reductions = SS.Reductions;
   Out.Stats.ClausesDeleted = SS.ClausesDeleted;
-  Out.Stats.Pivots = Theory ? Theory->numPivots() : 0;
-  Out.Stats.Checks = Theory ? Theory->numChecks() : 0;
+  if (Theory) {
+    const SimplexStats &TS = Theory->stats();
+    Out.Stats.Pivots = TS.Pivots;
+    Out.Stats.Checks = TS.Checks;
+    Out.Stats.RowFillIn = TS.RowFillIn;
+    Out.Stats.MaxRowNnz = TS.MaxRowNnz;
+    Out.Stats.DenNormalizations = TS.DenNormalizations;
+  }
   Out.Stats.TheoryConflicts = TheoryConflicts;
   if (Stats)
     std::fprintf(

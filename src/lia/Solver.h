@@ -58,9 +58,13 @@ struct QfSearchStats {
   uint64_t Propagations = 0;   ///< unit propagations
   uint64_t Decisions = 0;      ///< decision literals
   uint64_t Restarts = 0;       ///< Luby restarts taken
+  uint64_t Reductions = 0;     ///< clause-DB reduction passes
   uint64_t ClausesDeleted = 0; ///< learnt clauses dropped by DB reduction
   uint64_t Pivots = 0;         ///< Simplex pivots
   uint64_t Checks = 0;         ///< Simplex feasibility scans
+  uint64_t RowFillIn = 0;      ///< tableau entries created by elimination
+  uint64_t MaxRowNnz = 0;      ///< widest tableau row ever produced
+  uint64_t DenNormalizations = 0; ///< row gcd passes that reduced
   uint64_t TheoryConflicts = 0;
 
   QfSearchStats &operator+=(const QfSearchStats &O) {
@@ -68,9 +72,13 @@ struct QfSearchStats {
     Propagations += O.Propagations;
     Decisions += O.Decisions;
     Restarts += O.Restarts;
+    Reductions += O.Reductions;
     ClausesDeleted += O.ClausesDeleted;
     Pivots += O.Pivots;
     Checks += O.Checks;
+    RowFillIn += O.RowFillIn;
+    MaxRowNnz = MaxRowNnz > O.MaxRowNnz ? MaxRowNnz : O.MaxRowNnz;
+    DenNormalizations += O.DenNormalizations;
     TheoryConflicts += O.TheoryConflicts;
     return *this;
   }

@@ -267,16 +267,41 @@ SolveResult Pipeline::run() {
     return Result;
   }
 
-  // Disjunct pool: the decompositions are independent (each worker builds
-  // its own arena, tag automata, Simplex and SAT core), so grab them off
-  // a shared index — the atomic counter is the work-stealing deque of
-  // this coarse-grained pool. The first Sat raises the cancel flag, which
-  // the engines poll at their theory callbacks; cancelled losers come
-  // back Unknown and are ignored once a winner exists. Verdicts stay
-  // deterministic at any thread count: Sat wins outright, and without a
-  // Sat no disjunct is ever cancelled, so Unsat/Unknown aggregate exactly
-  // as in the serial loop.
-  std::atomic<size_t> NextIdx{0};
+  // Stage the pool: solve disjunct 0 on the calling thread first. The
+  // stabilizer orders easy decompositions early, so a serial run's
+  // early-Sat exit usually never reaches the hard tail — an eagerly
+  // fanned-out pool starts those hard disjuncts anyway and, on few-core
+  // hosts, pays for work the serial loop would have skipped (the
+  // solve-parallel-1 regression). Staging keeps the serial fast path:
+  // only when disjunct 0 fails to answer Sat does the fan-out begin.
+  if (timedOut()) {
+    Result.V = Verdict::Unknown;
+    Result.Stats = Stats;
+    return Result;
+  }
+  {
+    Verdict V = solveDisjunct(Stab.Disjuncts[0], Result, Stats, nullptr);
+    if (V == Verdict::Sat) {
+      Result.V = Verdict::Sat;
+      Result.Stats = Stats;
+      return Result;
+    }
+    if (V == Verdict::Unknown)
+      AnyUnknown = true;
+  }
+  Threads = std::min<uint32_t>(
+      Threads, static_cast<uint32_t>(Stab.Disjuncts.size() - 1));
+
+  // Disjunct pool over the remaining disjuncts: the decompositions are
+  // independent (each worker builds its own arena, tag automata, Simplex
+  // and SAT core), so grab them off a shared index — the atomic counter
+  // is the work-stealing deque of this coarse-grained pool. The first
+  // Sat raises the cancel flag, which the engines poll at their theory
+  // callbacks; cancelled losers come back Unknown and are ignored once a
+  // winner exists. Verdicts stay deterministic at any thread count: Sat
+  // wins outright, and without a Sat no disjunct is ever cancelled, so
+  // Unsat/Unknown aggregate exactly as in the serial loop.
+  std::atomic<size_t> NextIdx{1};
   std::atomic<bool> Cancel{false};
   std::atomic<bool> PoolUnknown{AnyUnknown};
   std::mutex WinnerMu;

@@ -366,6 +366,431 @@ TEST(SimplexTest, SnapshotRestore) {
   EXPECT_LE(Model[0], -1);
 }
 
+/// Dense reference tableau with the pre-sparse-rewrite representation
+/// (one `vector<Rational>` per row, per-entry normalization) and the
+/// same default selection rules as the production Simplex: Bland's
+/// smallest violated basic leaving, fewest-column-nonzeros entering with
+/// smaller-index tie-break, Bland fallback past 256 pivots. Identical
+/// rules + exact arithmetic means the pivot sequences coincide, so the
+/// sparse implementation must reproduce the reference β exactly, not
+/// just the feasibility verdict.
+class DenseRefSimplex {
+public:
+  static constexpr uint32_t NoReason = ~0u;
+
+  explicit DenseRefSimplex(uint32_t NumProblemVars)
+      : NumVars(NumProblemVars), RowOf(NumProblemVars, ~0u),
+        Beta(NumProblemVars), Lo(NumProblemVars), Hi(NumProblemVars),
+        LoReason(NumProblemVars, NoReason),
+        HiReason(NumProblemVars, NoReason) {}
+
+  uint32_t rowFor(const LinTerm &T) {
+    if (T.coeffs().size() == 1 && T.coeffs().front().second == 1)
+      return T.coeffs().front().first;
+    auto It = TermToVar.find(T.coeffs());
+    if (It != TermToVar.end())
+      return It->second;
+    uint32_t Slack = NumVars++;
+    RowOf.push_back(static_cast<uint32_t>(Tableau.size()));
+    Lo.push_back(std::nullopt);
+    Hi.push_back(std::nullopt);
+    LoReason.push_back(NoReason);
+    HiReason.push_back(NoReason);
+    for (std::vector<Rational> &Row : Tableau)
+      Row.push_back(Rational::zero());
+    std::vector<Rational> Row(NumVars, Rational::zero());
+    Rational Value = Rational::zero();
+    for (auto [V, C] : T.coeffs()) {
+      Rational Coef(C);
+      if (RowOf[V] == ~0u) {
+        Row[V] += Coef;
+      } else {
+        const std::vector<Rational> &Sub = Tableau[RowOf[V]];
+        for (uint32_t X = 0; X < NumVars; ++X)
+          Row[X] += Coef * Sub[X];
+      }
+      Value += Coef * Beta[V];
+    }
+    Row[Slack] = Rational::zero();
+    Tableau.push_back(std::move(Row));
+    BasicVar.push_back(Slack);
+    Beta.push_back(Value);
+    TermToVar.emplace(T.coeffs(), Slack);
+    return Slack;
+  }
+
+  bool assertUpper(uint32_t X, const Rational &U, uint32_t Reason) {
+    if (Hi[X] && *Hi[X] <= U)
+      return true;
+    if (Lo[X] && U < *Lo[X]) {
+      Conflict.clear();
+      if (Reason != NoReason)
+        Conflict.push_back(Reason);
+      if (LoReason[X] != NoReason)
+        Conflict.push_back(LoReason[X]);
+      return false;
+    }
+    Trail.push_back({X, true, Hi[X], HiReason[X]});
+    Hi[X] = U;
+    HiReason[X] = Reason;
+    if (RowOf[X] == ~0u && Beta[X] > U)
+      updateNonbasic(X, U);
+    return true;
+  }
+
+  bool assertLower(uint32_t X, const Rational &L, uint32_t Reason) {
+    if (Lo[X] && *Lo[X] >= L)
+      return true;
+    if (Hi[X] && *Hi[X] < L) {
+      Conflict.clear();
+      if (Reason != NoReason)
+        Conflict.push_back(Reason);
+      if (HiReason[X] != NoReason)
+        Conflict.push_back(HiReason[X]);
+      return false;
+    }
+    Trail.push_back({X, false, Lo[X], LoReason[X]});
+    Lo[X] = L;
+    LoReason[X] = Reason;
+    if (RowOf[X] == ~0u && Beta[X] < L)
+      updateNonbasic(X, L);
+    return true;
+  }
+
+  size_t mark() const { return Trail.size(); }
+
+  void rollback(size_t Mark) {
+    while (Trail.size() > Mark) {
+      const Undo &U = Trail.back();
+      if (U.Upper) {
+        Hi[U.X] = U.Old;
+        HiReason[U.X] = U.OldReason;
+      } else {
+        Lo[U.X] = U.Old;
+        LoReason[U.X] = U.OldReason;
+      }
+      Trail.pop_back();
+    }
+  }
+
+  bool checkRational() {
+    uint64_t Pivots = 0;
+    const uint64_t BlandThreshold = 256;
+    for (;;) {
+      bool Bland = Pivots >= BlandThreshold;
+      uint32_t B = ~0u;
+      bool NeedIncrease = false;
+      for (uint32_t X = 0; X < NumVars && B == ~0u; ++X) {
+        if (RowOf[X] == ~0u)
+          continue;
+        if (Lo[X] && Beta[X] < *Lo[X]) {
+          B = X;
+          NeedIncrease = true;
+        } else if (Hi[X] && Beta[X] > *Hi[X]) {
+          B = X;
+          NeedIncrease = false;
+        }
+      }
+      if (B == ~0u)
+        return true;
+      ++Pivots;
+      const std::vector<Rational> &Row = Tableau[RowOf[B]];
+      uint32_t N = ~0u;
+      for (uint32_t X = 0; X < NumVars; ++X) {
+        if (X == B || RowOf[X] != ~0u || Row[X].isZero())
+          continue;
+        const Rational &A = Row[X];
+        bool CanUse;
+        if (NeedIncrease)
+          CanUse = (A > Rational::zero() && (!Hi[X] || Beta[X] < *Hi[X])) ||
+                   (A < Rational::zero() && (!Lo[X] || Beta[X] > *Lo[X]));
+        else
+          CanUse = (A < Rational::zero() && (!Hi[X] || Beta[X] < *Hi[X])) ||
+                   (A > Rational::zero() && (!Lo[X] || Beta[X] > *Lo[X]));
+        if (!CanUse)
+          continue;
+        if (N == ~0u ||
+            (Bland ? X < N
+                   : colCount(X) < colCount(N) ||
+                         (colCount(X) == colCount(N) && X < N)))
+          N = X;
+      }
+      if (N == ~0u) {
+        Conflict.clear();
+        uint32_t BReason = NeedIncrease ? LoReason[B] : HiReason[B];
+        if (BReason != NoReason)
+          Conflict.push_back(BReason);
+        for (uint32_t X = 0; X < NumVars; ++X) {
+          if (X == B || RowOf[X] != ~0u || Row[X].isZero())
+            continue;
+          bool StuckAtHi = NeedIncrease ? (Row[X] > Rational::zero())
+                                        : (Row[X] < Rational::zero());
+          uint32_t R = StuckAtHi ? HiReason[X] : LoReason[X];
+          if (R != NoReason)
+            Conflict.push_back(R);
+        }
+        std::sort(Conflict.begin(), Conflict.end());
+        Conflict.erase(std::unique(Conflict.begin(), Conflict.end()),
+                       Conflict.end());
+        return false;
+      }
+      pivotAndUpdate(B, N, NeedIncrease ? *Lo[B] : *Hi[B]);
+    }
+  }
+
+  const Rational &value(uint32_t X) const { return Beta[X]; }
+  uint32_t numVars() const { return NumVars; }
+  const std::vector<uint32_t> &conflictReasons() const { return Conflict; }
+
+private:
+  size_t colCount(uint32_t X) const {
+    size_t C = 0;
+    for (const std::vector<Rational> &Row : Tableau)
+      if (!Row[X].isZero())
+        ++C;
+    return C;
+  }
+
+  void updateNonbasic(uint32_t N, const Rational &V) {
+    Rational Delta = V - Beta[N];
+    if (Delta.isZero())
+      return;
+    for (size_t R = 0; R < Tableau.size(); ++R)
+      if (!Tableau[R][N].isZero())
+        Beta[BasicVar[R]] += Tableau[R][N] * Delta;
+    Beta[N] = V;
+  }
+
+  void pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
+    uint32_t R = RowOf[B];
+    Rational A = Tableau[R][N];
+    Rational Theta = (V - Beta[B]) / A;
+    Beta[B] = V;
+    Beta[N] += Theta;
+    for (size_t R2 = 0; R2 < Tableau.size(); ++R2)
+      if (R2 != R && !Tableau[R2][N].isZero())
+        Beta[BasicVar[R2]] += Tableau[R2][N] * Theta;
+    pivot(B, N);
+  }
+
+  void pivot(uint32_t B, uint32_t N) {
+    uint32_t R = RowOf[B];
+    std::vector<Rational> &Row = Tableau[R];
+    Rational InvA = Rational::one() / Row[N];
+    for (uint32_t X = 0; X < NumVars; ++X) {
+      if (X == N)
+        Row[X] = Rational::zero();
+      else if (!Row[X].isZero())
+        Row[X] = -Row[X] * InvA;
+    }
+    Row[B] = InvA;
+    BasicVar[R] = N;
+    RowOf[N] = R;
+    RowOf[B] = ~0u;
+    for (size_t R2 = 0; R2 < Tableau.size(); ++R2) {
+      if (R2 == R)
+        continue;
+      std::vector<Rational> &Other = Tableau[R2];
+      if (Other[N].isZero())
+        continue;
+      Rational C = Other[N];
+      Other[N] = Rational::zero();
+      for (uint32_t X = 0; X < NumVars; ++X)
+        if (!Row[X].isZero())
+          Other[X] += C * Row[X];
+    }
+  }
+
+  struct Undo {
+    uint32_t X;
+    bool Upper;
+    std::optional<Rational> Old;
+    uint32_t OldReason;
+  };
+
+  uint32_t NumVars;
+  std::vector<std::vector<Rational>> Tableau;
+  std::vector<uint32_t> RowOf, BasicVar;
+  std::vector<Rational> Beta;
+  std::vector<std::optional<Rational>> Lo, Hi;
+  std::vector<uint32_t> LoReason, HiReason;
+  std::vector<Undo> Trail;
+  std::vector<uint32_t> Conflict;
+  std::map<std::vector<std::pair<Var, int64_t>>, uint32_t> TermToVar;
+};
+
+std::vector<uint32_t> sortedReasons(const std::vector<uint32_t> &Rs) {
+  std::vector<uint32_t> S = Rs;
+  std::sort(S.begin(), S.end());
+  S.erase(std::unique(S.begin(), S.end()), S.end());
+  return S;
+}
+
+TEST(SimplexTest, TableauStatsCountersAdvance) {
+  // Constructed so that eliminating x from the second row leaves every
+  // numerator and the merged denominator sharing a factor of 2: pivoting
+  // s1's row solves x = (s1 - 2y)/2, and substituting into s2 = 2x + y
+  // gives {s1: 2, y: -2} over denominator 2 — exactly one row-gcd
+  // normalization. Fill-in and max-nnz move along the way.
+  Simplex S(2);
+  uint32_t S1 = S.rowFor(LinTerm::variable(0, 2) + LinTerm::variable(1, 2));
+  uint32_t S2 = S.rowFor(LinTerm::variable(0, 2) + LinTerm::variable(1));
+  ASSERT_NE(S1, S2);
+  EXPECT_TRUE(S.assertLower(S1, Rational(1)));
+  EXPECT_TRUE(S.checkRational());
+  const SimplexStats &St = S.stats();
+  EXPECT_GT(St.Pivots, 0u);
+  EXPECT_GT(St.Checks, 0u);
+  EXPECT_GT(St.RowFillIn, 0u);
+  EXPECT_GE(St.MaxRowNnz, 2u);
+  EXPECT_GT(St.DenNormalizations, 0u);
+}
+
+TEST(SimplexTest, SparseMatchesDenseReferenceExactly) {
+  std::mt19937 Rng(20250726);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    const uint32_t K = 5;
+    Simplex Sparse(K);
+    DenseRefSimplex Dense(K);
+    std::vector<std::pair<size_t, size_t>> Marks; // (sparse, dense)
+    uint32_t NextReason = 100;
+
+    // Register a few multi-variable rows up front and some lazily below,
+    // interleaved with the bound assertions (the DPLL(T) usage pattern
+    // registers everything up front; the CEGAR loop adds rows late).
+    std::vector<uint32_t> Handles;
+    auto Register = [&] {
+      LinTerm T;
+      uint32_t Width = 1 + Rng() % 4;
+      for (uint32_t I = 0; I < Width; ++I)
+        T += LinTerm::variable(Rng() % K, static_cast<int64_t>(Rng() % 7) - 3);
+      if (T.coeffs().empty())
+        T += LinTerm::variable(Rng() % K);
+      uint32_t HS = Sparse.rowFor(T);
+      uint32_t HD = Dense.rowFor(T);
+      ASSERT_EQ(HS, HD) << "slack allocation diverged, iteration " << Iter;
+      Handles.push_back(HS);
+    };
+    for (int I = 0; I < 4; ++I)
+      Register();
+
+    for (int Op = 0; Op < 120; ++Op) {
+      uint32_t Kind = Rng() % 16;
+      if (Kind == 0 && Handles.size() < 12) {
+        Register();
+      } else if (Kind == 1) {
+        Marks.push_back({Sparse.mark(), Dense.mark()});
+      } else if (Kind == 2 && !Marks.empty()) {
+        size_t I = Rng() % Marks.size();
+        Sparse.rollback(Marks[I].first);
+        Dense.rollback(Marks[I].second);
+        Marks.resize(I + 1);
+      } else {
+        uint32_t X = Handles[Rng() % Handles.size()];
+        // Mostly integral bounds with occasional halves, wide enough to
+        // keep a healthy feasible/infeasible mix.
+        Rational V(static_cast<int64_t>(Rng() % 41) - 20,
+                   (Rng() % 4 == 0) ? 2 : 1);
+        uint32_t Reason = (Rng() % 8 == 0) ? Simplex::NoReason : NextReason++;
+        bool Upper = Rng() % 2;
+        bool OkS = Upper ? Sparse.assertUpper(X, V, Reason)
+                         : Sparse.assertLower(X, V, Reason);
+        bool OkD = Upper ? Dense.assertUpper(X, V, Reason)
+                         : Dense.assertLower(X, V, Reason);
+        ASSERT_EQ(OkS, OkD) << "assert verdict diverged, iteration " << Iter;
+        if (!OkS) {
+          EXPECT_EQ(sortedReasons(Sparse.conflictReasons()),
+                    sortedReasons(Dense.conflictReasons()))
+              << "assert conflict reasons diverged, iteration " << Iter;
+          continue;
+        }
+      }
+      if (Op % 5 == 4) {
+        bool FeasS = Sparse.checkRational();
+        bool FeasD = Dense.checkRational();
+        ASSERT_EQ(FeasS, FeasD)
+            << "feasibility verdict diverged, iteration " << Iter;
+        if (FeasS) {
+          for (uint32_t X = 0; X < Dense.numVars(); ++X)
+            ASSERT_EQ(Sparse.value(X), Dense.value(X))
+                << "beta diverged at var " << X << ", iteration " << Iter;
+        } else {
+          EXPECT_EQ(sortedReasons(Sparse.conflictReasons()),
+                    sortedReasons(Dense.conflictReasons()))
+              << "conflict reason sets diverged, iteration " << Iter;
+          // Loosen back to the last mark so the run can continue.
+          if (!Marks.empty()) {
+            Sparse.rollback(Marks.front().first);
+            Dense.rollback(Marks.front().second);
+            Marks.resize(1);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimplexTest, AlternatePivotRulesStaySound) {
+  // sparsest-row / most-violated change the pivot sequence, so β may
+  // legitimately differ from the reference — but feasibility verdicts
+  // are representation- and rule-independent, and any feasible β must
+  // satisfy every asserted bound and every registered row definition.
+  for (PivotRule Rule : {PivotRule::SparsestRow, PivotRule::MostViolated}) {
+    std::mt19937 Rng(777 + static_cast<uint32_t>(Rule));
+    for (int Iter = 0; Iter < 30; ++Iter) {
+      const uint32_t K = 5;
+      Simplex Sparse(K);
+      DenseRefSimplex Dense(K);
+      Sparse.setPivotRule(Rule);
+      std::vector<std::pair<LinTerm, uint32_t>> Rows;
+      auto Register = [&] {
+        LinTerm T;
+        uint32_t Width = 1 + Rng() % 4;
+        for (uint32_t I = 0; I < Width; ++I)
+          T += LinTerm::variable(Rng() % K,
+                                 static_cast<int64_t>(Rng() % 7) - 3);
+        if (T.coeffs().empty())
+          T += LinTerm::variable(Rng() % K);
+        uint32_t H = Sparse.rowFor(T);
+        ASSERT_EQ(H, Dense.rowFor(T));
+        Rows.push_back({T, H});
+      };
+      for (int I = 0; I < 5; ++I)
+        Register();
+      uint32_t NextReason = 100;
+      for (int Op = 0; Op < 60; ++Op) {
+        uint32_t X = Rows[Rng() % Rows.size()].second;
+        Rational V(static_cast<int64_t>(Rng() % 31) - 15,
+                   (Rng() % 4 == 0) ? 2 : 1);
+        uint32_t Reason = NextReason++;
+        bool Upper = Rng() % 2;
+        bool OkS = Upper ? Sparse.assertUpper(X, V, Reason)
+                         : Sparse.assertLower(X, V, Reason);
+        bool OkD = Upper ? Dense.assertUpper(X, V, Reason)
+                         : Dense.assertLower(X, V, Reason);
+        ASSERT_EQ(OkS, OkD);
+        if (!OkS)
+          break;
+        if (Op % 6 == 5) {
+          bool FeasS = Sparse.checkRational();
+          ASSERT_EQ(FeasS, Dense.checkRational())
+              << "rule " << static_cast<int>(Rule) << ", iteration " << Iter;
+          if (!FeasS)
+            break;
+          // Every registered row definition must hold at the vertex.
+          for (const auto &[T, H] : Rows) {
+            Rational Sum;
+            for (auto [Var, C] : T.coeffs())
+              Sum += Rational(C) * Sparse.value(Var);
+            ASSERT_EQ(Sum, Sparse.value(H))
+                << "row definition violated, iteration " << Iter;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SolveQfTest, SimpleConjunction) {
   Arena A;
   Var X = A.freshVar("x"), Y = A.freshVar("y");
