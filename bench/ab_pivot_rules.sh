@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+#===- bench/ab_pivot_rules.sh - Simplex pivot-rule A/B over the workloads -===#
+#
+# Part of PosTr, a reproduction of "A Uniform Framework for Handling
+# Position Constraints in String Solving" (PLDI 2025).
+#
+# Runs bench_hotpath (whose solve/pipeline/mbqi stages cover the
+# bench/workloads generators) once per POSTR_SIMPLEX_PIVOT_RULE value and
+# emits a markdown comparison table of stage times and tableau counters.
+# The winner goes into ROADMAP.md — do not change the default rule in
+# lia/Simplex.cpp without re-running this.
+#
+# Usage:
+#   bench/ab_pivot_rules.sh [path-to-bench_hotpath] [rules...]
+#
+# Defaults: ./build/bench/bench_hotpath and all four rules. Honors
+# POSTR_BENCH_N (default 4 here: the A/B wants relative numbers fast;
+# use 12 to reproduce the committed BENCH_hotpath.json scale).
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+BIN="${1:-./build/bench/bench_hotpath}"
+shift 2>/dev/null || true
+RULES=("$@")
+[ "${#RULES[@]}" -gt 0 ] || RULES=(bland markowitz sparsest violated)
+N="${POSTR_BENCH_N:-4}"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build with POSTR_BUILD_BENCH=ON)" >&2
+  exit 1
+fi
+
+ABS_BIN="$(cd "$(dirname "$BIN")" && pwd)/$(basename "$BIN")"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+stage_ms() { # file stage -> ms_per_rep
+  grep -o "\"name\": \"$2\"[^}]*" "$1" | grep -o '"ms_per_rep": [0-9.]*' \
+    | grep -o '[0-9.]*'
+}
+stage_checksum() {
+  grep -o "\"name\": \"$2\"[^}]*" "$1" | grep -o '"checksum": [0-9]*' \
+    | grep -o '[0-9]*'
+}
+counter() { # file object key -> value
+  grep -o "\"$2\": {[^}]*" "$1" | grep -o "\"$3\": [0-9]*" | grep -o '[0-9]*'
+}
+
+echo "Running bench_hotpath at POSTR_BENCH_N=$N per rule; this solves the"
+echo "same fixed-seed workload instances under each leaving-variable rule."
+echo
+
+for RULE in "${RULES[@]}"; do
+  echo "=== rule: $RULE ===" >&2
+  ( cd "$WORK" && POSTR_BENCH_N="$N" POSTR_SIMPLEX_PIVOT_RULE="$RULE" \
+      "$ABS_BIN" >/dev/null 2>"$WORK/$RULE.log" )
+  mv "$WORK/BENCH_hotpath.json" "$WORK/$RULE.json" 2>/dev/null || {
+    echo "error: rule $RULE produced no BENCH_hotpath.json" >&2
+    cat "$WORK/$RULE.log" >&2
+    exit 1
+  }
+done
+
+echo "| rule | solve ms/rep | pipeline ms/rep | mbqi ms/rep | pivots | checks | row_fill_in | solve✓ | pipeline✓ |"
+echo "|---|---|---|---|---|---|---|---|---|"
+for RULE in "${RULES[@]}"; do
+  J="$WORK/$RULE.json"
+  echo "| $RULE | $(stage_ms "$J" solve) | $(stage_ms "$J" pipeline) |" \
+       "$(stage_ms "$J" mbqi) | $(counter "$J" simplex_counters pivots) |" \
+       "$(counter "$J" simplex_counters checks) |" \
+       "$(counter "$J" simplex_counters row_fill_in) |" \
+       "$(stage_checksum "$J" solve) | $(stage_checksum "$J" pipeline) |"
+done
+echo
+echo "Checksums are verdict sums: rows whose ✓ columns differ solved some"
+echo "instance to a different verdict (usually a timeout flip) — treat"
+echo "their times as incomparable."

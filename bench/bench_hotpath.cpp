@@ -163,6 +163,30 @@ uint64_t pipelineRep(uint32_t Rep) {
   return Acc;
 }
 
+/// MBQI counters accumulated across the mbqi stage (emitted as
+/// `mbqi_counters` so the incrementality trajectory — context reuses,
+/// lemma pushes — is visible next to the times).
+lia::MbqiStats MbqiCounters;
+
+uint64_t mbqiRep(uint32_t) {
+  // The two biopython instances whose time is dominated by the MBQI
+  // loop itself (a Sat one needing inner-query sweeps and an Unsat one
+  // needing outer re-solves) — the flat ¬contains path with real
+  // candidate traffic, where PR 4's persistent contexts pay off (the
+  // scratch path runs 3.5–4× longer on both). Generous timeout so the
+  // verdicts — and therefore the checksum — are host-independent.
+  uint64_t Acc = 0;
+  for (uint32_t I : {1u, 7u}) {
+    strings::Problem P = bench::generate(bench::Family::Biopython, 97, I);
+    solver::SolveOptions O;
+    O.TimeoutMs = 30000;
+    O.ValidateModels = false;
+    O.Mp.Mbqi.Stats = &MbqiCounters;
+    Acc += static_cast<uint64_t>(solver::solveProblem(P, O).V);
+  }
+  return Acc;
+}
+
 } // namespace
 
 int main() {
@@ -175,6 +199,7 @@ int main() {
   Stages.push_back(runStage("parikh-encode", N, parikhEncodeRep));
   Stages.push_back(runStage("solve", std::max(1u, N / 4), solveRep));
   Stages.push_back(runStage("pipeline", std::max(1u, N / 4), pipelineRep));
+  Stages.push_back(runStage("mbqi", std::max(1u, N / 4), mbqiRep));
   for (uint32_t Threads : {1u, 2u, 4u})
     Stages.push_back(runStage("solve-parallel-" + std::to_string(Threads),
                               std::max(1u, N / 4), [Threads](uint32_t Rep) {
@@ -194,7 +219,7 @@ int main() {
                   I + 1 < Stages.size() ? "," : "");
     Json += Buf;
   }
-  char Counters[768];
+  char Counters[1024];
   std::snprintf(
       Counters, sizeof(Counters),
       "  ],\n  \"solve_counters\": {\"conflicts\": %llu, "
@@ -203,7 +228,10 @@ int main() {
       "\"checks\": %llu, \"theory_conflicts\": %llu},\n"
       "  \"simplex_counters\": {\"pivots\": %llu, \"checks\": %llu, "
       "\"row_fill_in\": %llu, \"max_row_nnz\": %llu, "
-      "\"den_normalizations\": %llu}\n}\n",
+      "\"den_normalizations\": %llu},\n"
+      "  \"mbqi_counters\": {\"candidates\": %llu, \"outer_solves\": %llu, "
+      "\"inner_queries\": %llu, \"inst_lemmas\": %llu, \"blockers\": %llu, "
+      "\"context_reuses\": %llu}\n}\n",
       (unsigned long long)SolveCounters.Conflicts,
       (unsigned long long)SolveCounters.Propagations,
       (unsigned long long)SolveCounters.Decisions,
@@ -217,7 +245,13 @@ int main() {
       (unsigned long long)SolveCounters.Checks,
       (unsigned long long)SolveCounters.RowFillIn,
       (unsigned long long)SolveCounters.MaxRowNnz,
-      (unsigned long long)SolveCounters.DenNormalizations);
+      (unsigned long long)SolveCounters.DenNormalizations,
+      (unsigned long long)MbqiCounters.Candidates,
+      (unsigned long long)MbqiCounters.OuterSolves,
+      (unsigned long long)MbqiCounters.InnerQueries,
+      (unsigned long long)MbqiCounters.InstLemmas,
+      (unsigned long long)MbqiCounters.Blockers,
+      (unsigned long long)MbqiCounters.ContextReuses);
   Json += Counters;
 
   std::fputs(Json.c_str(), stdout);

@@ -7,21 +7,49 @@
 
 #include "lia/Mbqi.h"
 
+#include "lia/Incremental.h"
+
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <memory>
 
 using namespace postr;
 using namespace postr::lia;
 
 namespace {
-using Clock = std::chrono::steady_clock;
-} // namespace
 
-Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
-                              std::vector<int64_t> *ModelOut,
-                              const MbqiOptions &Opts) {
+using Clock = std::chrono::steady_clock;
+
+/// Shared per-run plumbing of both MBQI implementations: the deadline,
+/// the per-query budget derivation, and the fair size-bound schedule.
+struct MbqiRun {
+  Arena &A;
+  const MbqiQuery &Q;
+  const MbqiOptions &Opts;
+  MbqiStats Dummy;
+  MbqiStats &St;
   Clock::time_point Start = Clock::now();
-  auto TimedOut = [&] {
+  // Fair length-bound schedule: propose small candidates first. The
+  // size proxy (total transition count of the outer run) is bounded,
+  // escalated to unbounded on exhaustion; easy Sat instances finish
+  // within the first bound, and the final Unsat verdict is only ever
+  // drawn from the unbounded query.
+  LinTerm SizeTerm;
+  int64_t SizeBound = 16;
+  static constexpr int64_t MaxSizeBound = 64;
+
+  MbqiRun(Arena &A, const MbqiQuery &Q, const MbqiOptions &Opts)
+      : A(A), Q(Q), Opts(Opts), St(Opts.Stats ? *Opts.Stats : Dummy) {
+    if (!Q.BlockTerms.empty())
+      for (const LinTerm &T : Q.BlockTerms)
+        SizeTerm += T;
+    else
+      for (Var V : Q.OuterVars)
+        SizeTerm += LinTerm::variable(V);
+  }
+
+  bool timedOut() const {
     if (Opts.Qf.Cancel && Opts.Qf.Cancel->load(std::memory_order_relaxed))
       return true;
     if (Opts.TimeoutMs == 0)
@@ -29,8 +57,9 @@ Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                Clock::now() - Start)
                .count() >= static_cast<int64_t>(Opts.TimeoutMs);
-  };
-  auto RemainingQf = [&] {
+  }
+
+  QfOptions remainingQf() const {
     QfOptions O = Opts.Qf;
     if (Opts.TimeoutMs != 0) {
       int64_t Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -41,38 +70,76 @@ Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
       O.TimeoutMs = O.TimeoutMs == 0 ? Budget : std::min(O.TimeoutMs, Budget);
     }
     return O;
-  };
+  }
 
-  // Fair length-bound schedule: propose small candidates first. The
-  // size proxy (total transition count of the outer run) is bounded and
-  // doubled on exhaustion; easy Sat instances finish within the first
-  // bound, and the final Unsat verdict is only ever drawn from the
-  // unbounded query.
-  LinTerm SizeTerm;
-  if (!Q.BlockTerms.empty())
-    for (const LinTerm &T : Q.BlockTerms)
-      SizeTerm += T;
-  else
-    for (Var V : Q.OuterVars)
-      SizeTerm += LinTerm::variable(V);
-  int64_t SizeBound = 16;
-  const int64_t MaxSizeBound = 64; // one escalation, then unbounded
+  /// The κ := K instantiation lemma for block \p B (the heart of MBQI
+  /// [36]): the block demands, for THIS offset K, either K > Upper(#1)
+  /// or a witness run with a mismatch at K. The κ := K instance is
+  /// cloned with fresh inner variables — it prunes every future
+  /// candidate lacking a mismatch at K, and can make the outer side
+  /// unsatisfiable outright (the Unsat verdict depends on these lemmas,
+  /// not on candidate exhaustion).
+  FormulaId instantiationLemma(const ForallBlock &B, int64_t K) {
+    std::map<Var, Var> Fresh;
+    for (Var V : B.InnerVars)
+      Fresh.emplace(V, A.freshVar(A.varName(V) + "$i", A.varLo(V),
+                                  A.varHi(V)));
+    FormulaId Inst = A.substitute(B.Inner, [&](Var V) {
+      if (V == B.Kappa)
+        return LinTerm(K);
+      auto It = Fresh.find(V);
+      return LinTerm::variable(It == Fresh.end() ? V : It->second);
+    });
+    ++St.InstLemmas;
+    return A.disj({A.cmp(LinTerm(K), Cmp::Gt, B.Upper), Inst});
+  }
+
+  /// The blocking clause excluding outer model \p Model. Prefers the
+  /// semantic block terms, which rule out every run encoding the same
+  /// refuted content instead of just this run.
+  FormulaId blocker(const std::vector<int64_t> &Model) {
+    std::vector<FormulaId> Diff;
+    if (!Q.BlockTerms.empty()) {
+      Diff.reserve(Q.BlockTerms.size());
+      for (const LinTerm &T : Q.BlockTerms)
+        Diff.push_back(A.cmp(T, Cmp::Ne, LinTerm(T.eval(Model))));
+    } else {
+      Diff.reserve(Q.OuterVars.size());
+      for (Var V : Q.OuterVars)
+        Diff.push_back(
+            A.cmp(LinTerm::variable(V), Cmp::Ne, LinTerm(Model[V])));
+    }
+    ++St.Blockers;
+    return A.disj(std::move(Diff));
+  }
+};
+
+/// The scratch implementation: every outer candidate and every inner
+/// offset runs a from-scratch `solveQF` over a freshly re-conjoined
+/// formula. Retained as the semantics oracle the incremental path is
+/// property-tested against (and selectable via MbqiOptions::Incremental).
+Verdict solveMbqiScratch(Arena &A, const MbqiQuery &Q,
+                         std::vector<int64_t> *ModelOut,
+                         const MbqiOptions &Opts) {
+  MbqiRun R(A, Q, Opts);
 
   std::vector<FormulaId> Blockers;
   for (uint32_t Cand = 0; Cand < Opts.MaxCandidates; ++Cand) {
-    if (TimedOut())
+    if (R.timedOut())
       return Verdict::Unknown;
 
     QfResult Outer;
     for (;;) {
       std::vector<FormulaId> OuterParts{Q.Outer};
       OuterParts.insert(OuterParts.end(), Blockers.begin(), Blockers.end());
-      if (SizeBound <= MaxSizeBound)
+      if (R.SizeBound <= MbqiRun::MaxSizeBound)
         OuterParts.push_back(
-            A.cmp(SizeTerm, Cmp::Le, LinTerm(SizeBound)));
-      Outer = solveQF(A, A.conj(OuterParts), RemainingQf());
-      if (Outer.V == Verdict::Unsat && SizeBound <= MaxSizeBound) {
-        SizeBound = MaxSizeBound * 4; // exhausted below the bound: go unbounded
+            A.cmp(R.SizeTerm, Cmp::Le, LinTerm(R.SizeBound)));
+      ++R.St.OuterSolves;
+      Outer = solveQF(A, A.conj(OuterParts), R.remainingQf());
+      if (Outer.V == Verdict::Unsat && R.SizeBound <= MbqiRun::MaxSizeBound) {
+        // Exhausted below the bound: go unbounded.
+        R.SizeBound = MbqiRun::MaxSizeBound * 4;
         continue;
       }
       break;
@@ -85,13 +152,14 @@ Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
     }
     if (Outer.V == Verdict::Unknown)
       return Verdict::Unknown;
+    ++R.St.Candidates;
 
     // Pin the outer model for the inner queries.
     std::vector<FormulaId> Pin;
     Pin.reserve(Q.OuterVars.size());
     for (Var V : Q.OuterVars)
-      Pin.push_back(A.cmp(LinTerm::variable(V), Cmp::Eq,
-                          LinTerm(Outer.Model[V])));
+      Pin.push_back(
+          A.cmp(LinTerm::variable(V), Cmp::Eq, LinTerm(Outer.Model[V])));
     FormulaId PinF = A.conj(Pin);
 
     bool AllBlocksHold = true;
@@ -100,35 +168,18 @@ Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
       if (Upper > Opts.MaxOffsets)
         return Verdict::Unknown;
       for (int64_t K = 0; K <= Upper && AllBlocksHold; ++K) {
-        if (TimedOut())
+        if (R.timedOut())
           return Verdict::Unknown;
-        FormulaId KEq = A.cmp(LinTerm::variable(B.Kappa), Cmp::Eq,
-                              LinTerm(K));
+        FormulaId KEq =
+            A.cmp(LinTerm::variable(B.Kappa), Cmp::Eq, LinTerm(K));
+        ++R.St.InnerQueries;
         QfResult InnerR =
-            solveQF(A, A.conj({B.Inner, PinF, KEq}), RemainingQf());
+            solveQF(A, A.conj({B.Inner, PinF, KEq}), R.remainingQf());
         if (InnerR.V == Verdict::Unknown)
           return Verdict::Unknown;
         if (InnerR.V == Verdict::Unsat) {
           AllBlocksHold = false;
-          // Quantifier instantiation lemma (the heart of MBQI [36]):
-          // the block demands, for THIS offset K, either K > Upper(#1)
-          // or a witness run with a mismatch at K. Conjoin the κ := K
-          // instance with fresh inner variables — it prunes every
-          // future candidate lacking a mismatch at K, and can make the
-          // outer side unsatisfiable outright (the Unsat verdict below
-          // depends on these lemmas, not on candidate exhaustion).
-          std::map<Var, Var> Fresh;
-          for (Var V : B.InnerVars)
-            Fresh.emplace(V, A.freshVar(A.varName(V) + "$i",
-                                        A.varLo(V), A.varHi(V)));
-          FormulaId Inst = A.substitute(B.Inner, [&](Var V) {
-            if (V == B.Kappa)
-              return LinTerm(K);
-            auto It = Fresh.find(V);
-            return LinTerm::variable(It == Fresh.end() ? V : It->second);
-          });
-          Blockers.push_back(A.disj(
-              {A.cmp(LinTerm(K), Cmp::Gt, B.Upper), Inst}));
+          Blockers.push_back(R.instantiationLemma(B, K));
         }
       }
       if (!AllBlocksHold)
@@ -141,21 +192,152 @@ Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
       return Verdict::Sat;
     }
 
-    // Refuted: exclude this valuation and retry. Prefer the semantic
-    // block terms, which rule out every run encoding the same refuted
-    // content instead of just this run.
-    std::vector<FormulaId> Diff;
-    if (!Q.BlockTerms.empty()) {
-      Diff.reserve(Q.BlockTerms.size());
-      for (const LinTerm &T : Q.BlockTerms)
-        Diff.push_back(A.cmp(T, Cmp::Ne, LinTerm(T.eval(Outer.Model))));
-    } else {
-      Diff.reserve(Q.OuterVars.size());
-      for (Var V : Q.OuterVars)
-        Diff.push_back(A.cmp(LinTerm::variable(V), Cmp::Ne,
-                             LinTerm(Outer.Model[V])));
-    }
-    Blockers.push_back(A.disj(std::move(Diff)));
+    // Refuted: exclude this valuation and retry.
+    Blockers.push_back(R.blocker(Outer.Model));
   }
   return Verdict::Unknown;
+}
+
+/// The incremental implementation (ISSUE 4 tentpole): one persistent
+/// outer context accumulates blockers and instantiation lemmas as
+/// level-0 assertions (never re-conjoined, never re-encoded; the learnt
+/// clauses and the Simplex basis carry over), the size-bound schedule
+/// rides as an assumption whose presence in the final-conflict core
+/// tells bound exhaustion from genuine refutation without a second
+/// solve, and per-block inner contexts encode `B.Inner` once — each
+/// candidate pushes a scope with the model pin, each offset is a
+/// two-literal κ = K assumption, and the pop between candidates retracts
+/// only the pin.
+Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
+                             std::vector<int64_t> *ModelOut,
+                             const MbqiOptions &Opts) {
+  MbqiRun R(A, Q, Opts);
+
+  IncrementalContext Outer(A, Opts.Qf);
+  Outer.assertFormula(Q.Outer);
+  std::vector<std::unique_ptr<IncrementalContext>> Inner(Q.Blocks.size());
+
+  // Atom memos: repeated size bounds, pins, and offsets re-solve against
+  // the exact same formula ids, so the contexts' gate/atom caches hit
+  // and the arena does not accumulate duplicate nodes.
+  std::map<int64_t, FormulaId> SizeMemo;
+  std::map<std::pair<Var, int64_t>, FormulaId> PinMemo;
+  std::vector<std::map<int64_t, FormulaId>> KEqMemo(Q.Blocks.size());
+
+  for (uint32_t Cand = 0; Cand < Opts.MaxCandidates; ++Cand) {
+    if (R.timedOut())
+      return Verdict::Unknown;
+
+    QfResult OuterR;
+    for (;;) {
+      std::vector<FormulaId> Assumps;
+      if (R.SizeBound <= MbqiRun::MaxSizeBound) {
+        auto It = SizeMemo.find(R.SizeBound);
+        if (It == SizeMemo.end())
+          It = SizeMemo
+                   .emplace(R.SizeBound,
+                            A.cmp(R.SizeTerm, Cmp::Le, LinTerm(R.SizeBound)))
+                   .first;
+        Assumps.push_back(It->second);
+      }
+      Outer.setOptions(R.remainingQf());
+      if (Outer.numSolves() > 0)
+        ++R.St.ContextReuses;
+      ++R.St.OuterSolves;
+      OuterR = Outer.solve(Assumps);
+      if (OuterR.V == Verdict::Unsat && R.SizeBound <= MbqiRun::MaxSizeBound) {
+        // Exhausted below the bound. The assumption core says whether the
+        // bound even participated: if not, the refutation already holds
+        // unbounded and the scratch path's re-solve is unnecessary.
+        bool BoundBlamed = !Outer.unsatAssumptions().empty();
+        R.SizeBound = MbqiRun::MaxSizeBound * 4;
+        if (BoundBlamed)
+          continue;
+        break;
+      }
+      break;
+    }
+    if (OuterR.V == Verdict::Unsat)
+      return Verdict::Unsat;
+    if (OuterR.V == Verdict::Unknown)
+      return Verdict::Unknown;
+    ++R.St.Candidates;
+
+    // Pin the outer model for the inner queries.
+    std::vector<FormulaId> Pins;
+    Pins.reserve(Q.OuterVars.size());
+    for (Var V : Q.OuterVars) {
+      auto Key = std::make_pair(V, OuterR.Model[V]);
+      auto It = PinMemo.find(Key);
+      if (It == PinMemo.end())
+        It = PinMemo
+                 .emplace(Key, A.cmp(LinTerm::variable(V), Cmp::Eq,
+                                     LinTerm(OuterR.Model[V])))
+                 .first;
+      Pins.push_back(It->second);
+    }
+
+    bool AllBlocksHold = true;
+    for (size_t BI = 0; BI < Q.Blocks.size(); ++BI) {
+      const ForallBlock &B = Q.Blocks[BI];
+      int64_t Upper = B.Upper.eval(OuterR.Model);
+      if (Upper > Opts.MaxOffsets)
+        return Verdict::Unknown;
+      if (!Inner[BI]) {
+        Inner[BI] = std::make_unique<IncrementalContext>(A, Opts.Qf);
+        Inner[BI]->assertFormula(B.Inner);
+      }
+      IncrementalContext &IC = *Inner[BI];
+      IC.push();
+      for (FormulaId P : Pins)
+        IC.assertFormula(P);
+      for (int64_t K = 0; K <= Upper && AllBlocksHold; ++K) {
+        if (R.timedOut()) {
+          IC.pop();
+          return Verdict::Unknown;
+        }
+        auto It = KEqMemo[BI].find(K);
+        if (It == KEqMemo[BI].end())
+          It = KEqMemo[BI]
+                   .emplace(K, A.cmp(LinTerm::variable(B.Kappa), Cmp::Eq,
+                                     LinTerm(K)))
+                   .first;
+        IC.setOptions(R.remainingQf());
+        if (IC.numSolves() > 0)
+          ++R.St.ContextReuses;
+        ++R.St.InnerQueries;
+        QfResult InnerR = IC.solve({It->second});
+        if (InnerR.V == Verdict::Unknown) {
+          IC.pop();
+          return Verdict::Unknown;
+        }
+        if (InnerR.V == Verdict::Unsat) {
+          AllBlocksHold = false;
+          Outer.assertFormula(R.instantiationLemma(B, K));
+        }
+      }
+      IC.pop();
+      if (!AllBlocksHold)
+        break;
+    }
+
+    if (AllBlocksHold) {
+      if (ModelOut)
+        *ModelOut = std::move(OuterR.Model);
+      return Verdict::Sat;
+    }
+
+    // Refuted: exclude this valuation and retry.
+    Outer.assertFormula(R.blocker(OuterR.Model));
+  }
+  return Verdict::Unknown;
+}
+
+} // namespace
+
+Verdict postr::lia::solveMbqi(Arena &A, const MbqiQuery &Q,
+                              std::vector<int64_t> *ModelOut,
+                              const MbqiOptions &Opts) {
+  return Opts.Incremental ? solveMbqiIncremental(A, Q, ModelOut, Opts)
+                          : solveMbqiScratch(A, Q, ModelOut, Opts);
 }

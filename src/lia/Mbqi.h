@@ -48,6 +48,17 @@ struct ForallBlock {
   std::vector<Var> InnerVars;
 };
 
+/// Counters of one solveMbqi run, for benchmarks (`mbqi_counters` in
+/// BENCH_hotpath.json) and triage. Accumulates when reused across calls.
+struct MbqiStats {
+  uint64_t Candidates = 0;    ///< outer models proposed
+  uint64_t OuterSolves = 0;   ///< outer-context queries (incl. re-solves)
+  uint64_t InnerQueries = 0;  ///< per-offset inner queries
+  uint64_t InstLemmas = 0;    ///< quantifier-instantiation lemmas pushed
+  uint64_t Blockers = 0;      ///< model-blocking clauses pushed
+  uint64_t ContextReuses = 0; ///< solves served by an already-warm context
+};
+
 struct MbqiOptions {
   QfOptions Qf;
   /// Max outer candidate models to try before answering Unknown.
@@ -56,6 +67,15 @@ struct MbqiOptions {
   int64_t MaxOffsets = 4096;
   /// Optional overall deadline in milliseconds (0 = none).
   uint64_t TimeoutMs = 0;
+  /// Run on persistent IncrementalContexts (the default): one outer
+  /// context accumulates blockers and instantiation lemmas, per-block
+  /// inner contexts keep their encoding and pop only the pin/offset
+  /// between offsets. false = re-encode every query from scratch — kept
+  /// as the oracle for the incremental-vs-scratch property tests.
+  bool Incremental = true;
+  /// Optional counter sink (not synchronized — share only across
+  /// single-threaded solves).
+  MbqiStats *Stats = nullptr;
 };
 
 struct MbqiQuery {

@@ -532,7 +532,48 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> &Lemma) {
   return resolveConflict(CR);
 }
 
+void SatSolver::analyzeFinal(Lit P) {
+  // P is an assumption literal found false while re-establishing the
+  // assumption prefix. The core is the subset of assumptions whose joint
+  // propagation falsified it, P included. Every decision level currently
+  // on the trail is an assumption level (free decisions only exist above
+  // the full assumption prefix, and P's falseness is detected before any
+  // free decision of this descent), so reason-less trail literals above
+  // level 0 are exactly the co-responsible assumptions.
+  AssumpCore.clear();
+  AssumpCore.push_back(P);
+  if (TrailLim.empty())
+    return; // falsified by level-0 units alone: {P} is already a core
+  Seen[P.var()] = 1;
+  for (size_t I = Trail.size(); I > TrailLim[0]; --I) {
+    uint32_t V = Trail[I - 1].var();
+    if (!Seen[V])
+      continue;
+    Seen[V] = 0;
+    ClauseRef CR = Reason[V];
+    if (CR == NoClause) {
+      assert(Level[V] > 0 && "level-0 literal visited above TrailLim[0]");
+      AssumpCore.push_back(Trail[I - 1]);
+    } else {
+      // Expand the reason, skipping the implied literal itself (slot
+      // V): re-marking V here would leave a stale Seen bit behind the
+      // walk and poison the next first-UIP analysis.
+      for (Lit Q : Clauses[CR].Lits)
+        if (Q.var() != V && Level[Q.var()] > 0)
+          Seen[Q.var()] = 1;
+    }
+  }
+  Seen[P.var()] = 0; // may be stale when ~P was forced at level 0
+}
+
 SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
+  static const std::vector<Lit> NoAssumptions;
+  return solve(TheoryIn, NoAssumptions);
+}
+
+SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn,
+                                const std::vector<Lit> &Assumptions) {
+  AssumpCore.clear();
   if (Unsatisfiable)
     return Res::Unsat;
   // Derive the first clause-DB reduction cap from the instance: a fixed
@@ -572,22 +613,43 @@ SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
           continue;
         }
       }
-      Lit Next = pickBranchLit();
-      if (Next.Code == ~0u) {
-        if (Theory) {
-          TheoryLemmaScratch.clear();
-          TheoryClient::TRes TR = Theory->onFinalModel(TheoryLemmaScratch);
-          if (TR == TheoryClient::TRes::Abort)
-            return Res::Abort;
-          if (TR == TheoryClient::TRes::Conflict) {
-            if (!handleTheoryConflict(TheoryLemmaScratch))
-              return Res::Unsat;
-            continue;
-          }
+      // Re-establish the assumption prefix before any free decision:
+      // assumption k is decided at level k+1 (an already-true assumption
+      // gets an empty "dummy" level so the level↔assumption mapping and
+      // the analyzeFinal invariant stay intact after backjumps/restarts).
+      Lit Next;
+      bool HaveAssumption = false;
+      while (TrailLim.size() < Assumptions.size()) {
+        Lit Assume = Assumptions[TrailLim.size()];
+        if (valueIsTrue(Assume)) {
+          TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+        } else if (valueIsFalse(Assume)) {
+          analyzeFinal(Assume);
+          return Res::Unsat;
+        } else {
+          Next = Assume;
+          HaveAssumption = true;
+          break;
         }
-        return Res::Sat;
       }
-      ++Stats.Decisions;
+      if (!HaveAssumption) {
+        Next = pickBranchLit();
+        if (Next.Code == ~0u) {
+          if (Theory) {
+            TheoryLemmaScratch.clear();
+            TheoryClient::TRes TR = Theory->onFinalModel(TheoryLemmaScratch);
+            if (TR == TheoryClient::TRes::Abort)
+              return Res::Abort;
+            if (TR == TheoryClient::TRes::Conflict) {
+              if (!handleTheoryConflict(TheoryLemmaScratch))
+                return Res::Unsat;
+              continue;
+            }
+          }
+          return Res::Sat;
+        }
+        ++Stats.Decisions;
+      }
       TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
       enqueue(Next, NoClause);
     }

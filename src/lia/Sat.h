@@ -12,7 +12,11 @@
 /// learning with self-subsuming minimization, LBD-tagged learnt clauses
 /// with periodic clause-DB reduction, Luby restarts. Supports incremental
 /// clause addition between solve() calls, which is how theory conflicts
-/// (blocking clauses) are fed back.
+/// (blocking clauses) are fed back, and MiniSat-style solving under
+/// assumptions: assumption literals are decided before any free decision,
+/// learnt clauses / VSIDS activity / saved phases persist across calls,
+/// and an Unsat answer under assumptions comes with the subset of the
+/// assumptions the final conflict depends on (`assumptionCore`).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -97,6 +101,24 @@ public:
   /// conflict analysis exactly like boolean conflicts.
   Res solve(TheoryClient *Theory = nullptr);
 
+  /// Solves under \p Assumptions: each literal is decided (in order) at
+  /// its own decision level before any free decision, so everything
+  /// learned is valid for the unassumed clause set and survives into
+  /// later calls. An Unsat answer either means the clause set itself
+  /// became unsatisfiable (`globallyUnsat()`) or that the assumptions
+  /// are jointly inconsistent with it — then `assumptionCore()` holds
+  /// the culprits.
+  Res solve(TheoryClient *Theory, const std::vector<Lit> &Assumptions);
+
+  /// After solve(..., Assumptions) returned Unsat with !globallyUnsat():
+  /// a subset of the assumption literals whose conjunction the clause set
+  /// refutes (the negation of MiniSat's final conflict clause).
+  const std::vector<Lit> &assumptionCore() const { return AssumpCore; }
+
+  /// True once the clause set is unsatisfiable independent of any
+  /// assumptions (sticky: every later solve() returns Unsat).
+  bool globallyUnsat() const { return Unsatisfiable; }
+
   /// Sets the phase the next decision on \p Var will try first (phase
   /// saving overwrites it once the variable has been assigned). Theory
   /// clients use this to steer splitting-on-demand downward, toward the
@@ -160,6 +182,12 @@ private:
   /// Integrates a falsified theory lemma mid-search; false → UNSAT.
   /// Operates in place on \p Lemma (a reusable caller buffer).
   bool handleTheoryConflict(std::vector<Lit> &Lemma);
+  /// Fills AssumpCore with the assumptions responsible for falsifying
+  /// assumption literal \p P (MiniSat's analyzeFinal): walks the trail
+  /// from the top, expanding reasons, collecting reason-less decisions —
+  /// which are all assumptions whenever this is called, because free
+  /// decisions only happen above the assumption levels.
+  void analyzeFinal(Lit P);
   /// True when `Learnt[I]` is implied by the rest of the learnt clause
   /// (its reason's literals are all seen or at level 0) and can be
   /// dropped — one-step self-subsuming resolution.
@@ -213,6 +241,7 @@ private:
   std::vector<uint8_t> RedundantScratch;
   std::vector<Lit> LearntScratch;
   std::vector<Lit> TheoryLemmaScratch;
+  std::vector<Lit> AssumpCore;
   std::vector<uint32_t> LevelStamp;
   uint32_t Stamp = 0;
   bool Unsatisfiable = false;

@@ -8,6 +8,7 @@
 #include "lia/Simplex.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -24,10 +25,19 @@ PivotRule ruleFromEnv() {
   const char *E = std::getenv("POSTR_SIMPLEX_PIVOT_RULE");
   if (!E)
     return PivotRule::Bland;
+  if (!std::strcmp(E, "markowitz"))
+    return PivotRule::Markowitz;
   if (!std::strcmp(E, "sparsest") || !std::strcmp(E, "sparsest-row"))
     return PivotRule::SparsestRow;
   if (!std::strcmp(E, "violated") || !std::strcmp(E, "most-violated"))
     return PivotRule::MostViolated;
+  if (std::strcmp(E, "bland") != 0)
+    // A typo must not silently record Bland numbers under another
+    // rule's name in an A/B table.
+    std::fprintf(stderr,
+                 "postr: unrecognized POSTR_SIMPLEX_PIVOT_RULE '%s', "
+                 "using bland\n",
+                 E);
   return PivotRule::Bland;
 }
 
@@ -49,6 +59,38 @@ Simplex::Simplex(uint32_t NumProblemVars)
       ColCount(NumProblemVars, 0) {
   ColNz.resize(NumProblemVars);
   InColNz.resize(NumProblemVars);
+  Integral.resize(NumProblemVars);
+  for (uint32_t V = 0; V < NumProblemVars; ++V)
+    Integral[V] = V;
+}
+
+uint32_t Simplex::addProblemVar(int64_t LoV, int64_t HiV) {
+  uint32_t X = NumVars++;
+  RowOf.push_back(~0u);
+  Beta.push_back(Rational::zero());
+  Lo.push_back(std::nullopt);
+  Hi.push_back(std::nullopt);
+  LoReason.push_back(NoReason);
+  HiReason.push_back(NoReason);
+  InViolQueue.push_back(0);
+  ColCount.push_back(0);
+  ColNz.emplace_back();
+  InColNz.emplace_back();
+  Integral.push_back(X);
+  // The new variable is nonbasic with β = 0 and appears in no row, so
+  // the basis and every row value stay valid. Intrinsic bounds may move
+  // β off 0 (updateNonbasic), which keeps the rows consistent too.
+  if (LoV != INT64_MIN) {
+    bool Ok = assertLower(X, Rational(LoV));
+    assert(Ok && "conflicting intrinsic lower bound");
+    (void)Ok;
+  }
+  if (HiV != INT64_MAX) {
+    bool Ok = assertUpper(X, Rational(HiV));
+    assert(Ok && "conflicting intrinsic upper bound");
+    (void)Ok;
+  }
+  return X;
 }
 
 void Simplex::setIntrinsicBounds(Var V, int64_t LoV, int64_t HiV) {
@@ -97,11 +139,13 @@ Rational Simplex::rowCoeff(uint32_t R, uint32_t X) const {
   return Rational(Row.Nums[I], Row.Den);
 }
 
-uint32_t Simplex::rowFor(const LinTerm &T) {
+uint32_t Simplex::rowFor(const LinTerm &T) { return rowFor(T.coeffs()); }
+
+uint32_t Simplex::rowFor(const std::vector<std::pair<Var, int64_t>> &Coeffs) {
   // A single-variable unit term needs no slack row.
-  if (T.coeffs().size() == 1 && T.coeffs().front().second == 1)
-    return T.coeffs().front().first;
-  auto It = TermToVar.find(T.coeffs());
+  if (Coeffs.size() == 1 && Coeffs.front().second == 1)
+    return Coeffs.front().first;
+  auto It = TermToVar.find(Coeffs);
   if (It != TermToVar.end())
     return It->second;
 
@@ -134,7 +178,7 @@ uint32_t Simplex::rowFor(const LinTerm &T) {
     DenseScratch[X] += V;
   };
   Rational Value = Rational::zero();
-  for (auto [V, C] : T.coeffs()) {
+  for (auto [V, C] : Coeffs) {
     Rational Coef(C);
     if (!isBasic(V)) {
       Add(V, Coef);
@@ -168,7 +212,7 @@ uint32_t Simplex::rowFor(const LinTerm &T) {
     noteColNonzero(NewRow, X);
   BasicVar.push_back(Slack);
   Beta.push_back(Value);
-  TermToVar.emplace(T.coeffs(), Slack);
+  TermToVar.emplace(Coeffs, Slack);
   return Slack;
 }
 
@@ -408,17 +452,49 @@ bool Simplex::pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V) {
   return true;
 }
 
+uint32_t Simplex::selectEntering(uint32_t B, bool NeedIncrease,
+                                 bool Bland) const {
+  const SparseRow &Row = Tableau[RowOf[B]];
+  uint32_t N = ~0u;
+  for (size_t I = 0; I < Row.size(); ++I) {
+    uint32_t X = Row.Cols[I];
+    if (X == B || isBasic(X))
+      continue;
+    bool Pos = Row.Nums[I] > 0; // Den > 0: numerator sign = coeff sign
+    bool CanUse;
+    if (NeedIncrease)
+      CanUse = (Pos && (!Hi[X] || Beta[X] < *Hi[X])) ||
+               (!Pos && (!Lo[X] || Beta[X] > *Lo[X]));
+    else
+      CanUse = (!Pos && (!Hi[X] || Beta[X] < *Hi[X])) ||
+               (Pos && (!Lo[X] || Beta[X] > *Lo[X]));
+    if (!CanUse)
+      continue;
+    if (N == ~0u ||
+        (Bland ? X < N : ColCount[X] < ColCount[N] ||
+                             (ColCount[X] == ColCount[N] && X < N)))
+      N = X;
+  }
+  return N;
+}
+
 bool Simplex::checkRational() {
   ++Stats.Checks;
   // Leaving variable: Bland's smallest violated basic by default, with
-  // sparsest-row / most-violated behind POSTR_SIMPLEX_PIVOT_RULE (both
-  // blow up on some workload instances — A/B over bench/workloads before
+  // markowitz / sparsest-row / most-violated behind
+  // POSTR_SIMPLEX_PIVOT_RULE (each wins somewhere and blows up somewhere
+  // else — A/B over bench/workloads with bench/ab_pivot_rules.sh before
   // changing the default; see ROADMAP). Entering variable: the eligible
-  // column with the fewest tableau nonzeros (anti-fill-in) while the
-  // run is short. Past the threshold both selections fall back to
-  // Bland's smallest-index — which terminates unconditionally.
+  // column with the fewest tableau nonzeros (anti-fill-in) while the run
+  // is short. Past the threshold every selection falls back to Bland's
+  // smallest-index — which terminates unconditionally.
   uint64_t PivotsThisCheck = 0;
   const uint64_t BlandThreshold = 256;
+  // The Markowitz selection has no anti-cycling guarantee and its free
+  // choice among violated rows can wander on degenerate vertices, so it
+  // only steers the first pivots of a restoration — where the fill-in
+  // damage is done — before handing over to Bland's convergent order.
+  const uint64_t MarkowitzThreshold = 24;
   for (;;) {
     // A single feasibility restoration can pivot for a long time on
     // adversarial tableaus; poll the interrupt and bail out claiming
@@ -428,10 +504,7 @@ bool Simplex::checkRational() {
     if (Interrupt && (PivotsThisCheck & 15) == 15 && Interrupt())
       return true;
     bool Bland = PivotsThisCheck >= BlandThreshold;
-    uint32_t B = ~0u;
-    bool NeedIncrease = false;
-    Rational BestViol;
-    size_t BestNnz = 0;
+    // Compact the lazy queue: verify entries, drop the feasible ones.
     size_t Keep = 0;
     for (size_t I = 0; I < ViolQueue.size(); ++I) {
       uint32_t X = ViolQueue[I];
@@ -442,52 +515,75 @@ bool Simplex::checkRational() {
         continue;
       }
       ViolQueue[Keep++] = X;
-      bool Better;
-      if (Bland || Rule == PivotRule::Bland) {
-        Better = B == ~0u || X < B;
-      } else if (Rule == PivotRule::SparsestRow) {
-        size_t Nnz = Tableau[RowOf[X]].size();
-        Better = B == ~0u || Nnz < BestNnz || (Nnz == BestNnz && X < B);
-        if (Better)
-          BestNnz = Nnz;
-      } else { // PivotRule::MostViolated
-        Rational V = ViolLo ? *Lo[X] - Beta[X] : Beta[X] - *Hi[X];
-        Better = B == ~0u || BestViol < V || (!(V < BestViol) && X < B);
-        if (Better)
-          BestViol = V;
-      }
-      if (Better) {
-        B = X;
-        NeedIncrease = ViolLo;
-      }
     }
     ViolQueue.resize(Keep);
-    if (B == ~0u)
+    if (Keep == 0)
       return true;
+
+    uint32_t B = ~0u;
+    bool NeedIncrease = false;
+    uint32_t MarkowitzN = ~0u; ///< entering pick when Markowitz chose B
+    // The Markowitz rule exercises leaving-choice freedom only where it
+    // genuinely exists — several rows violated at once (bound bursts,
+    // warm-start restorations) and early in the restoration. The
+    // single-violation DPLL(T) step and long degenerate runs stay on
+    // Bland's convergent order (free choice has no anti-cycling
+    // guarantee and was observed wandering on degenerate vertices).
+    bool Markowitz = !Bland && Rule == PivotRule::Markowitz && Keep >= 2 &&
+                     PivotsThisCheck < MarkowitzThreshold;
+    if (Bland || Rule == PivotRule::Bland ||
+        (Rule == PivotRule::Markowitz && !Markowitz)) {
+      for (uint32_t X : ViolQueue)
+        if (B == ~0u || X < B)
+          B = X;
+    } else if (Markowitz) {
+      uint64_t BestCost = 0;
+      for (uint32_t X : ViolQueue) {
+        bool ViolLo = Lo[X] && Beta[X] < *Lo[X];
+        // A violated row with no eligible entering column certifies
+        // infeasibility — take it immediately (cost "-1", smallest index
+        // on ties) so the conflict path below fires deterministically.
+        uint32_t NX = selectEntering(X, ViolLo, /*Bland=*/false);
+        uint64_t Cost =
+            NX == ~0u
+                ? 0
+                : 1 + static_cast<uint64_t>(Tableau[RowOf[X]].size() - 1) *
+                          (ColCount[NX] > 0 ? ColCount[NX] - 1 : 0);
+        if (B == ~0u || Cost < BestCost || (Cost == BestCost && X < B)) {
+          BestCost = Cost;
+          MarkowitzN = NX;
+          B = X;
+          NeedIncrease = ViolLo;
+        }
+      }
+    } else if (Rule == PivotRule::SparsestRow) {
+      size_t BestNnz = 0;
+      for (uint32_t X : ViolQueue) {
+        size_t Nnz = Tableau[RowOf[X]].size();
+        if (B == ~0u || Nnz < BestNnz || (Nnz == BestNnz && X < B)) {
+          BestNnz = Nnz;
+          B = X;
+        }
+      }
+    } else { // PivotRule::MostViolated
+      Rational BestViol;
+      for (uint32_t X : ViolQueue) {
+        bool ViolLo = Lo[X] && Beta[X] < *Lo[X];
+        Rational V = ViolLo ? *Lo[X] - Beta[X] : Beta[X] - *Hi[X];
+        if (B == ~0u || BestViol < V || (!(V < BestViol) && X < B)) {
+          BestViol = V;
+          B = X;
+        }
+      }
+    }
+    if (!Markowitz)
+      NeedIncrease = Lo[B] && Beta[B] < *Lo[B];
     ++PivotsThisCheck;
 
-    const SparseRow &Row = Tableau[RowOf[B]];
-    uint32_t N = ~0u;
-    for (size_t I = 0; I < Row.size(); ++I) {
-      uint32_t X = Row.Cols[I];
-      if (X == B || isBasic(X))
-        continue;
-      bool Pos = Row.Nums[I] > 0; // Den > 0: numerator sign = coeff sign
-      bool CanUse;
-      if (NeedIncrease)
-        CanUse = (Pos && (!Hi[X] || Beta[X] < *Hi[X])) ||
-                 (!Pos && (!Lo[X] || Beta[X] > *Lo[X]));
-      else
-        CanUse = (!Pos && (!Hi[X] || Beta[X] < *Hi[X])) ||
-                 (Pos && (!Lo[X] || Beta[X] > *Lo[X]));
-      if (!CanUse)
-        continue;
-      if (N == ~0u ||
-          (Bland ? X < N : ColCount[X] < ColCount[N] ||
-                               (ColCount[X] == ColCount[N] && X < N)))
-        N = X;
-    }
+    uint32_t N =
+        Markowitz ? MarkowitzN : selectEntering(B, NeedIncrease, Bland);
     if (N == ~0u) {
+      const SparseRow &Row = Tableau[RowOf[B]];
       // The row of B certifies infeasibility: B's violated bound plus the
       // bound every nonbasic row variable is stuck at.
       Conflict.clear();
@@ -553,10 +649,10 @@ TheoryResult Simplex::branch(std::vector<int64_t> &ModelOut,
     return TheoryResult::Unsat;
   }
 
-  // Find an original variable with a fractional value. Slack variables
-  // are integer combinations of originals, so they need no branching.
+  // Find a problem variable with a fractional value. Slack variables
+  // are integer combinations of problem vars, so they need no branching.
   uint32_t Frac = ~0u;
-  for (uint32_t V = 0; V < NumProblemVars; ++V)
+  for (uint32_t V : Integral)
     if (!Beta[V].isInteger()) {
       Frac = V;
       break;
@@ -566,9 +662,9 @@ TheoryResult Simplex::branch(std::vector<int64_t> &ModelOut,
     // spuriously; never hand out a model without re-checking.
     if (Interrupt && Interrupt())
       return TheoryResult::Unknown;
-    ModelOut.resize(NumProblemVars);
-    for (uint32_t V = 0; V < NumProblemVars; ++V)
-      ModelOut[V] = Beta[V].asInt64();
+    ModelOut.resize(Integral.size());
+    for (size_t Ord = 0; Ord < Integral.size(); ++Ord)
+      ModelOut[Ord] = Beta[Integral[Ord]].asInt64();
     return TheoryResult::Sat;
   }
 

@@ -49,12 +49,21 @@ enum class TheoryResult { Sat, Unsat, Unknown };
 /// Leaving-variable selection rule for the feasibility loop. The rules
 /// are extremely instance-sensitive on the tag-framework workloads (see
 /// ROADMAP), so they are an A/B flag — `POSTR_SIMPLEX_PIVOT_RULE` =
-/// `bland` | `sparsest` | `violated` — rather than a code fork. Entering
-/// selection (anti-fill-in with a Bland fallback) is unaffected, and
-/// every rule degrades to Bland's — which terminates unconditionally —
-/// once a single check loops past its pivot threshold.
+/// `markowitz` | `bland` | `sparsest` | `violated` — rather than a code
+/// fork. Every rule degrades to Bland's — which terminates
+/// unconditionally — once a single check loops past its pivot threshold.
 enum class PivotRule : uint8_t {
-  Bland,        ///< smallest violated basic index (default)
+  Bland, ///< smallest violated basic index (default)
+  /// Among the violated basics (when several are violated at once — the
+  /// only place leaving-choice freedom exists), choose the (leaving row,
+  /// entering column) pair minimizing the Markowitz fill-in proxy
+  /// (row_nnz − 1)·(col_nnz − 1); ties break toward the smaller basic
+  /// index, and long restorations degrade to Bland's convergent order.
+  /// Wins the pure-Parikh `solve` microbench (−26% row_fill_in, −28%
+  /// time) but loses badly on the thefuck word-equation instances, so
+  /// Bland stays the default — see the ab_pivot_rules.sh table in
+  /// ROADMAP.
+  Markowitz,
   SparsestRow,  ///< violated basic with the fewest row nonzeros
   MostViolated, ///< violated basic with the largest bound violation
 };
@@ -81,10 +90,24 @@ public:
   /// counters are >= 0). INT64_MIN / INT64_MAX mean unbounded.
   void setIntrinsicBounds(Var V, int64_t Lo, int64_t Hi);
 
+  /// Appends a fresh *problem* (integral, branch-and-bound-relevant)
+  /// variable after construction and returns its extended index. This is
+  /// how incremental contexts grow the tableau when the arena mints
+  /// variables between solves: the new variable starts nonbasic at 0 with
+  /// the given intrinsic bounds, no existing row is touched, and the
+  /// current basis stays valid. Note the returned index is in the
+  /// *extended* numbering (it lands after any slack already registered),
+  /// so callers maintain their own arena-var → extended-var map.
+  uint32_t addProblemVar(int64_t Lo = INT64_MIN, int64_t Hi = INT64_MAX);
+
   /// Registers the linear part of \p T (its constant is ignored) and
   /// returns the index of the extended variable carrying its value.
   /// Duplicate terms share one slack variable.
   uint32_t rowFor(const LinTerm &T);
+  /// Same, over an explicit (sorted, zero-free) coefficient vector in
+  /// *extended*-variable space — the incremental context uses this after
+  /// translating arena variables through its own map.
+  uint32_t rowFor(const std::vector<std::pair<Var, int64_t>> &Coeffs);
 
   /// Opaque token attached to an asserted bound; conflict explanations
   /// report the tokens of the bounds involved. NoReason-tagged bounds
@@ -127,8 +150,9 @@ public:
   /// checkRational failure, deduplicated, NoReason entries dropped.
   const std::vector<uint32_t> &conflictReasons() const { return Conflict; }
 
-  /// Integer feasibility via branch-and-bound on the original variables.
-  /// On Sat, \p ModelOut receives values for the original variables. On
+  /// Integer feasibility via branch-and-bound on the problem variables
+  /// (constructor-time originals plus addProblemVar additions, in
+  /// registration order — which is how ModelOut is indexed). On
   /// Unsat, `conflictReasons()` holds the union of the leaf explanations
   /// of the refutation tree — a valid integer-infeasibility core over the
   /// asserted bounds (the branch splits x ≤ f ∨ x ≥ f+1 are integer-valid
@@ -187,6 +211,11 @@ private:
   };
 
   bool isBasic(uint32_t X) const { return RowOf[X] != ~0u; }
+  /// Best entering column for leaving variable \p B (violated on its
+  /// lower bound when \p NeedIncrease): fewest tableau nonzeros, smaller
+  /// index on ties; plain smallest index under \p Bland. ~0u when no
+  /// column is eligible — B's row then certifies infeasibility.
+  uint32_t selectEntering(uint32_t B, bool NeedIncrease, bool Bland) const;
   void pivot(uint32_t B, uint32_t N);
   void updateNonbasic(uint32_t N, const Rational &V);
   bool pivotAndUpdate(uint32_t B, uint32_t N, const Rational &V);
@@ -208,6 +237,11 @@ private:
 
   uint32_t NumProblemVars;
   uint32_t NumVars; ///< original + slack
+  /// Extended indices of the problem (integral) variables, in
+  /// registration order: [0, NumProblemVars) then every addProblemVar.
+  /// branch() searches these for fractional values and writes ModelOut
+  /// in this order.
+  std::vector<uint32_t> Integral;
 
   /// Rows: for each basic variable B, Beta[B] == value of row RowOf[B]
   /// under the nonbasic assignment. Sparse — see SparseRow.

@@ -7,467 +7,21 @@
 
 #include "lia/Solver.h"
 
-#include "base/Hash.h"
-#include "lia/Sat.h"
-#include "lia/Simplex.h"
-
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <memory>
-#include <unordered_map>
+#include "lia/Incremental.h"
 
 using namespace postr;
 using namespace postr::lia;
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// One distinct theory atom `Term + Const <= 0` together with its SAT
-/// variable.
-struct TheoryAtom {
-  LinTerm Term;
-  uint32_t SatVar;
-  uint32_t SimplexRow; ///< extended var carrying the linear part
-};
-
-/// Online DPLL(T) engine: the boolean structure is Tseitin-encoded into
-/// the CDCL core, and this class — registered as the core's
-/// TheoryClient — mirrors every assigned atom literal into Simplex
-/// bounds as the trail grows. Rational infeasibility is detected
-/// immediately and explained by a small theory lemma extracted from the
-/// conflicting tableau row; the (rare) integrality conflicts are found by
-/// branch-and-bound on full boolean models.
-class QfEngine : public TheoryClient {
-public:
-  QfEngine(Arena &A, FormulaId F, const QfOptions &Opts,
-           const ModelRefiner &Refine)
-      : A(A), Opts(Opts), Refine(Refine), Root(A.lower(F)) {}
-
-  QfResult run();
-
-  TRes onAssign(const std::vector<Lit> &Trail, size_t From,
-                std::vector<Lit> &ConflictOut) override;
-  void onBacktrack(size_t NewTrailSize) override;
-  TRes onFinalModel(std::vector<Lit> &ConflictOut) override;
-
-private:
-  Lit encode(FormulaId F);
-  uint32_t atomVar(FormulaId F);
-  uint32_t atomVarForTerm(const LinTerm &T);
-  void addLatticeLemmas();
-  /// Negations of the reason literals Simplex reports — a theory lemma.
-  /// Fills the caller-owned buffer in place (no per-conflict allocation;
-  /// the SAT core hands the same scratch vector to every callback).
-  static void lemmaFromReasons(const std::vector<uint32_t> &Rs,
-                               std::vector<Lit> &Out) {
-    Out.clear();
-    Out.reserve(Rs.size());
-    for (uint32_t Code : Rs) {
-      Lit L;
-      L.Code = Code;
-      Out.push_back(~L);
-    }
-  }
-  bool timedOut() const {
-    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed))
-      return true;
-    if (Opts.TimeoutMs == 0)
-      return false;
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               Clock::now() - Start)
-               .count() >= static_cast<int64_t>(Opts.TimeoutMs);
-  }
-
-  Arena &A;
-  QfOptions Opts;
-  const ModelRefiner &Refine;
-  FormulaId Root;
-  SatSolver Sat;
-  /// Memoized Tseitin gates: FormulaId -> encoded literal (shared
-  /// subformulas encode once).
-  std::unordered_map<FormulaId, Lit> GateOf;
-  std::unique_ptr<Simplex> Theory;
-  std::vector<TheoryAtom> Atoms;
-  std::unordered_map<
-      std::pair<std::vector<std::pair<Var, int64_t>>, int64_t>, uint32_t,
-      AtomKeyHash>
-      AtomIndex; ///< (coeffs, const) -> index into Atoms
-  std::vector<uint32_t> AtomOfSatVar; ///< SAT var -> atom index or ~0u
-  /// Undo bookkeeping: for every trail literal that tightened a Simplex
-  /// bound, the trail position, the Simplex mark to roll back to, and the
-  /// literal itself (for the coarse integrality lemma).
-  struct AssertRecord {
-    size_t TrailPos;
-    size_t Mark;
-    Lit L;
-  };
-  std::vector<AssertRecord> Asserted;
-  std::vector<int64_t> FinalModel;
-  uint32_t TheoryConflicts = 0;
-  // Triage counters (printed under POSTR_QF_STATS).
-  uint64_t NumOnAssign = 0, NumRationalChecks = 0, NumFinalChecks = 0,
-           NumSplits = 0;
-  Clock::time_point Start = Clock::now();
-  Clock::time_point LastTrace = Clock::now();
-
-  void trace(const char *Where, size_t TrailSize) {
-    if (!std::getenv("POSTR_QF_STATS"))
-      return;
-    Clock::time_point Now = Clock::now();
-    if (Now - LastTrace < std::chrono::seconds(1))
-      return;
-    LastTrace = Now;
-    std::fprintf(stderr,
-                 "[qf-trace] %s assign=%llu lp=%llu piv=%llu scan=%llu final=%llu "
-                 "split=%llu tconf=%u trail=%zu asserted=%zu\n",
-                 Where, (unsigned long long)NumOnAssign,
-                 (unsigned long long)NumRationalChecks,
-                 (unsigned long long)(Theory ? Theory->numPivots() : 0),
-                 (unsigned long long)(Theory ? Theory->numChecks() : 0),
-                 (unsigned long long)NumFinalChecks,
-                 (unsigned long long)NumSplits, TheoryConflicts, TrailSize,
-                 Asserted.size());
-  }
-};
-
-uint32_t QfEngine::atomVarForTerm(const LinTerm &T) {
-  auto Key = std::make_pair(T.coeffs(), T.constant());
-  auto It = AtomIndex.find(Key);
-  if (It != AtomIndex.end())
-    return Atoms[It->second].SatVar;
-  TheoryAtom TA;
-  TA.Term = T;
-  TA.SatVar = Sat.newVar();
-  TA.SimplexRow = ~0u; // filled in before solving / on-demand later
-  AtomOfSatVar.resize(Sat.numVars(), ~0u);
-  AtomOfSatVar[TA.SatVar] = static_cast<uint32_t>(Atoms.size());
-  AtomIndex.emplace(std::move(Key), static_cast<uint32_t>(Atoms.size()));
-  Atoms.push_back(std::move(TA));
-  return Atoms.back().SatVar;
-}
-
-uint32_t QfEngine::atomVar(FormulaId F) {
-  assert(A.kind(F) == FKind::Atom && A.atomCmp(F) == Cmp::Le &&
-         "expected lowered atom");
-  return atomVarForTerm(A.atomTerm(F));
-}
-
-Lit QfEngine::encode(FormulaId F) {
-  auto Memo = GateOf.find(F);
-  if (Memo != GateOf.end())
-    return Memo->second;
-  Lit Encoded = [&] {
-    switch (A.kind(F)) {
-    case FKind::Atom:
-      return Lit(atomVar(F), /*Negated=*/false);
-    case FKind::And: {
-      uint32_t G = Sat.newVar();
-      for (FormulaId C : A.children(F)) {
-        Lit LC = encode(C);
-        Sat.addClause({Lit(G, true), LC});
-      }
-      return Lit(G, false);
-    }
-    case FKind::Or: {
-      uint32_t G = Sat.newVar();
-      std::vector<Lit> Clause{Lit(G, true)};
-      for (FormulaId C : A.children(F))
-        Clause.push_back(encode(C));
-      Sat.addClause(std::move(Clause));
-      return Lit(G, false);
-    }
-    case FKind::True: {
-      uint32_t G = Sat.newVar();
-      Sat.addClause({Lit(G, false)});
-      return Lit(G, false);
-    }
-    case FKind::False: {
-      uint32_t G = Sat.newVar();
-      Sat.addClause({Lit(G, true)});
-      return Lit(G, false);
-    }
-    case FKind::Not:
-      assert(false && "lowered formula contains Not");
-      return Lit();
-    }
-    assert(false && "bad kind");
-    return Lit();
-  }();
-  AtomOfSatVar.resize(Sat.numVars(), ~0u);
-  GateOf[F] = Encoded;
-  return Encoded;
-}
-
-void QfEngine::addLatticeLemmas() {
-  // Static atom-lattice lemmas: theory-valid clauses between atoms that
-  // share a linear part, so the SAT core never explores boolean models
-  // that are trivially theory-inconsistent.
-  std::map<std::vector<std::pair<Var, int64_t>>, std::vector<uint32_t>>
-      ByCoeffs;
-  for (uint32_t I = 0; I < Atoms.size(); ++I)
-    ByCoeffs[Atoms[I].Term.coeffs()].push_back(I);
-  for (auto &[Coeffs, Group] : ByCoeffs) {
-    // Within a group, t + c <= 0 with larger c is stronger: chain
-    // implications from stronger to weaker (transitively complete).
-    std::sort(Group.begin(), Group.end(), [&](uint32_t X, uint32_t Y) {
-      return Atoms[X].Term.constant() > Atoms[Y].Term.constant();
-    });
-    for (size_t I = 0; I + 1 < Group.size(); ++I)
-      Sat.addClause({Lit(Atoms[Group[I]].SatVar, true),
-                     Lit(Atoms[Group[I + 1]].SatVar, false)});
-    // Against the negated-coefficients group: t + c <= 0 and
-    // -t + c' <= 0 clash iff c + c' > 0.
-    std::vector<std::pair<Var, int64_t>> Neg = Coeffs;
-    for (auto &[V, K] : Neg)
-      K = -K;
-    if (Neg < Coeffs)
-      continue; // handle each unordered pair once
-    auto It = ByCoeffs.find(Neg);
-    if (It == ByCoeffs.end())
-      continue;
-    if (Group.size() * It->second.size() > 4096)
-      continue; // quadratic pairing not worth it on huge groups
-    for (uint32_t X : Group)
-      for (uint32_t Y : It->second)
-        if (Atoms[X].Term.constant() + Atoms[Y].Term.constant() > 0)
-          Sat.addClause({Lit(Atoms[X].SatVar, true),
-                         Lit(Atoms[Y].SatVar, true)});
-  }
-}
-
-TheoryClient::TRes QfEngine::onAssign(const std::vector<Lit> &Trail,
-                                      size_t From,
-                                      std::vector<Lit> &ConflictOut) {
-  if (timedOut())
-    return TRes::Abort;
-  ++NumOnAssign;
-  trace("assign", Trail.size());
-  bool Changed = false;
-  for (size_t I = From; I < Trail.size(); ++I) {
-    Lit L = Trail[I];
-    uint32_t AtomIdx =
-        L.var() < AtomOfSatVar.size() ? AtomOfSatVar[L.var()] : ~0u;
-    if (AtomIdx == ~0u)
-      continue;
-    const TheoryAtom &TA = Atoms[AtomIdx];
-    size_t M = Theory->mark();
-    // Positive literal: linear part <= -c. Negative: over the integers,
-    // ¬(t + c <= 0) is t + c >= 1, i.e. linear part >= 1 - c.
-    bool Ok = L.negated()
-                  ? Theory->assertLower(TA.SimplexRow,
-                                        Rational(1 - TA.Term.constant()),
-                                        L.Code)
-                  : Theory->assertUpper(TA.SimplexRow,
-                                        Rational(-TA.Term.constant()),
-                                        L.Code);
-    if (Theory->mark() != M) {
-      Asserted.push_back({I, M, L});
-      Changed = true;
-    }
-    if (!Ok) {
-      ++TheoryConflicts;
-      lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
-      return TRes::Conflict;
-    }
-  }
-  if (Changed)
-    ++NumRationalChecks;
-  if (Changed && !Theory->checkRational()) {
-    ++TheoryConflicts;
-    if (TheoryConflicts > Opts.MaxTheoryConflicts)
-      return TRes::Abort;
-    lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
-    return TRes::Conflict;
-  }
-  return TRes::Ok;
-}
-
-void QfEngine::onBacktrack(size_t NewTrailSize) {
-  size_t M = SIZE_MAX;
-  while (!Asserted.empty() && Asserted.back().TrailPos >= NewTrailSize) {
-    M = Asserted.back().Mark;
-    Asserted.pop_back();
-  }
-  if (M != SIZE_MAX)
-    Theory->rollback(M);
-}
-
-TheoryClient::TRes QfEngine::onFinalModel(std::vector<Lit> &ConflictOut) {
-  if (timedOut())
-    return TRes::Abort;
-  // Rational feasibility holds by construction; look for an integer model.
-  ++NumFinalChecks;
-  trace("final", 0);
-  TheoryResult R = Theory->checkInteger(FinalModel, Opts.TheoryNodeBudget);
-  if (timedOut())
-    return TRes::Abort; // cancel/deadline interrupted branch-and-bound
-  if (R == TheoryResult::Sat)
-    return TRes::Ok;
-  ++TheoryConflicts;
-  if (TheoryConflicts > Opts.MaxTheoryConflicts)
-    return TRes::Abort;
-  if (R == TheoryResult::Unsat) {
-    // Integrality conflict: branch-and-bound reports the union of its
-    // leaf explanations as a core over the asserted bounds.
-    lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
-    return TRes::Conflict;
-  }
-  // Budget exhausted: split on demand. Mint the atom x ≤ ⌊β(x)⌋ for a
-  // fractional variable and hand the case split to the CDCL core — its
-  // two polarities assert x ≤ ⌊β⌋ / x ≥ ⌊β⌋+1, so clause learning takes
-  // over the integrality branching that exhausted the local search.
-  if (!Theory->checkRational())
-    return TRes::Abort; // cannot happen: bounds only got looser
-  if (timedOut())
-    return TRes::Abort; // interrupted mid-check: the vertex is untrusted
-  uint32_t Frac = ~0u;
-  for (Var V = 0; V < A.numVars(); ++V)
-    if (!Theory->value(V).isInteger()) {
-      Frac = V;
-      break;
-    }
-  if (Frac == ~0u) {
-    // The relaxation vertex is integral after all; accept it.
-    FinalModel.resize(A.numVars());
-    for (Var V = 0; V < A.numVars(); ++V)
-      FinalModel[V] = Theory->value(V).asInt64();
-    return TRes::Ok;
-  }
-  int64_t Floor = Theory->value(Frac).floor().asInt64();
-  uint32_t SplitVar =
-      atomVarForTerm(LinTerm::variable(Frac) - LinTerm(Floor));
-  Atoms[AtomOfSatVar[SplitVar]].SimplexRow = Frac;
-  // β(Frac) is strictly between Floor and Floor+1, so neither polarity of
-  // the split atom can already be asserted — the clause below genuinely
-  // extends the boolean search space (progress is guaranteed). Prefer the
-  // downward branch (x ≤ ⌊β⌋): counts are bounded below by 0, so downward
-  // split chains terminate, whereas upward chains can ascend forever.
-  Sat.setPolarity(SplitVar, true);
-  ++NumSplits;
-  ConflictOut.push_back(Lit(SplitVar, false));
-  ConflictOut.push_back(Lit(SplitVar, true));
-  return TRes::Conflict;
-}
-
-QfResult QfEngine::run() {
-  const bool Stats = std::getenv("POSTR_QF_STATS") != nullptr;
-  QfResult Out;
-  if (A.kind(Root) == FKind::False) {
-    Out.V = Verdict::Unsat;
-    return Out;
-  }
-
-  Lit RootLit = encode(Root);
-  if (timedOut()) {
-    Out.V = Verdict::Unknown;
-    return Out;
-  }
-  Sat.addClause({RootLit});
-  addLatticeLemmas();
-  if (timedOut()) {
-    Out.V = Verdict::Unknown;
-    return Out;
-  }
-
-  // Register every atom's linear part with the Simplex up-front so row
-  // additions never happen mid-search.
-  Theory = std::make_unique<Simplex>(A.numVars());
-  Theory->setInterrupt([this] { return timedOut(); });
-  for (Var V = 0; V < A.numVars(); ++V)
-    Theory->setIntrinsicBounds(V, A.varLo(V), A.varHi(V));
-  for (TheoryAtom &TA : Atoms)
-    TA.SimplexRow = Theory->rowFor(TA.Term);
-
-  Theory->markBaseline();
-
-  for (bool Done = false; !Done;) {
-    switch (Sat.solve(this)) {
-    case SatSolver::Res::Sat: {
-      if (Refine) {
-        std::optional<FormulaId> Cut = Refine(A, FinalModel);
-        if (Cut) {
-          // Reset the theory bounds to the baseline wholesale (the SAT
-          // core starts the next episode with an empty trail), conjoin
-          // the cut, and resume — keeping every learned clause AND the
-          // tableau basis: the next episode warm-starts from the last
-          // feasible vertex instead of replaying the bound trail.
-          Asserted.clear();
-          Theory->resetToBaseline();
-          Sat.addClause({encode(A.lower(*Cut))});
-          for (TheoryAtom &TA : Atoms)
-            if (TA.SimplexRow == ~0u)
-              TA.SimplexRow = Theory->rowFor(TA.Term);
-          continue;
-        }
-      }
-      Out.V = Verdict::Sat;
-      Out.Model = std::move(FinalModel);
-      Done = true;
-      break;
-    }
-    case SatSolver::Res::Unsat:
-      Out.V = Verdict::Unsat;
-      Done = true;
-      break;
-    case SatSolver::Res::Abort:
-      Out.V = Verdict::Unknown;
-      Done = true;
-      break;
-    }
-  }
-  if (Theory && std::getenv("POSTR_SIMPLEX_STATS")) {
-    const SimplexStats &TS = Theory->stats();
-    std::fprintf(stderr,
-                 "[simplex] pivots=%llu checks=%llu fill=%llu maxnnz=%llu "
-                 "dennorm=%llu\n",
-                 (unsigned long long)TS.Pivots, (unsigned long long)TS.Checks,
-                 (unsigned long long)TS.RowFillIn,
-                 (unsigned long long)TS.MaxRowNnz,
-                 (unsigned long long)TS.DenNormalizations);
-  }
-  const SatStats &SS = Sat.stats();
-  Out.Stats.Conflicts = SS.Conflicts;
-  Out.Stats.Propagations = SS.Propagations;
-  Out.Stats.Decisions = SS.Decisions;
-  Out.Stats.Restarts = SS.Restarts;
-  Out.Stats.Reductions = SS.Reductions;
-  Out.Stats.ClausesDeleted = SS.ClausesDeleted;
-  if (Theory) {
-    const SimplexStats &TS = Theory->stats();
-    Out.Stats.Pivots = TS.Pivots;
-    Out.Stats.Checks = TS.Checks;
-    Out.Stats.RowFillIn = TS.RowFillIn;
-    Out.Stats.MaxRowNnz = TS.MaxRowNnz;
-    Out.Stats.DenNormalizations = TS.DenNormalizations;
-  }
-  Out.Stats.TheoryConflicts = TheoryConflicts;
-  if (Stats)
-    std::fprintf(
-        stderr,
-        "[qf] v=%d atoms=%zu satvars=%u tconf=%u confl=%llu prop=%llu "
-        "dec=%llu restart=%llu del=%llu piv=%llu ms=%lld\n",
-        static_cast<int>(Out.V), Atoms.size(), Sat.numVars(),
-        TheoryConflicts, (unsigned long long)SS.Conflicts,
-        (unsigned long long)SS.Propagations, (unsigned long long)SS.Decisions,
-        (unsigned long long)SS.Restarts, (unsigned long long)SS.ClausesDeleted,
-        (unsigned long long)Out.Stats.Pivots,
-        static_cast<long long>(
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                Clock::now() - Start)
-                .count()));
-  return Out;
-}
-
-} // namespace
-
+// The one-shot entry point is a single-use incremental context: the
+// engine (CNF encoding, DPLL(T) search, Simplex theory) lives in
+// lia/Incremental.cpp so that the MBQI and CEGAR loops can keep it alive
+// across solves. The refinement hook runs inside the context, which is
+// what keeps learned clauses and the tableau basis across episodes.
 QfResult postr::lia::solveQF(Arena &A, FormulaId F, const QfOptions &Opts,
                              const ModelRefiner &Refine) {
-  QfEngine Engine(A, F, Opts, Refine);
-  QfResult R = Engine.run();
+  IncrementalContext C(A, Opts);
+  C.assertFormula(F);
+  QfResult R = C.solve({}, Refine);
 #ifndef NDEBUG
   if (R.V == Verdict::Sat) {
     assert(R.Model.size() == A.numVars() && "model size mismatch");

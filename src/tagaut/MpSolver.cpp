@@ -11,6 +11,7 @@
 #include "lia/Solver.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace postr;
 using namespace postr::tagaut;
@@ -221,12 +222,22 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     return Out;
   }
 
-  // Resource guard for the quantified path: every MBQI round re-encodes
-  // the outer instance plus one Parikh clone per accumulated lemma; past
-  // a few thousand tag transitions the per-round setup alone exceeds any
-  // sane budget. Answer Unknown up-front instead (the same resource-out
-  // the paper reports for OSTRICH-sized encodings).
-  if (Enc.Ta.transitions().size() > 4000) {
+  // Resource guard for the quantified path: past a few thousand tag
+  // transitions even the incremental MBQI setup (outer encoding plus one
+  // Parikh clone per accumulated lemma) exceeds any sane budget. Answer
+  // Unknown up-front instead (the same resource-out the paper reports
+  // for OSTRICH-sized encodings). The threshold is an MpOptions knob,
+  // env-overridable so large-instance experiments need no rebuild.
+  uint32_t MbqiGuard = Opts.MbqiMaxTaTransitions;
+  if (const char *E = std::getenv("POSTR_MBQI_MAX_TA_TRANSITIONS")) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(E, &End, 10);
+    // A malformed value must not silently disable the resource guard;
+    // keep the option default unless the whole string parsed.
+    if (End != E && *End == '\0' && V <= UINT32_MAX)
+      MbqiGuard = static_cast<uint32_t>(V);
+  }
+  if (MbqiGuard != 0 && Enc.Ta.transitions().size() > MbqiGuard) {
     Out.V = Verdict::Unknown;
     return Out;
   }

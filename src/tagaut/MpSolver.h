@@ -42,6 +42,13 @@ struct MpOptions {
   /// solver answers Unknown. Each round adds one cut; real workloads
   /// converge in a handful.
   uint32_t MaxConnectivityCuts = 4096;
+  /// Resource guard for the quantified (MBQI) path: tag automata with
+  /// more transitions than this answer Unknown up-front, because even
+  /// the incremental encoding of the outer instance grows with every
+  /// accumulated lemma. 0 disables the guard. Overridable without a
+  /// rebuild via the POSTR_MBQI_MAX_TA_TRANSITIONS environment variable
+  /// (large-instance experiments).
+  uint32_t MbqiMaxTaTransitions = 4000;
   EncoderOptions Encoder;
 };
 

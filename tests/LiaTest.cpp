@@ -367,13 +367,18 @@ TEST(SimplexTest, SnapshotRestore) {
 }
 
 /// Dense reference tableau with the pre-sparse-rewrite representation
-/// (one `vector<Rational>` per row, per-entry normalization) and the
-/// same default selection rules as the production Simplex: Bland's
-/// smallest violated basic leaving, fewest-column-nonzeros entering with
-/// smaller-index tie-break, Bland fallback past 256 pivots. Identical
-/// rules + exact arithmetic means the pivot sequences coincide, so the
-/// sparse implementation must reproduce the reference β exactly, not
-/// just the feasibility verdict.
+/// (one `vector<Rational>` per row, per-entry normalization) and fixed
+/// selection rules: Bland's smallest violated basic leaving,
+/// fewest-column-nonzeros entering with smaller-index tie-break, Bland
+/// fallback past 256 pivots. The production Simplex is explicitly
+/// pinned to PivotRule::Bland for this comparison (Bland is also the
+/// shipped default, but the pin keeps this representation-equivalence
+/// test independent of any future default-rule change; alternate rules
+/// legitimately pivot differently and are covered by
+/// AlternatePivotRulesStaySound); identical rules + exact arithmetic
+/// means the pivot sequences coincide, so the sparse implementation
+/// must reproduce the reference β exactly, not just the feasibility
+/// verdict.
 class DenseRefSimplex {
 public:
   static constexpr uint32_t NoReason = ~0u;
@@ -651,6 +656,7 @@ TEST(SimplexTest, SparseMatchesDenseReferenceExactly) {
   for (int Iter = 0; Iter < 60; ++Iter) {
     const uint32_t K = 5;
     Simplex Sparse(K);
+    Sparse.setPivotRule(PivotRule::Bland);
     DenseRefSimplex Dense(K);
     std::vector<std::pair<size_t, size_t>> Marks; // (sparse, dense)
     uint32_t NextReason = 100;
@@ -731,11 +737,13 @@ TEST(SimplexTest, SparseMatchesDenseReferenceExactly) {
 }
 
 TEST(SimplexTest, AlternatePivotRulesStaySound) {
-  // sparsest-row / most-violated change the pivot sequence, so β may
-  // legitimately differ from the reference — but feasibility verdicts
-  // are representation- and rule-independent, and any feasible β must
-  // satisfy every asserted bound and every registered row definition.
-  for (PivotRule Rule : {PivotRule::SparsestRow, PivotRule::MostViolated}) {
+  // markowitz / sparsest-row / most-violated change the pivot sequence,
+  // so β may legitimately differ from the reference — but feasibility
+  // verdicts are representation- and rule-independent, and any feasible
+  // β must satisfy every asserted bound and every registered row
+  // definition.
+  for (PivotRule Rule : {PivotRule::Markowitz, PivotRule::SparsestRow,
+                         PivotRule::MostViolated}) {
     std::mt19937 Rng(777 + static_cast<uint32_t>(Rule));
     for (int Iter = 0; Iter < 30; ++Iter) {
       const uint32_t K = 5;
