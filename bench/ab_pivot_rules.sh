@@ -6,16 +6,18 @@
 #
 # Runs bench_hotpath (whose solve/pipeline/mbqi stages cover the
 # bench/workloads generators) once per POSTR_SIMPLEX_PIVOT_RULE value and
-# emits a markdown comparison table of stage times and tableau counters.
-# The winner goes into ROADMAP.md — do not change the default rule in
+# emits a markdown comparison table of stage times and tableau counters
+# (including the adaptive machine's rule_switches). The winner goes into
+# ROADMAP.md — do not change the default family start rules in
 # lia/Simplex.cpp without re-running this.
 #
 # Usage:
 #   bench/ab_pivot_rules.sh [path-to-bench_hotpath] [rules...]
 #
-# Defaults: ./build/bench/bench_hotpath and all four rules. Honors
-# POSTR_BENCH_N (default 4 here: the A/B wants relative numbers fast;
-# use 12 to reproduce the committed BENCH_hotpath.json scale).
+# Defaults: ./build/bench/bench_hotpath, the adaptive default plus all
+# four concrete rules. Honors POSTR_BENCH_N (default 4 here: the A/B
+# wants relative numbers fast; use 12 to reproduce the committed
+# BENCH_hotpath.json scale). See docs/BENCH.md for the schema.
 #
 #===----------------------------------------------------------------------===#
 
@@ -24,7 +26,7 @@ set -u
 BIN="${1:-./build/bench/bench_hotpath}"
 shift 2>/dev/null || true
 RULES=("$@")
-[ "${#RULES[@]}" -gt 0 ] || RULES=(bland markowitz sparsest violated)
+[ "${#RULES[@]}" -gt 0 ] || RULES=(adaptive bland markowitz sparsest violated)
 N="${POSTR_BENCH_N:-4}"
 
 if [ ! -x "$BIN" ]; then
@@ -63,14 +65,15 @@ for RULE in "${RULES[@]}"; do
   }
 done
 
-echo "| rule | solve ms/rep | pipeline ms/rep | mbqi ms/rep | pivots | checks | row_fill_in | solve✓ | pipeline✓ |"
-echo "|---|---|---|---|---|---|---|---|---|"
+echo "| rule | solve ms/rep | pipeline ms/rep | mbqi ms/rep | pivots | checks | row_fill_in | rule_switches | solve✓ | pipeline✓ |"
+echo "|---|---|---|---|---|---|---|---|---|---|"
 for RULE in "${RULES[@]}"; do
   J="$WORK/$RULE.json"
   echo "| $RULE | $(stage_ms "$J" solve) | $(stage_ms "$J" pipeline) |" \
        "$(stage_ms "$J" mbqi) | $(counter "$J" simplex_counters pivots) |" \
        "$(counter "$J" simplex_counters checks) |" \
        "$(counter "$J" simplex_counters row_fill_in) |" \
+       "$(counter "$J" simplex_counters rule_switches) |" \
        "$(stage_checksum "$J" solve) | $(stage_checksum "$J" pipeline) |"
 done
 echo

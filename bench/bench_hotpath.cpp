@@ -228,7 +228,9 @@ int main() {
       "\"checks\": %llu, \"theory_conflicts\": %llu},\n"
       "  \"simplex_counters\": {\"pivots\": %llu, \"checks\": %llu, "
       "\"row_fill_in\": %llu, \"max_row_nnz\": %llu, "
-      "\"den_normalizations\": %llu},\n"
+      "\"den_normalizations\": %llu, \"rule_switches\": %llu, "
+      "\"pivots_bland\": %llu, \"pivots_markowitz\": %llu, "
+      "\"pivots_sparsest\": %llu, \"pivots_violated\": %llu},\n"
       "  \"mbqi_counters\": {\"candidates\": %llu, \"outer_solves\": %llu, "
       "\"inner_queries\": %llu, \"inst_lemmas\": %llu, \"blockers\": %llu, "
       "\"context_reuses\": %llu}\n}\n",
@@ -246,6 +248,15 @@ int main() {
       (unsigned long long)SolveCounters.RowFillIn,
       (unsigned long long)SolveCounters.MaxRowNnz,
       (unsigned long long)SolveCounters.DenNormalizations,
+      (unsigned long long)SolveCounters.RuleSwitches,
+      (unsigned long long)SolveCounters
+          .PivotsByRule[static_cast<size_t>(lia::PivotRule::Bland)],
+      (unsigned long long)SolveCounters
+          .PivotsByRule[static_cast<size_t>(lia::PivotRule::Markowitz)],
+      (unsigned long long)SolveCounters
+          .PivotsByRule[static_cast<size_t>(lia::PivotRule::SparsestRow)],
+      (unsigned long long)SolveCounters
+          .PivotsByRule[static_cast<size_t>(lia::PivotRule::MostViolated)],
       (unsigned long long)MbqiCounters.Candidates,
       (unsigned long long)MbqiCounters.OuterSolves,
       (unsigned long long)MbqiCounters.InnerQueries,

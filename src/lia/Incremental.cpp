@@ -368,7 +368,10 @@ void IncrementalContext::Impl::addLatticeLemmasIncremental() {
 
 void IncrementalContext::Impl::prepareTheory() {
   if (!Theory) {
-    Theory = std::make_unique<Simplex>(0);
+    // The per-context pivot policy (rule + instance family, classified
+    // by the encoding layers) is latched at first use; setOptions after
+    // that changes budgets/deadlines but not the rule of a live tableau.
+    Theory = std::make_unique<Simplex>(0, Opts.Pivot);
     Theory->setInterrupt([this] { return timedOut(); });
   }
   // The SAT core starts the next descent with an empty trail (it
@@ -614,17 +617,24 @@ IncrementalContext::Impl::solve(const std::vector<FormulaId> &Assumptions,
   Out.Stats.MaxRowNnz = TS.MaxRowNnz; // high-water mark, not a delta
   Out.Stats.DenNormalizations =
       TS.DenNormalizations - TheoryBefore.DenNormalizations;
+  Out.Stats.RuleSwitches = TS.RuleSwitches - TheoryBefore.RuleSwitches;
+  for (size_t R = 0; R < NumConcretePivotRules; ++R)
+    Out.Stats.PivotsByRule[R] =
+        TS.PivotsByRule[R] - TheoryBefore.PivotsByRule[R];
   Out.Stats.TheoryConflicts = TheoryConflicts;
   Cumulative += Out.Stats;
 
   if (std::getenv("POSTR_SIMPLEX_STATS"))
     std::fprintf(stderr,
                  "[simplex] pivots=%llu checks=%llu fill=%llu maxnnz=%llu "
-                 "dennorm=%llu\n",
+                 "dennorm=%llu rule=%d family=%d switches=%llu\n",
                  (unsigned long long)TS.Pivots, (unsigned long long)TS.Checks,
                  (unsigned long long)TS.RowFillIn,
                  (unsigned long long)TS.MaxRowNnz,
-                 (unsigned long long)TS.DenNormalizations);
+                 (unsigned long long)TS.DenNormalizations,
+                 static_cast<int>(Theory->activeRule()),
+                 static_cast<int>(Theory->family()),
+                 (unsigned long long)TS.RuleSwitches);
   if (Stats)
     std::fprintf(
         stderr,

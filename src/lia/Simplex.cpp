@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 using namespace postr;
 using namespace postr::lia;
@@ -21,9 +22,16 @@ using Int = Rational::Int;
 
 Int lcmInt(Int A, Int B) { return A / Rational::gcdInt(A, B) * B; }
 
-PivotRule ruleFromEnv() {
+/// Process-wide rule override for A/B runs; nullopt when the variable is
+/// unset and each context's own PivotPolicy applies (the default —
+/// effectively `adaptive`).
+std::optional<PivotRule> ruleFromEnv() {
   const char *E = std::getenv("POSTR_SIMPLEX_PIVOT_RULE");
   if (!E)
+    return std::nullopt;
+  if (!std::strcmp(E, "adaptive"))
+    return PivotRule::Adaptive;
+  if (!std::strcmp(E, "bland"))
     return PivotRule::Bland;
   if (!std::strcmp(E, "markowitz"))
     return PivotRule::Markowitz;
@@ -31,14 +39,21 @@ PivotRule ruleFromEnv() {
     return PivotRule::SparsestRow;
   if (!std::strcmp(E, "violated") || !std::strcmp(E, "most-violated"))
     return PivotRule::MostViolated;
-  if (std::strcmp(E, "bland") != 0)
-    // A typo must not silently record Bland numbers under another
-    // rule's name in an A/B table.
-    std::fprintf(stderr,
-                 "postr: unrecognized POSTR_SIMPLEX_PIVOT_RULE '%s', "
-                 "using bland\n",
-                 E);
-  return PivotRule::Bland;
+  // A typo must not silently record default-policy numbers under another
+  // rule's name in an A/B table.
+  std::fprintf(stderr,
+               "postr: unrecognized POSTR_SIMPLEX_PIVOT_RULE '%s', "
+               "using the context policy (adaptive)\n",
+               E);
+  return std::nullopt;
+}
+
+/// Read once per process: the Simplex constructor is on the per-disjunct
+/// setup path and the flag is an inter-process A/B knob, not something
+/// that changes mid-run.
+PivotRule applyEnvOverride(PivotRule FromPolicy) {
+  static const std::optional<PivotRule> Env = ruleFromEnv();
+  return Env ? *Env : FromPolicy;
 }
 
 } // namespace
@@ -50,13 +65,13 @@ size_t Simplex::SparseRow::find(uint32_t X) const {
   return static_cast<size_t>(It - Cols.begin());
 }
 
-Simplex::Simplex(uint32_t NumProblemVars)
+Simplex::Simplex(uint32_t NumProblemVars, const PivotPolicy &Policy)
     : NumProblemVars(NumProblemVars), NumVars(NumProblemVars),
       RowOf(NumProblemVars, ~0u), Beta(NumProblemVars),
       Lo(NumProblemVars), Hi(NumProblemVars),
       LoReason(NumProblemVars, NoReason), HiReason(NumProblemVars, NoReason),
-      Rule(ruleFromEnv()), InViolQueue(NumProblemVars, 0),
-      ColCount(NumProblemVars, 0) {
+      Policy(Policy), Rule(applyEnvOverride(Policy.Rule)),
+      InViolQueue(NumProblemVars, 0), ColCount(NumProblemVars, 0) {
   ColNz.resize(NumProblemVars);
   InColNz.resize(NumProblemVars);
   Integral.resize(NumProblemVars);
@@ -478,18 +493,66 @@ uint32_t Simplex::selectEntering(uint32_t B, bool NeedIncrease,
   return N;
 }
 
+PivotRule Simplex::activeRule() const {
+  if (Rule != PivotRule::Adaptive)
+    return Rule;
+  if (Degraded)
+    return PivotRule::Bland;
+  // Family start rules, from the ab_pivot_rules.sh measurements (table
+  // in ROADMAP): SparsestRow halves elimination fill-in on the wide
+  // Parikh/length tableaus and wins the solve/mbqi stages at identical
+  // verdicts, so Parikh-heavy — and unclassified — contexts start there
+  // with the degradation fence underneath; word-equation-heavy contexts
+  // (the django/thefuck pipeline shapes, where SparsestRow lost 37%)
+  // start and stay on Bland.
+  return Policy.Family == InstanceFamily::WordEqHeavy ? PivotRule::Bland
+                                                      : PivotRule::SparsestRow;
+}
+
+void Simplex::noteCheckDone(uint64_t PivotsThisCheck) {
+  if (Rule != PivotRule::Adaptive || Degraded ||
+      activeRule() == PivotRule::Bland)
+    return;
+  // Immediate trigger: the restoration ran into the in-check Bland
+  // fallback — the preferred rule failed to converge on its own and
+  // every later check on this tableau is likely to repeat that.
+  if (PivotsThisCheck >= Policy.DegradeRestorationLen) {
+    Degraded = true;
+    ++Stats.RuleSwitches;
+    return;
+  }
+  // Windowed trigger: a sustained pivots-per-check average far above the
+  // healthy baseline (well under one on the tag workloads) means the
+  // rule is thrashing short of the hard fallback — fence it too.
+  WindowPivots += PivotsThisCheck;
+  if (++WindowChecks >= Policy.DegradeWindowChecks) {
+    if (WindowPivots >
+        static_cast<uint64_t>(Policy.DegradeWindowPivotsPerCheck) *
+            WindowChecks) {
+      Degraded = true;
+      ++Stats.RuleSwitches;
+    }
+    WindowChecks = WindowPivots = 0;
+  }
+}
+
 bool Simplex::checkRational() {
   ++Stats.Checks;
-  // Leaving variable: Bland's smallest violated basic by default, with
-  // markowitz / sparsest-row / most-violated behind
-  // POSTR_SIMPLEX_PIVOT_RULE (each wins somewhere and blows up somewhere
-  // else — A/B over bench/workloads with bench/ab_pivot_rules.sh before
-  // changing the default; see ROADMAP). Entering variable: the eligible
-  // column with the fewest tableau nonzeros (anti-fill-in) while the run
-  // is short. Past the threshold every selection falls back to Bland's
-  // smallest-index — which terminates unconditionally.
+  // Leaving variable: latched once per check from the context policy
+  // (PivotRule::Adaptive resolves through the family start rule and the
+  // degradation fence — see activeRule()), with POSTR_SIMPLEX_PIVOT_RULE
+  // forcing a fixed rule process-wide for A/B runs (each concrete rule
+  // wins somewhere and blows up somewhere else — A/B over
+  // bench/workloads with bench/ab_pivot_rules.sh before changing the
+  // family start rules; see ROADMAP and docs/BENCH.md). Rule changes
+  // only ever take effect here, at a check boundary — never inside the
+  // pivot loop below. Entering variable: the eligible column with the
+  // fewest tableau nonzeros (anti-fill-in) while the run is short. Past
+  // the threshold every selection falls back to Bland's smallest-index —
+  // which terminates unconditionally.
+  const PivotRule Active = activeRule();
   uint64_t PivotsThisCheck = 0;
-  const uint64_t BlandThreshold = 256;
+  const uint64_t BlandThreshold = Policy.DegradeRestorationLen;
   // The Markowitz selection has no anti-cycling guarantee and its free
   // choice among violated rows can wander on degenerate vertices, so it
   // only steers the first pivots of a restoration — where the fill-in
@@ -501,8 +564,10 @@ bool Simplex::checkRational() {
     // feasibility. The interrupt predicate is sticky (deadline/cancel),
     // and every caller that would trust a model re-checks it first, so
     // the white lie only ever leads to an Abort/Unknown.
-    if (Interrupt && (PivotsThisCheck & 15) == 15 && Interrupt())
+    if (Interrupt && (PivotsThisCheck & 15) == 15 && Interrupt()) {
+      noteCheckDone(PivotsThisCheck);
       return true;
+    }
     bool Bland = PivotsThisCheck >= BlandThreshold;
     // Compact the lazy queue: verify entries, drop the feasible ones.
     size_t Keep = 0;
@@ -517,8 +582,10 @@ bool Simplex::checkRational() {
       ViolQueue[Keep++] = X;
     }
     ViolQueue.resize(Keep);
-    if (Keep == 0)
+    if (Keep == 0) {
+      noteCheckDone(PivotsThisCheck);
       return true;
+    }
 
     uint32_t B = ~0u;
     bool NeedIncrease = false;
@@ -529,10 +596,14 @@ bool Simplex::checkRational() {
     // single-violation DPLL(T) step and long degenerate runs stay on
     // Bland's convergent order (free choice has no anti-cycling
     // guarantee and was observed wandering on degenerate vertices).
-    bool Markowitz = !Bland && Rule == PivotRule::Markowitz && Keep >= 2 &&
+    bool Markowitz = !Bland && Active == PivotRule::Markowitz && Keep >= 2 &&
                      PivotsThisCheck < MarkowitzThreshold;
-    if (Bland || Rule == PivotRule::Bland ||
-        (Rule == PivotRule::Markowitz && !Markowitz)) {
+    /// Concrete rule this iteration's selection runs under, for the
+    /// per-rule pivot attribution.
+    PivotRule Chose = Active;
+    if (Bland || Active == PivotRule::Bland ||
+        (Active == PivotRule::Markowitz && !Markowitz)) {
+      Chose = PivotRule::Bland;
       for (uint32_t X : ViolQueue)
         if (B == ~0u || X < B)
           B = X;
@@ -556,7 +627,7 @@ bool Simplex::checkRational() {
           NeedIncrease = ViolLo;
         }
       }
-    } else if (Rule == PivotRule::SparsestRow) {
+    } else if (Active == PivotRule::SparsestRow) {
       size_t BestNnz = 0;
       for (uint32_t X : ViolQueue) {
         size_t Nnz = Tableau[RowOf[X]].size();
@@ -603,8 +674,10 @@ bool Simplex::checkRational() {
       std::sort(Conflict.begin(), Conflict.end());
       Conflict.erase(std::unique(Conflict.begin(), Conflict.end()),
                      Conflict.end());
+      noteCheckDone(PivotsThisCheck);
       return false;
     }
+    ++Stats.PivotsByRule[static_cast<size_t>(Chose)];
     pivotAndUpdate(B, N, NeedIncrease ? *Lo[B] : *Hi[B]);
   }
 }

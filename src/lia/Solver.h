@@ -27,6 +27,7 @@
 
 #include "base/Base.h"
 #include "lia/Lia.h"
+#include "lia/Simplex.h"
 
 #include <atomic>
 #include <functional>
@@ -50,6 +51,13 @@ struct QfOptions {
   /// solve aborts (Verdict::Unknown) at the next theory callback. The
   /// parallel disjunct pool uses this for first-Sat cancellation.
   const std::atomic<bool> *Cancel = nullptr;
+  /// Simplex pivot-rule policy for this context's theory backend:
+  /// adaptive per-family selection by default, with the instance family
+  /// classified at encode time (solver/PositionSolver per stabilization
+  /// disjunct, tagaut/MpSolver from the predicate mix, lia/Mbqi for its
+  /// own contexts). POSTR_SIMPLEX_PIVOT_RULE overrides the rule
+  /// process-wide for A/B runs.
+  PivotPolicy Pivot;
 };
 
 /// Search-core counters of one QF_LIA solve, for benchmarks and triage.
@@ -66,6 +74,11 @@ struct QfSearchStats {
   uint64_t MaxRowNnz = 0;      ///< widest tableau row ever produced
   uint64_t DenNormalizations = 0; ///< row gcd passes that reduced
   uint64_t TheoryConflicts = 0;
+  uint64_t RuleSwitches = 0; ///< adaptive pivot-rule fallbacks to Bland
+  /// Simplex pivots attributed to each concrete rule (indexed by
+  /// PivotRule; sums to Pivots) — the per-rule pivot shares in the bench
+  /// JSON.
+  uint64_t PivotsByRule[NumConcretePivotRules] = {0, 0, 0, 0};
 
   QfSearchStats &operator+=(const QfSearchStats &O) {
     Conflicts += O.Conflicts;
@@ -80,6 +93,9 @@ struct QfSearchStats {
     MaxRowNnz = MaxRowNnz > O.MaxRowNnz ? MaxRowNnz : O.MaxRowNnz;
     DenNormalizations += O.DenNormalizations;
     TheoryConflicts += O.TheoryConflicts;
+    RuleSwitches += O.RuleSwitches;
+    for (size_t R = 0; R < NumConcretePivotRules; ++R)
+      PivotsByRule[R] += O.PivotsByRule[R];
     return *this;
   }
 };

@@ -187,6 +187,20 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
   };
 
   tagaut::MpOptions MpOpts = Opts.Mp;
+  // Adaptive pivot-rule family, decided where the disjunct is created: a
+  // decomposition whose substitution actually split or renamed a
+  // variable came out of word-equation solving (the thefuck/django
+  // shapes — equality tests, positive prefix/suffix dispatch — whose
+  // pipelines the A/B measured as Bland territory). Identity
+  // decompositions stay Unknown and tagaut/MpSolver refines from the
+  // predicate mix; MBQI contexts classify themselves (lia/Mbqi).
+  if (MpOpts.Qf.Pivot.Family == lia::InstanceFamily::Unknown) {
+    for (const auto &[X, Rep] : D.Subst)
+      if (Rep.size() != 1 || Rep.front() != X) {
+        MpOpts.Qf.Pivot.Family = lia::InstanceFamily::WordEqHeavy;
+        break;
+      }
+  }
   if (Opts.TimeoutMs)
     MpOpts.TimeoutMs = MpOpts.TimeoutMs
                            ? std::min(MpOpts.TimeoutMs, remainingMs())

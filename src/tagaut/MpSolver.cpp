@@ -187,6 +187,17 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
 
   if (Enc.Blocks.empty()) {
     lia::QfOptions Qf = Opts.Qf;
+    // Family classification for the adaptive pivot rule, from the
+    // predicate mix the encoder was handed (unless the caller — the
+    // position pipeline, which also sees the word-equation split — has
+    // classified already): a system with mismatch-style predicates
+    // encodes the 2K+1-copy position structure whose tableaus the
+    // pipeline A/B measured as Bland territory, while a bare
+    // membership + length system is exactly the Parikh-formula load
+    // where SparsestRow halves the fill-in.
+    if (Qf.Pivot.Family == lia::InstanceFamily::Unknown)
+      Qf.Pivot.Family = Preds.empty() ? lia::InstanceFamily::ParikhHeavy
+                                      : lia::InstanceFamily::WordEqHeavy;
     if (Opts.TimeoutMs)
       Qf.TimeoutMs = Qf.TimeoutMs ? std::min(Qf.TimeoutMs, Opts.TimeoutMs)
                                   : Opts.TimeoutMs;

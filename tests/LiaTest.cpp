@@ -799,6 +799,169 @@ TEST(SimplexTest, AlternatePivotRulesStaySound) {
   }
 }
 
+TEST(SimplexTest, RandomizedRuleSwitchesStaySound) {
+  // The adaptive policy changes the leaving rule between checks (never
+  // inside one), so the property that matters is: an arbitrary sequence
+  // of rule switches at check boundaries still produces exactly the
+  // Bland oracle's feasibility verdicts, and every feasible vertex
+  // satisfies all bounds and row definitions. Drive a randomized switch
+  // schedule — harsher than anything the adaptive machine does — against
+  // the dense Bland reference.
+  const PivotRule AllRules[] = {PivotRule::Bland, PivotRule::Markowitz,
+                                PivotRule::SparsestRow,
+                                PivotRule::MostViolated,
+                                PivotRule::Adaptive};
+  std::mt19937 Rng(424242);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    const uint32_t K = 5;
+    PivotPolicy Policy;
+    Policy.Family = Rng() % 2 ? InstanceFamily::ParikhHeavy
+                              : InstanceFamily::WordEqHeavy;
+    Simplex Sparse(K, Policy);
+    DenseRefSimplex Dense(K);
+    std::vector<std::pair<LinTerm, uint32_t>> Rows;
+    auto Register = [&] {
+      LinTerm T;
+      uint32_t Width = 1 + Rng() % 4;
+      for (uint32_t I = 0; I < Width; ++I)
+        T += LinTerm::variable(Rng() % K, static_cast<int64_t>(Rng() % 7) - 3);
+      if (T.coeffs().empty())
+        T += LinTerm::variable(Rng() % K);
+      uint32_t H = Sparse.rowFor(T);
+      ASSERT_EQ(H, Dense.rowFor(T));
+      Rows.push_back({T, H});
+    };
+    for (int I = 0; I < 5; ++I)
+      Register();
+    uint32_t NextReason = 100;
+    for (int Op = 0; Op < 80; ++Op) {
+      uint32_t X = Rows[Rng() % Rows.size()].second;
+      Rational V(static_cast<int64_t>(Rng() % 31) - 15,
+                 (Rng() % 4 == 0) ? 2 : 1);
+      uint32_t Reason = NextReason++;
+      bool Upper = Rng() % 2;
+      bool OkS = Upper ? Sparse.assertUpper(X, V, Reason)
+                       : Sparse.assertLower(X, V, Reason);
+      bool OkD = Upper ? Dense.assertUpper(X, V, Reason)
+                       : Dense.assertLower(X, V, Reason);
+      ASSERT_EQ(OkS, OkD);
+      if (!OkS)
+        break;
+      if (Op % 4 == 3) {
+        // Check boundary: legal switch point. setPivotRule resets the
+        // adaptive degradation, which is also legal between checks.
+        Sparse.setPivotRule(AllRules[Rng() % 5]);
+        bool FeasS = Sparse.checkRational();
+        ASSERT_EQ(FeasS, Dense.checkRational())
+            << "verdict diverged under switched rules, iteration " << Iter;
+        if (!FeasS)
+          break;
+        for (const auto &[T, H] : Rows) {
+          Rational Sum;
+          for (auto [Var, C] : T.coeffs())
+            Sum += Rational(C) * Sparse.value(Var);
+          ASSERT_EQ(Sum, Sparse.value(H))
+              << "row definition violated, iteration " << Iter;
+        }
+      }
+    }
+    const SimplexStats &St = Sparse.stats();
+    uint64_t ByRule = 0;
+    for (size_t R = 0; R < NumConcretePivotRules; ++R)
+      ByRule += St.PivotsByRule[R];
+    EXPECT_EQ(ByRule, St.Pivots)
+        << "per-rule pivot attribution does not sum to the pivot count";
+  }
+}
+
+TEST(SimplexTest, AdaptiveStartRuleFollowsFamily) {
+  // setPivotPolicy bypasses the POSTR_SIMPLEX_PIVOT_RULE override, so
+  // the expectations hold in any environment.
+  PivotPolicy P;
+  P.Family = InstanceFamily::ParikhHeavy;
+  Simplex Parikh(2);
+  Parikh.setPivotPolicy(P);
+  EXPECT_EQ(Parikh.activeRule(), PivotRule::SparsestRow);
+  P.Family = InstanceFamily::WordEqHeavy;
+  Simplex WordEq(2);
+  WordEq.setPivotPolicy(P);
+  EXPECT_EQ(WordEq.activeRule(), PivotRule::Bland);
+  P.Family = InstanceFamily::Unknown;
+  Simplex Unclassified(2);
+  Unclassified.setPivotPolicy(P);
+  EXPECT_EQ(Unclassified.activeRule(), PivotRule::SparsestRow);
+  // A forced concrete rule resolves to itself regardless of family.
+  Unclassified.setPivotRule(PivotRule::MostViolated);
+  EXPECT_EQ(Unclassified.activeRule(), PivotRule::MostViolated);
+}
+
+TEST(SimplexTest, AdaptiveFallsBackToBlandWhenSignalDegrades) {
+  // Shrink the fallback thresholds so a modest instance trips both
+  // triggers, and pin the degraded solver against the Bland oracle: the
+  // fence must only change pivot order, never verdicts or models'
+  // validity. This is the unit-level pin of the django-family fence (the
+  // workload-level pin is IncrementalTest's
+  // Sweep/AdaptivePivotRuleSweep.AdaptiveMatchesBland).
+  std::mt19937 Rng(99173);
+  bool SawSwitch = false;
+  for (int Iter = 0; Iter < 30 && !SawSwitch; ++Iter) {
+    const uint32_t K = 6;
+    PivotPolicy Policy;
+    Policy.Family = InstanceFamily::ParikhHeavy; // starts on SparsestRow
+    Policy.DegradeRestorationLen = 4;
+    Policy.DegradeWindowChecks = 4;
+    Policy.DegradeWindowPivotsPerCheck = 1;
+    Simplex Sparse(K, Policy);
+    Sparse.setPivotPolicy(Policy); // bypass any env override, keep Adaptive
+    DenseRefSimplex Dense(K);
+    std::vector<uint32_t> Handles;
+    auto Register = [&] {
+      LinTerm T;
+      uint32_t Width = 2 + Rng() % 3;
+      for (uint32_t I = 0; I < Width; ++I)
+        T += LinTerm::variable(Rng() % K, static_cast<int64_t>(Rng() % 7) - 3);
+      if (T.coeffs().empty())
+        T += LinTerm::variable(Rng() % K);
+      uint32_t H = Sparse.rowFor(T);
+      ASSERT_EQ(H, Dense.rowFor(T));
+      Handles.push_back(H);
+    };
+    for (int I = 0; I < 7; ++I)
+      Register();
+    const size_t BaseS = Sparse.mark(), BaseD = Dense.mark();
+    uint32_t NextReason = 100;
+    for (int Op = 0; Op < 200; ++Op) {
+      uint32_t X = Handles[Rng() % Handles.size()];
+      Rational V(static_cast<int64_t>(Rng() % 41) - 20, 1);
+      uint32_t Reason = NextReason++;
+      bool Upper = Rng() % 2;
+      bool OkS = Upper ? Sparse.assertUpper(X, V, Reason)
+                       : Sparse.assertLower(X, V, Reason);
+      bool OkD = Upper ? Dense.assertUpper(X, V, Reason)
+                       : Dense.assertLower(X, V, Reason);
+      ASSERT_EQ(OkS, OkD);
+      if (!OkS)
+        continue; // direct bound clash; keep the run going
+      bool FeasS = Sparse.checkRational();
+      ASSERT_EQ(FeasS, Dense.checkRational())
+          << "verdict diverged across the fallback, iteration " << Iter;
+      if (!FeasS) {
+        // Loosen everything so the run keeps producing restorations.
+        Sparse.rollback(BaseS);
+        Dense.rollback(BaseD);
+      }
+    }
+    if (Sparse.adaptiveDegraded()) {
+      SawSwitch = true;
+      EXPECT_GE(Sparse.stats().RuleSwitches, 1u);
+      // Sticky: once fenced, every later check starts on Bland.
+      EXPECT_EQ(Sparse.activeRule(), PivotRule::Bland);
+    }
+  }
+  EXPECT_TRUE(SawSwitch)
+      << "no instance tripped the shrunken degradation thresholds";
+}
+
 TEST(SolveQfTest, SimpleConjunction) {
   Arena A;
   Var X = A.freshVar("x"), Y = A.freshVar("y");

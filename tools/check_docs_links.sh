@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+#===- tools/check_docs_links.sh - Intra-repo markdown link checker -------===#
+#
+# Part of PosTr, a reproduction of "A Uniform Framework for Handling
+# Position Constraints in String Solving" (PLDI 2025).
+#
+# Fails when any relative link target in a tracked markdown file does
+# not exist. External (scheme-qualified) links and pure #anchors are
+# skipped; anchor suffixes on relative links are stripped before the
+# existence check. Run from anywhere; checks the repo containing this
+# script. CI runs it in the docs job.
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FAIL=0
+CHECKED=0
+
+# Markdown files, excluding build trees.
+while IFS= read -r MD; do
+  DIR="$(dirname "$MD")"
+  # Inline links: ](target). Reference-style links are not used in this
+  # repo's docs; grep -o keeps every occurrence, one per line.
+  while IFS= read -r TARGET; do
+    case "$TARGET" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    CLEAN="${TARGET%%#*}"
+    [ -n "$CLEAN" ] || continue
+    CHECKED=$((CHECKED + 1))
+    if [ ! -e "$DIR/$CLEAN" ]; then
+      echo "error: $MD links to missing target '$TARGET'" >&2
+      FAIL=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$MD" 2>/dev/null \
+             | sed 's/^](//; s/)$//')
+done < <(find "$ROOT" -name '*.md' -not -path '*/build*/*' \
+           -not -path '*/.git/*')
+
+if [ "$CHECKED" -eq 0 ]; then
+  echo "error: link checker matched no links — broken extraction?" >&2
+  exit 1
+fi
+echo "checked $CHECKED relative link(s)"
+exit "$FAIL"
