@@ -219,18 +219,20 @@ int main() {
                   I + 1 < Stages.size() ? "," : "");
     Json += Buf;
   }
-  char Counters[1024];
+  char Counters[1536];
   std::snprintf(
       Counters, sizeof(Counters),
       "  ],\n  \"solve_counters\": {\"conflicts\": %llu, "
       "\"propagations\": %llu, \"decisions\": %llu, \"restarts\": %llu, "
       "\"reductions\": %llu, \"clauses_deleted\": %llu, \"pivots\": %llu, "
-      "\"checks\": %llu, \"theory_conflicts\": %llu},\n"
+      "\"checks\": %llu, \"theory_conflicts\": %llu, "
+      "\"budget_trips\": %llu, \"degraded_retries\": %llu},\n"
       "  \"simplex_counters\": {\"pivots\": %llu, \"checks\": %llu, "
       "\"row_fill_in\": %llu, \"max_row_nnz\": %llu, "
       "\"den_normalizations\": %llu, \"rule_switches\": %llu, "
       "\"pivots_bland\": %llu, \"pivots_markowitz\": %llu, "
-      "\"pivots_sparsest\": %llu, \"pivots_violated\": %llu},\n"
+      "\"pivots_sparsest\": %llu, \"pivots_violated\": %llu, "
+      "\"fence_recoveries\": %llu},\n"
       "  \"mbqi_counters\": {\"candidates\": %llu, \"outer_solves\": %llu, "
       "\"inner_queries\": %llu, \"inst_lemmas\": %llu, \"blockers\": %llu, "
       "\"context_reuses\": %llu}\n}\n",
@@ -243,6 +245,8 @@ int main() {
       (unsigned long long)SolveCounters.Pivots,
       (unsigned long long)SolveCounters.Checks,
       (unsigned long long)SolveCounters.TheoryConflicts,
+      (unsigned long long)SolveCounters.BudgetTrips,
+      (unsigned long long)SolveCounters.DegradedRetries,
       (unsigned long long)SolveCounters.Pivots,
       (unsigned long long)SolveCounters.Checks,
       (unsigned long long)SolveCounters.RowFillIn,
@@ -257,6 +261,7 @@ int main() {
           .PivotsByRule[static_cast<size_t>(lia::PivotRule::SparsestRow)],
       (unsigned long long)SolveCounters
           .PivotsByRule[static_cast<size_t>(lia::PivotRule::MostViolated)],
+      (unsigned long long)SolveCounters.FenceRecoveries,
       (unsigned long long)MbqiCounters.Candidates,
       (unsigned long long)MbqiCounters.OuterSolves,
       (unsigned long long)MbqiCounters.InnerQueries,

@@ -16,6 +16,27 @@
 
 using namespace postr;
 
+/// Exit codes: 0 sat/unsat, 1 parse error, 2 unknown (no recorded
+/// reason), then one per resource stop so scripts can tell a timeout
+/// from a memout without scraping stdout.
+static int exitCodeFor(const solver::SolveResult &R) {
+  if (R.V != Verdict::Unknown)
+    return 0;
+  switch (R.Stop) {
+  case StopReason::None:
+    return 2;
+  case StopReason::Timeout:
+    return 3;
+  case StopReason::Cancelled:
+    return 4;
+  case StopReason::MemOut:
+    return 5;
+  case StopReason::StepBudget:
+    return 6;
+  }
+  return 2;
+}
+
 static const char *Demo = R"((set-logic QF_S)
 (declare-fun x () String)
 (declare-fun y () String)
@@ -51,8 +72,15 @@ int main(int Argc, char **Argv) {
     std::printf("unsat\n");
     break;
   case Verdict::Unknown:
-    std::printf("unknown\n");
+    if (R.Stop != StopReason::None)
+      std::printf("unknown (%s)\n", stopReasonName(R.Stop));
+    else
+      std::printf("unknown\n");
     break;
   }
-  return 0;
+  std::printf("; stats {\"stop_reason\": \"%s\", \"disjuncts\": %u, "
+              "\"budget_trips\": %u, \"degraded_retries\": %u}\n",
+              stopReasonName(R.Stop), R.Stats.Disjuncts,
+              R.Stats.BudgetTrips, R.Stats.DegradedRetries);
+  return exitCodeFor(R);
 }

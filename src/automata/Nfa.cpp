@@ -7,6 +7,7 @@
 
 #include "automata/Nfa.h"
 
+#include "base/Budget.h"
 #include "base/Hash.h"
 
 #include <algorithm>
@@ -17,6 +18,35 @@
 
 using namespace postr;
 using namespace postr::automata;
+
+namespace {
+
+/// Growth-charging probe for the worklist constructions: charges the
+/// output automaton's growth since the last probe against the budget's
+/// memory cap, then runs the cooperative checkpoint. Returns false when
+/// the construction should stop and hand back its partial result.
+struct GrowthProbe {
+  Budget *Bud;
+  const Nfa &Out;
+  uint64_t SeenStates = 0, SeenTransitions = 0;
+
+  bool operator()(const char *Site) {
+    if (!Bud)
+      return true;
+    uint64_t Q = Out.numStates(), T = Out.numTransitions();
+    if (Q > SeenStates || T > SeenTransitions) {
+      // Per-state cost approximates the interning map node + flag bits;
+      // the transition vector is charged at its element size.
+      Bud->chargeMem((Q - SeenStates) * 64 +
+                     (T - SeenTransitions) * sizeof(Transition));
+      SeenStates = Q;
+      SeenTransitions = T;
+    }
+    return Bud->checkpoint(Site);
+  }
+};
+
+} // namespace
 
 void Nfa::normalize() const {
   if (!Dirty && RowBegin.size() == numStates() + 1)
@@ -167,7 +197,7 @@ std::vector<uint32_t> tarjanScc(const Nfa &A, uint32_t &NumSccs,
 
 } // namespace
 
-Nfa Nfa::removeEpsilon() const {
+Nfa Nfa::removeEpsilon(Budget *Bud) const {
   if (!HasEps)
     return trim();
   normalize();
@@ -187,6 +217,8 @@ Nfa Nfa::removeEpsilon() const {
   std::vector<uint32_t> StateMark(N, ~0u);
   std::vector<uint32_t> SccMark(NumSccs, ~0u);
   for (uint32_t S = 0; S < NumSccs; ++S) {
+    if (Bud && !Bud->checkpoint("nfa.epsilon"))
+      return Nfa(AlphabetSz);
     std::vector<State> &Out = Closure[S];
     for (State Q : SccStates[S]) {
       StateMark[Q] = S;
@@ -209,13 +241,18 @@ Nfa Nfa::removeEpsilon() const {
       }
     }
     std::sort(Out.begin(), Out.end());
+    if (Bud)
+      Bud->chargeMem(Out.size() * sizeof(State));
   }
 
   Nfa Out(AlphabetSz);
   Out.addStates(N);
+  GrowthProbe Probe{Bud, Out};
   // For every state, fold the ε-closure: symbol transitions of closure
   // members become direct transitions, and finality propagates backwards.
   for (State Q = 0; Q < N; ++Q) {
+    if (!Probe("nfa.epsilon"))
+      return Out;
     if (IsInitial[Q])
       Out.markInitial(Q);
     for (State C : Closure[Scc[Q]]) {
@@ -520,7 +557,7 @@ Nfa Nfa::epsilonLanguage(uint32_t AlphabetSize) {
   return A;
 }
 
-Nfa postr::automata::intersect(const Nfa &A, const Nfa &B) {
+Nfa postr::automata::intersect(const Nfa &A, const Nfa &B, Budget *Bud) {
   assert(!A.hasEpsilon() && !B.hasEpsilon() &&
          "intersect requires epsilon-free inputs");
   assert(A.alphabetSize() == B.alphabetSize() && "alphabet mismatch");
@@ -546,7 +583,10 @@ Nfa postr::automata::intersect(const Nfa &A, const Nfa &B) {
   for (State QA : A.initialStates())
     for (State QB : B.initialStates())
       Out.markInitial(GetState(QA, QB));
+  GrowthProbe Probe{Bud, Out};
   while (!Work.empty()) {
+    if (!Probe("nfa.intersect"))
+      return Out;
     auto [QA, QB, From] = Work.back();
     Work.pop_back();
     // Both rows are Sym-sorted: advance the two cursors in lockstep and
@@ -624,8 +664,10 @@ Nfa postr::automata::concatenate(const Nfa &A, const Nfa &B) {
   return Out;
 }
 
-Nfa postr::automata::determinize(const Nfa &In) {
-  Nfa A = In.hasEpsilon() ? In.removeEpsilon() : In;
+Nfa postr::automata::determinize(const Nfa &In, Budget *Bud) {
+  Nfa A = In.hasEpsilon() ? In.removeEpsilon(Bud) : In;
+  if (Bud && Bud->exceeded())
+    return Nfa(In.alphabetSize());
   uint32_t Sigma = A.alphabetSize();
   Nfa Out(Sigma);
   std::unordered_map<std::vector<State>, State, U32VecHash> Map;
@@ -649,6 +691,8 @@ Nfa postr::automata::determinize(const Nfa &In) {
       }
     auto [Ins, Inserted] = Map.emplace(std::move(Set), Id);
     Work.push_back({&Ins->first, Id});
+    if (Bud)
+      Bud->chargeMem(Ins->first.size() * sizeof(State));
     return Id;
   };
   State Start = GetState(A.initialStates());
@@ -657,7 +701,10 @@ Nfa postr::automata::determinize(const Nfa &In) {
   // the subset's out-edges replaces an alphabet-sized sequence of full
   // scans (each of which used to allocate a numStates-sized Seen mask).
   std::vector<std::vector<State>> Buckets(Sigma);
+  GrowthProbe Probe{Bud, Out};
   while (!Work.empty()) {
+    if (!Probe("nfa.determinize"))
+      return Out;
     auto [Set, From] = Work.back();
     Work.pop_back();
     for (std::vector<State> &B : Buckets)
@@ -678,8 +725,10 @@ Nfa postr::automata::determinize(const Nfa &In) {
   return Out;
 }
 
-Nfa postr::automata::complement(const Nfa &A) {
-  Nfa D = determinize(A);
+Nfa postr::automata::complement(const Nfa &A, Budget *Bud) {
+  Nfa D = determinize(A, Bud);
+  if (Bud && Bud->exceeded())
+    return Nfa(A.alphabetSize());
   Nfa Out(D.alphabetSize());
   Out.addStates(D.numStates());
   for (State Q = 0; Q < D.numStates(); ++Q) {

@@ -29,6 +29,9 @@
 #include <vector>
 
 namespace postr {
+
+class Budget;
+
 namespace automata {
 
 /// State index inside one automaton.
@@ -125,7 +128,9 @@ public:
   //===--------------------------------------------------------------------===
 
   /// Returns an equivalent ε-free automaton (forward ε-closure folding).
-  Nfa removeEpsilon() const;
+  /// When \p B is supplied and trips mid-construction, the (partial) result
+  /// is returned and the caller must check `B->exceeded()` before using it.
+  Nfa removeEpsilon(Budget *B = nullptr) const;
 
   /// Removes states that are unreachable or cannot reach a final state.
   /// ε-transitions are preserved.
@@ -174,11 +179,11 @@ public:
   static Nfa epsilonLanguage(uint32_t AlphabetSize);
 
 private:
-  friend Nfa intersect(const Nfa &, const Nfa &);
+  friend Nfa intersect(const Nfa &, const Nfa &, Budget *);
   friend Nfa unite(const Nfa &, const Nfa &);
   friend Nfa concatenate(const Nfa &, const Nfa &);
-  friend Nfa determinize(const Nfa &);
-  friend Nfa complement(const Nfa &);
+  friend Nfa determinize(const Nfa &, Budget *);
+  friend Nfa complement(const Nfa &, Budget *);
   friend Nfa reverse(const Nfa &);
 
   /// Sorts and deduplicates the transition vector and rebuilds the
@@ -209,8 +214,13 @@ private:
 };
 
 /// Product-construction intersection of two ε-free automata (call
-/// removeEpsilon() first if needed; asserts on ε-transitions).
-Nfa intersect(const Nfa &A, const Nfa &B);
+/// removeEpsilon() first if needed; asserts on ε-transitions). These are
+/// the exponential-blowup stages, so each takes an optional cooperative
+/// `Budget`: probes run at worklist pops (sites "nfa.intersect",
+/// "nfa.determinize", "nfa.epsilon") and output growth is charged against
+/// the memory cap. On a trip the partial automaton is returned; callers
+/// must check `Bud->exceeded()` before trusting the result.
+Nfa intersect(const Nfa &A, const Nfa &B, Budget *Bud = nullptr);
 
 /// Disjoint union (language union).
 Nfa unite(const Nfa &A, const Nfa &B);
@@ -220,10 +230,10 @@ Nfa concatenate(const Nfa &A, const Nfa &B);
 
 /// Subset construction; the result is a complete DFA (with an explicit
 /// sink state) whose initial state is state 0.
-Nfa determinize(const Nfa &A);
+Nfa determinize(const Nfa &A, Budget *Bud = nullptr);
 
 /// Complement over the automaton's alphabet (determinize + flip).
-Nfa complement(const Nfa &A);
+Nfa complement(const Nfa &A, Budget *Bud = nullptr);
 
 /// Reverses the language (transitions flipped, initial/final swapped).
 Nfa reverse(const Nfa &A);

@@ -7,8 +7,6 @@
 
 #include "eq/Stabilize.h"
 
-#include <chrono>
-
 #include <algorithm>
 #include <deque>
 
@@ -66,14 +64,15 @@ public:
   }
 
   StabilizeResult run() {
-    using Clock = std::chrono::steady_clock;
-    Clock::time_point Start = Clock::now();
+    // Legacy callers that only set TimeoutMs get a search-local budget;
+    // the shared one (when supplied) governs instead and also reaches the
+    // automata products inside explore().
+    Budget Local(Budget::Limits{Opts.TimeoutMs, 0, 0, nullptr});
+    Bud = Opts.Budget ? Opts.Budget : &Local;
     Work.push_back(std::move(Initial));
     while (!Work.empty()) {
-      if (Opts.TimeoutMs != 0 &&
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              Clock::now() - Start)
-                  .count() >= static_cast<int64_t>(Opts.TimeoutMs)) {
+      if (!Bud->checkpoint("eq.stabilize")) {
+        Stopped = Bud->reason();
         FuelExhausted = true;
         break;
       }
@@ -84,6 +83,9 @@ public:
     StabilizeResult Out;
     Out.Disjuncts = std::move(Disjuncts);
     Out.Complete = !FuelExhausted;
+    if (FuelExhausted && Stopped == StopReason::None)
+      Stopped = Bud->exceeded() ? Bud->reason() : StopReason::StepBudget;
+    Out.Stop = FuelExhausted ? Stopped : StopReason::None;
     return Out;
   }
 
@@ -177,7 +179,11 @@ private:
     // L(Y′) ∋ ε subsumes "X and Y are equal"; ε ∈ L(X) branches are
     // covered by case (i) below.
     for (uint32_t Q = 0; Q < AY.numStates(); ++Q) {
-      Nfa XRefined = automata::intersect(AX, prefixLanguage(AY, Q));
+      Nfa XRefined = automata::intersect(AX, prefixLanguage(AY, Q), Bud);
+      if (Bud->exceeded()) {
+        FuelExhausted = true;
+        return; // partial product; run() records the reason and stops
+      }
       if (XRefined.isEmpty())
         continue;
       Nfa YRest = suffixLanguage(AY, Q);
@@ -195,7 +201,11 @@ private:
     }
     // Case (iv): X = Y · X′, symmetric.
     for (uint32_t Q = 0; Q < AX.numStates(); ++Q) {
-      Nfa YRefined = automata::intersect(AY, prefixLanguage(AX, Q));
+      Nfa YRefined = automata::intersect(AY, prefixLanguage(AX, Q), Bud);
+      if (Bud->exceeded()) {
+        FuelExhausted = true;
+        return;
+      }
       if (YRefined.isEmpty())
         continue;
       Nfa XRest = suffixLanguage(AX, Q);
@@ -243,9 +253,11 @@ private:
   std::vector<VarId> InputVars;
   VarId &NextFresh;
   StabilizeOptions Opts;
+  Budget *Bud = nullptr;
   std::vector<Decomposition> Disjuncts;
   uint64_t Fuel = 0;
   bool FuelExhausted = false;
+  StopReason Stopped = StopReason::None;
 };
 
 } // namespace

@@ -33,6 +33,7 @@
 
 #include "automata/Nfa.h"
 #include "base/Base.h"
+#include "base/Budget.h"
 
 #include <map>
 #include <vector>
@@ -65,6 +66,10 @@ struct StabilizeOptions {
   /// nodes vary wildly in cost (each does automata products), so callers
   /// with latency budgets must bound time, not only fuel.
   uint64_t TimeoutMs = 0;
+  /// Optional shared resource budget. When set it is probed at every
+  /// branch node and threaded into the automata products, and TimeoutMs
+  /// is ignored (the budget's own deadline governs).
+  postr::Budget *Budget = nullptr;
 };
 
 struct StabilizeResult {
@@ -72,6 +77,10 @@ struct StabilizeResult {
   /// False if fuel ran out and branches were dropped: an empty disjunct
   /// list then means Unknown rather than Unsat.
   bool Complete = true;
+  /// Why the search stopped early: None when Complete, the budget's trip
+  /// reason when a shared resource ran out, or StepBudget when only the
+  /// internal fuel/disjunct caps were hit.
+  StopReason Stop = StopReason::None;
 };
 
 /// Solves E ∧ R into monadic decompositions. \p NextFresh supplies fresh

@@ -7,6 +7,7 @@
 
 #include "lia/Incremental.h"
 
+#include "base/Budget.h"
 #include "base/Hash.h"
 #include "lia/Sat.h"
 #include "lia/Simplex.h"
@@ -17,6 +18,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 using namespace postr;
@@ -104,14 +106,23 @@ private:
       Out.push_back(~L);
     }
   }
-  bool timedOut() const {
-    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed))
+  /// The per-solve stop probe, replacing the old inline deadline check:
+  /// all resource dimensions (deadline, memory, steps, cancellation) go
+  /// through the active budget — an externally shared one, or a local
+  /// per-solve wrapper built from the legacy TimeoutMs/Cancel knobs.
+  /// Records the first reason in Stop.
+  bool stopped(const char *Site) {
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed)) {
+      if (Stop == StopReason::None)
+        Stop = StopReason::Cancelled;
       return true;
-    if (Opts.TimeoutMs == 0)
-      return false;
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               Clock::now() - Start)
-               .count() >= static_cast<int64_t>(Opts.TimeoutMs);
+    }
+    if (Bud && !Bud->checkpoint(Site)) {
+      if (Stop == StopReason::None)
+        Stop = Bud->reason();
+      return true;
+    }
+    return false;
   }
   /// Translates an arena-space coefficient vector into Simplex extended
   /// space (ExtOf is strictly increasing, so sortedness is preserved).
@@ -156,6 +167,12 @@ private:
   std::vector<AssertRecord> Asserted;
   std::vector<int64_t> FinalModel;
   uint32_t TheoryConflicts = 0; ///< per-solve
+  /// Active budget for the current solve (Opts.Budget or &*LocalBud).
+  Budget *Bud = nullptr;
+  /// Legacy-knob wrapper rebuilt each solve when no shared budget is
+  /// supplied, so TimeoutMs keeps measuring from the call.
+  std::optional<Budget> LocalBud;
+  StopReason Stop = StopReason::None; ///< per-solve first stop reason
   // Triage counters (printed under POSTR_QF_STATS).
   uint64_t NumOnAssign = 0, NumRationalChecks = 0, NumFinalChecks = 0,
            NumSplits = 0;
@@ -372,8 +389,9 @@ void IncrementalContext::Impl::prepareTheory() {
     // by the encoding layers) is latched at first use; setOptions after
     // that changes budgets/deadlines but not the rule of a live tableau.
     Theory = std::make_unique<Simplex>(0, Opts.Pivot);
-    Theory->setInterrupt([this] { return timedOut(); });
+    Theory->setInterrupt([this] { return stopped("lia.simplex"); });
   }
+  Theory->setBudget(Bud);
   // The SAT core starts the next descent with an empty trail (it
   // backtracks to level 0 and replays the level-0 prefix through
   // onAssign), so drop our mirror records and reset the theory bounds to
@@ -402,7 +420,7 @@ void IncrementalContext::Impl::prepareTheory() {
 TheoryClient::TRes
 IncrementalContext::Impl::onAssign(const std::vector<Lit> &Trail, size_t From,
                                    std::vector<Lit> &ConflictOut) {
-  if (timedOut())
+  if (stopped("lia.sat"))
     return TRes::Abort;
   ++NumOnAssign;
   trace("assign", Trail.size());
@@ -440,8 +458,13 @@ IncrementalContext::Impl::onAssign(const std::vector<Lit> &Trail, size_t From,
     ++NumRationalChecks;
   if (Changed && !Theory->checkRational()) {
     ++TheoryConflicts;
-    if (TheoryConflicts > Opts.MaxTheoryConflicts)
+    if (TheoryConflicts > Opts.MaxTheoryConflicts) {
+      // Engine-internal runaway cap: structured as StepBudget, but does
+      // NOT trip a shared budget — siblings of this solve keep running.
+      if (Stop == StopReason::None)
+        Stop = StopReason::StepBudget;
       return TRes::Abort;
+    }
     lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
     return TRes::Conflict;
   }
@@ -460,19 +483,22 @@ void IncrementalContext::Impl::onBacktrack(size_t NewTrailSize) {
 
 TheoryClient::TRes
 IncrementalContext::Impl::onFinalModel(std::vector<Lit> &ConflictOut) {
-  if (timedOut())
+  if (stopped("lia.sat"))
     return TRes::Abort;
   // Rational feasibility holds by construction; look for an integer model.
   ++NumFinalChecks;
   trace("final", 0);
   TheoryResult R = Theory->checkInteger(FinalModel, Opts.TheoryNodeBudget);
-  if (timedOut())
+  if (stopped("lia.sat"))
     return TRes::Abort; // cancel/deadline interrupted branch-and-bound
   if (R == TheoryResult::Sat)
     return TRes::Ok;
   ++TheoryConflicts;
-  if (TheoryConflicts > Opts.MaxTheoryConflicts)
+  if (TheoryConflicts > Opts.MaxTheoryConflicts) {
+    if (Stop == StopReason::None)
+      Stop = StopReason::StepBudget;
     return TRes::Abort;
+  }
   if (R == TheoryResult::Unsat) {
     // Integrality conflict: branch-and-bound reports the union of its
     // leaf explanations as a core over the asserted bounds.
@@ -485,7 +511,7 @@ IncrementalContext::Impl::onFinalModel(std::vector<Lit> &ConflictOut) {
   // over the integrality branching that exhausted the local search.
   if (!Theory->checkRational())
     return TRes::Abort; // cannot happen: bounds only got looser
-  if (timedOut())
+  if (stopped("lia.sat"))
     return TRes::Abort; // interrupted mid-check: the vertex is untrusted
   uint32_t Frac = ~0u;
   Var FracVar = 0;
@@ -529,6 +555,22 @@ IncrementalContext::Impl::solve(const std::vector<FormulaId> &Assumptions,
   ++Solves;
   QfResult Out;
 
+  // Resolve the active budget for this solve: the shared one when the
+  // caller provided it, otherwise a fresh local wrapper around the legacy
+  // TimeoutMs/Cancel knobs (its deadline measures from here, preserving
+  // the old per-call semantics). The context stays reusable after a trip:
+  // nothing below caches the tripped budget beyond this call.
+  Stop = StopReason::None;
+  if (Opts.Budget) {
+    Bud = Opts.Budget;
+    LocalBud.reset();
+  } else {
+    LocalBud.emplace(
+        Budget::Limits{Opts.TimeoutMs, 0, 0, Opts.Cancel});
+    Bud = &*LocalBud;
+  }
+  Sat.setBudget(Bud);
+
   // Assumption literals: active scope selectors first, then the caller's
   // formulas flattened. Remember which input index each literal serves so
   // an Unsat core maps back to assumption formulas.
@@ -544,13 +586,19 @@ IncrementalContext::Impl::solve(const std::vector<FormulaId> &Assumptions,
       IndexOfLit.emplace(Assume[I].Code, AI);
   }
 
-  if (timedOut()) {
+  if (stopped("lia.sat")) {
     Out.V = Verdict::Unknown;
+    Out.Stop = Stop;
+    Out.Stats.BudgetTrips = 1;
+    Cumulative += Out.Stats;
     return Out;
   }
   prepareTheory();
-  if (timedOut()) {
+  if (stopped("lia.sat")) {
     Out.V = Verdict::Unknown;
+    Out.Stop = Stop;
+    Out.Stats.BudgetTrips = 1;
+    Cumulative += Out.Stats;
     return Out;
   }
 
@@ -598,6 +646,9 @@ IncrementalContext::Impl::solve(const std::vector<FormulaId> &Assumptions,
       break;
     case SatSolver::Res::Abort:
       Out.V = Verdict::Unknown;
+      // Aborts come from stopped() (budget/cancel/deadline) or from the
+      // MaxTheoryConflicts runaway cap; both recorded their reason.
+      Out.Stop = Stop != StopReason::None ? Stop : StopReason::StepBudget;
       Done = true;
       break;
     }
@@ -618,10 +669,14 @@ IncrementalContext::Impl::solve(const std::vector<FormulaId> &Assumptions,
   Out.Stats.DenNormalizations =
       TS.DenNormalizations - TheoryBefore.DenNormalizations;
   Out.Stats.RuleSwitches = TS.RuleSwitches - TheoryBefore.RuleSwitches;
+  Out.Stats.FenceRecoveries =
+      TS.FenceRecoveries - TheoryBefore.FenceRecoveries;
   for (size_t R = 0; R < NumConcretePivotRules; ++R)
     Out.Stats.PivotsByRule[R] =
         TS.PivotsByRule[R] - TheoryBefore.PivotsByRule[R];
   Out.Stats.TheoryConflicts = TheoryConflicts;
+  if (Out.V == Verdict::Unknown && Out.Stop != StopReason::None)
+    Out.Stats.BudgetTrips = 1;
   Cumulative += Out.Stats;
 
   if (std::getenv("POSTR_SIMPLEX_STATS"))

@@ -7,10 +7,10 @@
 
 #include "lia/Mbqi.h"
 
+#include "base/Budget.h"
 #include "lia/Incremental.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <memory>
 
@@ -19,17 +19,19 @@ using namespace postr::lia;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/// Shared per-run plumbing of both MBQI implementations: the deadline,
-/// the per-query budget derivation, and the fair size-bound schedule.
+/// Shared per-run plumbing of both MBQI implementations: the resource
+/// budget, the per-query option derivation, and the fair size-bound
+/// schedule.
 struct MbqiRun {
   Arena &A;
   const MbqiQuery &Q;
   const MbqiOptions &Opts;
   MbqiStats Dummy;
   MbqiStats &St;
-  Clock::time_point Start = Clock::now();
+  /// Per-run budget when the caller did not supply a shared one: carries
+  /// the legacy MbqiOptions::TimeoutMs deadline and the Qf cancel flag.
+  Budget Local;
+  Budget *Bud;
   // Fair length-bound schedule: propose small candidates first. The
   // size proxy (total transition count of the outer run) is bounded,
   // escalated to unbounded on exhaustion; easy Sat instances finish
@@ -40,7 +42,9 @@ struct MbqiRun {
   static constexpr int64_t MaxSizeBound = 64;
 
   MbqiRun(Arena &A, const MbqiQuery &Q, const MbqiOptions &Opts)
-      : A(A), Q(Q), Opts(Opts), St(Opts.Stats ? *Opts.Stats : Dummy) {
+      : A(A), Q(Q), Opts(Opts), St(Opts.Stats ? *Opts.Stats : Dummy),
+        Local(Budget::Limits{Opts.TimeoutMs, 0, 0, Opts.Qf.Cancel}),
+        Bud(Opts.Qf.Budget ? Opts.Qf.Budget : &Local) {
     if (!Q.BlockTerms.empty())
       for (const LinTerm &T : Q.BlockTerms)
         SizeTerm += T;
@@ -49,26 +53,15 @@ struct MbqiRun {
         SizeTerm += LinTerm::variable(V);
   }
 
-  bool timedOut() const {
-    if (Opts.Qf.Cancel && Opts.Qf.Cancel->load(std::memory_order_relaxed))
-      return true;
-    if (Opts.TimeoutMs == 0)
-      return false;
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               Clock::now() - Start)
-               .count() >= static_cast<int64_t>(Opts.TimeoutMs);
-  }
+  /// Budget probe between candidates and offsets. True means stop now
+  /// (the reason is recorded in the budget).
+  bool stopped() { return !Bud->checkpoint("lia.mbqi"); }
 
-  QfOptions remainingQf() const {
+  QfOptions subQf() const {
+    // Sub-solves share this run's budget, so the deadline / memory cap /
+    // cancel flag govern them directly — no remaining-time arithmetic.
     QfOptions O = Opts.Qf;
-    if (Opts.TimeoutMs != 0) {
-      int64_t Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                            Clock::now() - Start)
-                            .count();
-      int64_t Left = static_cast<int64_t>(Opts.TimeoutMs) - Elapsed;
-      uint64_t Budget = Left > 1 ? static_cast<uint64_t>(Left) : 1;
-      O.TimeoutMs = O.TimeoutMs == 0 ? Budget : std::min(O.TimeoutMs, Budget);
-    }
+    O.Budget = Bud;
     return O;
   }
 
@@ -125,7 +118,7 @@ Verdict solveMbqiScratch(Arena &A, const MbqiQuery &Q,
 
   std::vector<FormulaId> Blockers;
   for (uint32_t Cand = 0; Cand < Opts.MaxCandidates; ++Cand) {
-    if (R.timedOut())
+    if (R.stopped())
       return Verdict::Unknown;
 
     QfResult Outer;
@@ -136,7 +129,7 @@ Verdict solveMbqiScratch(Arena &A, const MbqiQuery &Q,
         OuterParts.push_back(
             A.cmp(R.SizeTerm, Cmp::Le, LinTerm(R.SizeBound)));
       ++R.St.OuterSolves;
-      Outer = solveQF(A, A.conj(OuterParts), R.remainingQf());
+      Outer = solveQF(A, A.conj(OuterParts), R.subQf());
       if (Outer.V == Verdict::Unsat && R.SizeBound <= MbqiRun::MaxSizeBound) {
         // Exhausted below the bound: go unbounded.
         R.SizeBound = MbqiRun::MaxSizeBound * 4;
@@ -168,13 +161,13 @@ Verdict solveMbqiScratch(Arena &A, const MbqiQuery &Q,
       if (Upper > Opts.MaxOffsets)
         return Verdict::Unknown;
       for (int64_t K = 0; K <= Upper && AllBlocksHold; ++K) {
-        if (R.timedOut())
+        if (R.stopped())
           return Verdict::Unknown;
         FormulaId KEq =
             A.cmp(LinTerm::variable(B.Kappa), Cmp::Eq, LinTerm(K));
         ++R.St.InnerQueries;
         QfResult InnerR =
-            solveQF(A, A.conj({B.Inner, PinF, KEq}), R.remainingQf());
+            solveQF(A, A.conj({B.Inner, PinF, KEq}), R.subQf());
         if (InnerR.V == Verdict::Unknown)
           return Verdict::Unknown;
         if (InnerR.V == Verdict::Unsat) {
@@ -225,7 +218,7 @@ Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
   std::vector<std::map<int64_t, FormulaId>> KEqMemo(Q.Blocks.size());
 
   for (uint32_t Cand = 0; Cand < Opts.MaxCandidates; ++Cand) {
-    if (R.timedOut())
+    if (R.stopped())
       return Verdict::Unknown;
 
     QfResult OuterR;
@@ -240,7 +233,7 @@ Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
                    .first;
         Assumps.push_back(It->second);
       }
-      Outer.setOptions(R.remainingQf());
+      Outer.setOptions(R.subQf());
       if (Outer.numSolves() > 0)
         ++R.St.ContextReuses;
       ++R.St.OuterSolves;
@@ -292,7 +285,7 @@ Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
       for (FormulaId P : Pins)
         IC.assertFormula(P);
       for (int64_t K = 0; K <= Upper && AllBlocksHold; ++K) {
-        if (R.timedOut()) {
+        if (R.stopped()) {
           IC.pop();
           return Verdict::Unknown;
         }
@@ -302,7 +295,7 @@ Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
                    .emplace(K, A.cmp(LinTerm::variable(B.Kappa), Cmp::Eq,
                                      LinTerm(K)))
                    .first;
-        IC.setOptions(R.remainingQf());
+        IC.setOptions(R.subQf());
         if (IC.numSolves() > 0)
           ++R.St.ContextReuses;
         ++R.St.InnerQueries;

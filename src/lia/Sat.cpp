@@ -7,6 +7,8 @@
 
 #include "lia/Sat.h"
 
+#include "base/Budget.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -145,7 +147,17 @@ void SatSolver::addClause(std::vector<Lit> Lits) {
     return;
   }
   Clauses.push_back({std::move(Kept), /*Lbd=*/0, /*Learnt=*/false});
+  chargeClauseMem(Clauses.back().Lits.size());
   attach(static_cast<ClauseRef>(Clauses.size() - 1));
+}
+
+void SatSolver::chargeClauseMem(size_t NLits) {
+  if (Bud)
+    // Literal storage + clause header + the two watch-list slots. The
+    // accounting is monotonic (reduceDB does not credit back): it bounds
+    // cumulative allocation, which is what a resident service caps.
+    Bud->chargeMem(NLits * sizeof(Lit) + sizeof(Clause) +
+                   2 * sizeof(ClauseRef));
 }
 
 void SatSolver::attach(ClauseRef C) {
@@ -441,6 +453,7 @@ bool SatSolver::resolveConflict(ClauseRef Conflict) {
   } else {
     Clauses.push_back({LearntScratch, Lbd, /*Learnt=*/true});
     ++NumLearnt;
+    chargeClauseMem(LearntScratch.size());
     ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
     attach(CR);
     enqueue(LearntScratch[0], CR);
@@ -493,6 +506,7 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> &Lemma) {
     uint32_t Lbd = computeLbd(Lemma);
     Clauses.push_back({std::move(Lemma), Lbd, /*Learnt=*/true});
     ++NumLearnt;
+    chargeClauseMem(Clauses.back().Lits.size());
     attach(static_cast<ClauseRef>(Clauses.size() - 1));
     return true;
   }
@@ -525,6 +539,7 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> &Lemma) {
   uint32_t Lbd = computeLbd(Lemma);
   Clauses.push_back({std::move(Lemma), Lbd, /*Learnt=*/true});
   ++NumLearnt;
+  chargeClauseMem(Clauses.back().Lits.size());
   ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
   attach(CR);
   // The lemma is falsified at the current level: run ordinary conflict

@@ -29,6 +29,9 @@
 #include <vector>
 
 namespace postr {
+
+class Budget;
+
 namespace lia {
 
 /// A literal: variable index with sign. `Lit(v, false)` is the positive
@@ -148,6 +151,12 @@ public:
     ReduceBump = Bump;
   }
 
+  /// Attaches a shared resource budget: clause storage (problem and
+  /// learnt) is charged against its memory cap as the DB grows. A MemOut
+  /// trip is noticed by the owning DPLL(T) context at its next theory
+  /// callback; the solver itself keeps running until then.
+  void setBudget(Budget *B) { Bud = B; }
+
 private:
   static constexpr uint8_t Unassigned = 2, TrueVal = 1, FalseVal = 0;
 
@@ -253,6 +262,10 @@ private:
   uint64_t NumLearnt = 0;    ///< live deletable learnt clauses
   uint64_t ReduceLimit = 0;  ///< 0 = derive from problem size at solve()
   uint64_t ReduceBump = 1000;
+  /// Charges one stored clause of \p NLits literals against Bud (no-op
+  /// without a budget).
+  void chargeClauseMem(size_t NLits);
+  Budget *Bud = nullptr;
   SatStats Stats;
 };
 

@@ -7,6 +7,8 @@
 
 #include "lia/Simplex.h"
 
+#include "base/Budget.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -228,6 +230,13 @@ uint32_t Simplex::rowFor(const std::vector<std::pair<Var, int64_t>> &Coeffs) {
   BasicVar.push_back(Slack);
   Beta.push_back(Value);
   TermToVar.emplace(Coeffs, Slack);
+  if (Bud)
+    // Row storage plus the per-variable bookkeeping (bounds, reasons,
+    // column-support vectors, interning key). A MemOut trip here is
+    // noticed at the owner's next checkpoint/interrupt poll.
+    Bud->chargeMem(Tableau.back().size() *
+                       (sizeof(uint32_t) + sizeof(Int) + sizeof(uint32_t)) +
+                   128);
   return Slack;
 }
 
@@ -510,8 +519,31 @@ PivotRule Simplex::activeRule() const {
 }
 
 void Simplex::noteCheckDone(uint64_t PivotsThisCheck) {
-  if (Rule != PivotRule::Adaptive || Degraded ||
-      activeRule() == PivotRule::Bland)
+  if (Rule != PivotRule::Adaptive)
+    return;
+  if (Degraded) {
+    // Probation: a fenced context re-earns its family start rule after a
+    // long window of near-idle checks. The bar is deliberately stricter
+    // than the degrade trigger (default one pivot per check over 8x the
+    // degrade window), so a tableau that keeps wandering never recovers,
+    // while one that degraded on a single bad episode stops paying the
+    // Bland tax for the rest of its (possibly long) incremental life.
+    if (Policy.RecoveryWindowChecks == 0)
+      return;
+    RecoveryPivots += PivotsThisCheck;
+    if (++RecoveryChecks >= Policy.RecoveryWindowChecks) {
+      if (RecoveryPivots <=
+          static_cast<uint64_t>(Policy.RecoveryPivotsPerCheck) *
+              RecoveryChecks) {
+        Degraded = false;
+        ++Stats.FenceRecoveries;
+        WindowChecks = WindowPivots = 0; // degrade window restarts clean
+      }
+      RecoveryChecks = RecoveryPivots = 0;
+    }
+    return;
+  }
+  if (activeRule() == PivotRule::Bland)
     return;
   // Immediate trigger: the restoration ran into the in-check Bland
   // fallback — the preferred rule failed to converge on its own and

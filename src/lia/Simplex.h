@@ -40,6 +40,9 @@
 #include <vector>
 
 namespace postr {
+
+class Budget;
+
 namespace lia {
 
 /// Tri-state outcome of an integer feasibility check. `Unknown` is
@@ -113,6 +116,16 @@ struct PivotPolicy {
   uint32_t DegradeRestorationLen = 256;
   uint32_t DegradeWindowChecks = 64;
   uint32_t DegradeWindowPivotsPerCheck = 8;
+  /// Probation/recovery for the Bland fence: a degraded context re-earns
+  /// its family start rule after RecoveryWindowChecks consecutive checks
+  /// averaging at most RecoveryPivotsPerCheck pivots each (counted in
+  /// SimplexStats::FenceRecoveries). The recovery window is much longer
+  /// and much stricter than the degrade window, so a genuinely wandering
+  /// tableau stays fenced while a context that degraded on one bad
+  /// episode (e.g. an early CEGAR round) gets its preferred rule back.
+  /// 0 disables recovery and keeps the fence permanently sticky.
+  uint32_t RecoveryWindowChecks = 512;
+  uint32_t RecoveryPivotsPerCheck = 1;
 };
 
 /// Number of concrete (non-Adaptive) PivotRule values, for per-rule
@@ -128,6 +141,7 @@ struct SimplexStats {
   uint64_t MaxRowNnz = 0; ///< widest row ever produced
   uint64_t DenNormalizations = 0; ///< row gcd passes that actually reduced
   uint64_t RuleSwitches = 0; ///< adaptive fallbacks to Bland taken
+  uint64_t FenceRecoveries = 0; ///< degraded contexts re-earning their rule
   /// Pivots attributed to the concrete rule whose selection chose them
   /// (indexed by PivotRule; sums to Pivots). Under a fixed non-Bland
   /// rule the Bland share counts the in-check long-restoration fallback
@@ -244,6 +258,7 @@ public:
     Rule = R;
     Degraded = false;
     WindowChecks = WindowPivots = 0;
+    RecoveryChecks = RecoveryPivots = 0;
   }
   /// Replaces the whole policy (rule, family, fallback thresholds),
   /// bypassing the environment override; resets the adaptive state.
@@ -252,6 +267,7 @@ public:
     Rule = P.Rule;
     Degraded = false;
     WindowChecks = WindowPivots = 0;
+    RecoveryChecks = RecoveryPivots = 0;
   }
   PivotRule pivotRule() const { return Rule; }
   /// The concrete rule the next checkRational() will start on: resolves
@@ -269,6 +285,12 @@ public:
   /// a full branch-and-bound tree (nodes cost whole Simplex re-checks;
   /// budgets alone overran deadlines by many seconds).
   void setInterrupt(std::function<bool()> F) { Interrupt = std::move(F); }
+
+  /// Attaches a shared resource budget: tableau-row growth (rowFor) is
+  /// charged against its memory cap. Interruption on trip still flows
+  /// through the interrupt callback, which the owning context points at
+  /// the same budget's checkpoint.
+  void setBudget(Budget *B) { Bud = B; }
 
 private:
   using Int = Rational::Int;
@@ -362,13 +384,19 @@ private:
   SimplexStats Stats;
   PivotPolicy Policy;
   PivotRule Rule;
-  /// Adaptive state: sticky fallback flag plus the rolling
-  /// pivots-per-check window. Sticky on purpose — a context whose
-  /// preferred rule wandered once (the django shape) would pay the same
-  /// degradation again every CEGAR/MBQI episode if the fence reopened.
+  /// Adaptive state: fallback flag plus the rolling pivots-per-check
+  /// window. The fence is sticky by default — a context whose preferred
+  /// rule wandered once (the django shape) would pay the same degradation
+  /// again every CEGAR/MBQI episode if the fence reopened freely — but a
+  /// degraded context on probation (Policy.RecoveryWindowChecks > 0) can
+  /// re-earn its family start rule after a long window of near-idle
+  /// checks; see noteCheckDone.
   bool Degraded = false;
   uint64_t WindowChecks = 0;
   uint64_t WindowPivots = 0;
+  uint64_t RecoveryChecks = 0;
+  uint64_t RecoveryPivots = 0;
+  Budget *Bud = nullptr;
   /// Folds one finished restoration into the adaptive signal; may flip
   /// Degraded (a check-boundary switch — the restoration that tripped it
   /// already ran to completion under the in-check Bland fallback).

@@ -26,6 +26,7 @@
 #define POSTR_LIA_SOLVER_H
 
 #include "base/Base.h"
+#include "base/Budget.h"
 #include "lia/Lia.h"
 #include "lia/Simplex.h"
 
@@ -58,6 +59,11 @@ struct QfOptions {
   /// own contexts). POSTR_SIMPLEX_PIVOT_RULE overrides the rule
   /// process-wide for A/B runs.
   PivotPolicy Pivot;
+  /// Optional shared resource budget. When set it subsumes TimeoutMs and
+  /// Cancel (both are still honoured for legacy callers): the CDCL core,
+  /// Simplex, and the clause DB probe and charge against it, and its trip
+  /// reason surfaces as QfResult::Stop.
+  postr::Budget *Budget = nullptr;
 };
 
 /// Search-core counters of one QF_LIA solve, for benchmarks and triage.
@@ -75,6 +81,9 @@ struct QfSearchStats {
   uint64_t DenNormalizations = 0; ///< row gcd passes that reduced
   uint64_t TheoryConflicts = 0;
   uint64_t RuleSwitches = 0; ///< adaptive pivot-rule fallbacks to Bland
+  uint64_t FenceRecoveries = 0; ///< degraded contexts re-earning their rule
+  uint64_t BudgetTrips = 0;     ///< solves stopped by a resource budget
+  uint64_t DegradedRetries = 0; ///< disjuncts re-run in degraded config
   /// Simplex pivots attributed to each concrete rule (indexed by
   /// PivotRule; sums to Pivots) — the per-rule pivot shares in the bench
   /// JSON.
@@ -94,6 +103,9 @@ struct QfSearchStats {
     DenNormalizations += O.DenNormalizations;
     TheoryConflicts += O.TheoryConflicts;
     RuleSwitches += O.RuleSwitches;
+    FenceRecoveries += O.FenceRecoveries;
+    BudgetTrips += O.BudgetTrips;
+    DegradedRetries += O.DegradedRetries;
     for (size_t R = 0; R < NumConcretePivotRules; ++R)
       PivotsByRule[R] += O.PivotsByRule[R];
     return *this;
@@ -106,6 +118,10 @@ struct QfResult {
   Verdict V = Verdict::Unknown;
   std::vector<int64_t> Model;
   QfSearchStats Stats;
+  /// Why V is Unknown (None for determinate verdicts): the budget's trip
+  /// reason, Timeout/Cancelled from the legacy knobs, or StepBudget when
+  /// an engine-internal cap (MaxTheoryConflicts) ran out.
+  StopReason Stop = StopReason::None;
 };
 
 /// Model-refinement callback for CEGAR loops layered on the solver (the

@@ -7,10 +7,10 @@
 
 #include "solver/Baselines.h"
 
+#include "base/Budget.h"
 #include "strings/Eval.h"
 
 #include <algorithm>
-#include <chrono>
 
 using namespace postr;
 using namespace postr::solver;
@@ -19,8 +19,6 @@ using automata::Nfa;
 using tagaut::PredKind;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 //===----------------------------------------------------------------------===
 // Eq-reduction baseline
@@ -40,22 +38,20 @@ struct Branch {
 class EqReducer {
 public:
   EqReducer(const Problem &P, const EqReductionOptions &Opts)
-      : P(P), Opts(Opts), Start(Clock::now()) {}
+      : P(P), Opts(Opts),
+        LocalBud(Budget::Limits{Opts.TimeoutMs, 0, 0, nullptr}),
+        Bud(Opts.Budget ? Opts.Budget : &LocalBud) {}
 
   SolveResult run();
 
 private:
-  uint64_t remainingMs() const {
-    if (Opts.TimeoutMs == 0)
-      return 0;
-    int64_t Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          Clock::now() - Start)
-                          .count();
-    int64_t Left = static_cast<int64_t>(Opts.TimeoutMs) - Elapsed;
-    return Left > 1 ? static_cast<uint64_t>(Left) : 1;
-  }
-  bool timedOut() const {
-    return Opts.TimeoutMs != 0 && remainingMs() <= 1;
+  /// Budget probe between branch systems; records the first reason.
+  bool stopped() {
+    if (Bud->checkpoint("solver.disjunct"))
+      return false;
+    if (Stop == StopReason::None)
+      Stop = Bud->reason();
+    return true;
   }
 
   VarId fresh() { return NextFresh++; }
@@ -86,7 +82,9 @@ private:
 
   const Problem &P;
   EqReductionOptions Opts;
-  Clock::time_point Start;
+  Budget LocalBud; ///< used when Opts.Budget is null
+  Budget *Bud;
+  StopReason Stop = StopReason::None;
   NormalForm NF;
   VarId NextFresh = 0;
 };
@@ -236,14 +234,14 @@ Verdict EqReducer::solveBranchSystem(
     const std::map<VarId, Nfa> &Langs) {
   VarId Next = NextFresh;
   eq::StabilizeOptions StabOpts = Opts.Stabilize;
-  if (Opts.TimeoutMs)
-    StabOpts.TimeoutMs = StabOpts.TimeoutMs
-                             ? std::min(StabOpts.TimeoutMs, remainingMs())
-                             : remainingMs();
+  if (!StabOpts.Budget)
+    StabOpts.Budget = Bud;
   eq::StabilizeResult Stab = eq::stabilize(Langs, Eqs, Next, StabOpts);
   bool AnyUnknown = !Stab.Complete;
+  if (!Stab.Complete && Stop == StopReason::None)
+    Stop = Stab.Stop;
   for (const eq::Decomposition &D : Stab.Disjuncts) {
-    if (timedOut())
+    if (stopped())
       return Verdict::Unknown;
     lia::Arena A;
     tagaut::IntConstraintBuilder IntBuilder =
@@ -267,14 +265,17 @@ Verdict EqReducer::solveBranchSystem(
       return Ar.conj(std::move(Parts));
     };
     tagaut::MpOptions MpOpts = Opts.Mp;
-    if (Opts.TimeoutMs)
-      MpOpts.TimeoutMs = remainingMs();
+    if (!MpOpts.Budget)
+      MpOpts.Budget = Bud;
     tagaut::MpResult R =
         tagaut::solveMP(A, D.Langs, {}, NF.Sigma.size(), IntBuilder, MpOpts);
     if (R.V == Verdict::Sat)
       return Verdict::Sat;
-    if (R.V == Verdict::Unknown)
+    if (R.V == Verdict::Unknown) {
       AnyUnknown = true;
+      if (Stop == StopReason::None)
+        Stop = R.Stop;
+    }
   }
   return AnyUnknown ? Verdict::Unknown : Verdict::Unsat;
 }
@@ -294,6 +295,7 @@ SolveResult EqReducer::run() {
     Total *= B.size();
     if (Total > Opts.MaxBranches) {
       Result.V = Verdict::Unknown;
+      Result.Stop = StopReason::StepBudget; // engine-internal branch cap
       return Result;
     }
   }
@@ -301,8 +303,9 @@ SolveResult EqReducer::run() {
   bool AnyUnknown = false;
   std::vector<size_t> Idx(PerPred.size(), 0);
   for (uint64_t Count = 0; Count < Total; ++Count) {
-    if (timedOut()) {
+    if (stopped()) {
       Result.V = Verdict::Unknown;
+      Result.Stop = Stop;
       return Result;
     }
     std::vector<eq::WordEquation> Eqs = NF.Equations;
@@ -336,6 +339,8 @@ SolveResult EqReducer::run() {
     }
   }
   Result.V = AnyUnknown ? Verdict::Unknown : Verdict::Unsat;
+  if (Result.V == Verdict::Unknown)
+    Result.Stop = Stop;
   return Result;
 }
 
@@ -389,14 +394,8 @@ SolveResult postr::solver::solveEqReduction(const Problem &P,
 
 SolveResult postr::solver::solveEnum(const Problem &P,
                                      const EnumOptions &Opts) {
-  Clock::time_point Start = Clock::now();
-  auto TimedOut = [&] {
-    if (Opts.TimeoutMs == 0)
-      return false;
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               Clock::now() - Start)
-               .count() >= static_cast<int64_t>(Opts.TimeoutMs);
-  };
+  Budget Local(Budget::Limits{Opts.TimeoutMs, 0, 0, nullptr});
+  Budget *Bud = Opts.Budget ? Opts.Budget : &Local;
 
   SolveResult Result;
   NormalForm NF = normalize(P);
@@ -404,6 +403,7 @@ SolveResult postr::solver::solveEnum(const Problem &P,
 
   if (P.numIntVars() > Opts.MaxIntVars) {
     Result.V = Verdict::Unknown;
+    Result.Stop = StopReason::StepBudget; // engine-internal cap
     return Result;
   }
 
@@ -422,9 +422,16 @@ SolveResult postr::solver::solveEnum(const Problem &P,
     if (!Fin || *Fin > Opts.MaxWordLen)
       Exhaustive = false;
     std::vector<Word> Words = Lang.enumerateWords(Opts.MaxWordLen);
+    Bud->chargeMem(Words.size() * (sizeof(Word) + 8));
     if (Words.empty()) {
       // Non-empty language, but no word within the bound.
       Result.V = Verdict::Unknown;
+      Result.Stop = StopReason::StepBudget;
+      return Result;
+    }
+    if (!Bud->checkpoint("solver.enum")) {
+      Result.V = Verdict::Unknown;
+      Result.Stop = Bud->reason();
       return Result;
     }
     std::stable_sort(Words.begin(), Words.end(),
@@ -449,8 +456,11 @@ SolveResult postr::solver::solveEnum(const Problem &P,
     // Enumerate integer assignments for this word assignment.
     std::vector<int64_t> IntVals(P.numIntVars(), IntLo);
     for (;;) {
-      if ((++Steps & 255) == 0 && TimedOut()) {
+      // Shared-budget probe (deadline, cancel, memory, steps) every 64
+      // evaluations; the old code polled only the deadline, every 256.
+      if ((++Steps & 63) == 0 && !Bud->checkpoint("solver.enum")) {
         Result.V = Verdict::Unknown;
+        Result.Stop = Bud->reason();
         return Result;
       }
       std::map<IntVarId, int64_t> Ints;
@@ -482,5 +492,7 @@ SolveResult postr::solver::solveEnum(const Problem &P,
       break;
   }
   Result.V = Exhaustive ? Verdict::Unsat : Verdict::Unknown;
+  if (Result.V == Verdict::Unknown)
+    Result.Stop = StopReason::StepBudget; // enumeration bound exhausted
   return Result;
 }

@@ -38,6 +38,9 @@ struct EqReductionOptions {
   /// Hard cap on expanded predicate branches (the cross product over
   /// predicates); beyond it the solver answers Unknown.
   uint32_t MaxBranches = 4096;
+  /// Optional shared resource budget; when null one is built from
+  /// TimeoutMs. Threaded into stabilization and every branch solve.
+  postr::Budget *Budget = nullptr;
   eq::StabilizeOptions Stabilize;
   tagaut::MpOptions Mp;
 };
@@ -54,6 +57,9 @@ struct EnumOptions {
   /// MaxIntVars integer variables yields Unknown.
   int64_t MaxIntValue = 16;
   uint32_t MaxIntVars = 2;
+  /// Optional shared resource budget; when null one is built from
+  /// TimeoutMs. Probed every 64 evaluation steps ("solver.enum").
+  postr::Budget *Budget = nullptr;
 };
 
 /// Enumeration baseline.

@@ -7,7 +7,7 @@
 
 #include "solver/BruteForce.h"
 
-#include <chrono>
+#include "base/Budget.h"
 
 using namespace postr;
 using namespace postr::solver;
@@ -16,8 +16,8 @@ BruteForceResult postr::solver::solveBruteForce(
     const std::map<VarId, automata::Nfa> &Langs,
     const std::vector<tagaut::PosPredicate> &Preds,
     const BruteForceOptions &Opts) {
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point Start = Clock::now();
+  Budget Local(Budget::Limits{Opts.TimeoutMs, 0, 0, nullptr});
+  Budget *Bud = Opts.Budget ? Opts.Budget : &Local;
   BruteForceResult Out;
 
   std::vector<VarId> Vars;
@@ -25,11 +25,19 @@ BruteForceResult postr::solver::solveBruteForce(
   for (const auto &[X, Nfa] : Langs) {
     Vars.push_back(X);
     Choices.push_back(Nfa.enumerateWords(Opts.MaxWordLen));
+    Bud->chargeMem(Choices.back().size() * (sizeof(Word) + 8));
     if (Choices.back().empty()) {
       // The language has no word of length <= bound. If it is empty
       // outright the system is Unsat; otherwise the bound is too small
       // to say anything.
       Out.V = Nfa.isEmpty() ? Verdict::Unsat : Verdict::Unknown;
+      if (Out.V == Verdict::Unknown)
+        Out.Stop = StopReason::StepBudget;
+      return Out;
+    }
+    if (!Bud->checkpoint("solver.bruteforce")) {
+      Out.V = Verdict::Unknown;
+      Out.Stop = Bud->reason();
       return Out;
     }
   }
@@ -39,13 +47,14 @@ BruteForceResult postr::solver::solveBruteForce(
   for (;;) {
     if (++Evaluated > Opts.MaxAssignments) {
       Out.V = Verdict::Unknown;
+      Out.Stop = StopReason::StepBudget;
       return Out;
     }
-    if (Opts.TimeoutMs && (Evaluated & 1023) == 0 &&
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            Clock::now() - Start)
-                .count() >= static_cast<int64_t>(Opts.TimeoutMs)) {
+    // Shared-budget probe (deadline, cancel, memory, steps) every 64
+    // evaluations; the old code polled only the deadline, every 1024.
+    if ((Evaluated & 63) == 0 && !Bud->checkpoint("solver.bruteforce")) {
       Out.V = Verdict::Unknown;
+      Out.Stop = Bud->reason();
       return Out;
     }
 

@@ -37,6 +37,11 @@ struct BruteForceOptions {
   uint64_t MaxAssignments = 2'000'000;
   /// Optional deadline in milliseconds (0 = none).
   uint64_t TimeoutMs = 0;
+  /// Optional shared resource budget (base/Budget.h), probed every 64
+  /// evaluations ("solver.bruteforce") — covers cancellation and
+  /// step/memory limits, which the bare TimeoutMs poll never did. When
+  /// null, a per-call budget is built from TimeoutMs.
+  postr::Budget *Budget = nullptr;
 };
 
 struct BruteForceResult {
@@ -44,6 +49,9 @@ struct BruteForceResult {
   /// length bound without the cap or deadline firing — i.e. "no model
   /// with every |x| <= MaxWordLen". Unknown: resources exhausted.
   Verdict V = Verdict::Unknown;
+  /// On a resource-out Unknown: the budget's trip reason, or StepBudget
+  /// when MaxAssignments/MaxWordLen ran out.
+  StopReason Stop = StopReason::None;
   std::map<VarId, Word> Assignment;
 };
 

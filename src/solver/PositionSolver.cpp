@@ -7,11 +7,11 @@
 
 #include "solver/PositionSolver.h"
 
+#include "base/Budget.h"
 #include "strings/Eval.h"
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -24,27 +24,46 @@ using tagaut::PredKind;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 class Pipeline {
 public:
   Pipeline(const Problem &P, const SolveOptions &Opts)
-      : P(P), Opts(Opts), Start(Clock::now()) {}
+      : P(P), Opts(Opts),
+        RootBud(Budget::Limits{Opts.TimeoutMs, Opts.MemLimitBytes,
+                               Opts.StepLimit, nullptr}),
+        Root(Opts.Budget ? Opts.Budget : &RootBud) {}
 
   SolveResult run();
 
 private:
+  /// Milliseconds left on the root deadline (0 = no deadline, for
+  /// Budget::Limits). Clamped to >= 1 so a derived timeout never means
+  /// "none".
   uint64_t remainingMs() const {
-    if (Opts.TimeoutMs == 0)
+    uint64_t R = Root->remainingMs();
+    if (R == ~0ull)
       return 0;
-    int64_t Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          Clock::now() - Start)
-                          .count();
-    int64_t Left = static_cast<int64_t>(Opts.TimeoutMs) - Elapsed;
-    return Left > 1 ? static_cast<uint64_t>(Left) : 1;
+    return R > 1 ? R : 1;
   }
-  bool timedOut() const {
-    return Opts.TimeoutMs != 0 && remainingMs() <= 1;
+  /// Root budget probe between disjuncts; \p StopOut records the first
+  /// trip reason.
+  bool stopped(StopReason &StopOut) const {
+    if (Root->checkpoint("solver.disjunct"))
+      return false;
+    if (StopOut == StopReason::None)
+      StopOut = Root->reason();
+    return true;
+  }
+  /// Limits of one disjunct's child budget: the root's remaining time,
+  /// and the full memory/step allowance (disjunct state is independent
+  /// and freed when the disjunct finishes).
+  Budget::Limits childLimits(const std::atomic<bool> *Cancel) const {
+    Budget::Limits L;
+    L.TimeoutMs = Opts.TimeoutMs ? remainingMs() : 0;
+    L.MemLimitBytes = Opts.MemLimitBytes ? Opts.MemLimitBytes
+                                         : Root->limits().MemLimitBytes;
+    L.StepLimit = Opts.StepLimit ? Opts.StepLimit : Root->limits().StepLimit;
+    L.Cancel = Cancel;
+    return L;
   }
 
   /// Applies a decomposition's substitution to an occurrence sequence.
@@ -61,20 +80,26 @@ private:
   /// Solves one decomposition. Thread-safe: all mutable state is local or
   /// reached through \p Result and \p St, which each worker owns; \p
   /// Cancel (may be null) cooperatively aborts the underlying engines.
+  /// On an Unknown caused by resource exhaustion, \p StopOut receives
+  /// the reason (first one wins). A disjunct stopping on MemOut or
+  /// StepBudget is retried once in degraded mode — Bland pivoting,
+  /// reduced MBQI bounds — on a fresh child budget before giving up.
   Verdict solveDisjunct(const eq::Decomposition &D, SolveResult &Result,
-                        SolveStats &St,
-                        const std::atomic<bool> *Cancel) const;
+                        SolveStats &St, const std::atomic<bool> *Cancel,
+                        StopReason &StopOut) const;
 
   const Problem &P;
   SolveOptions Opts;
-  Clock::time_point Start;
+  Budget RootBud; ///< used when Opts.Budget is null
+  Budget *Root;
   NormalForm NF;
   SolveStats Stats;
 };
 
 Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
                                 SolveResult &Result, SolveStats &St,
-                                const std::atomic<bool> *Cancel) const {
+                                const std::atomic<bool> *Cancel,
+                                StopReason &StopOut) const {
   std::map<VarId, Nfa> Langs = D.Langs;
   VarId NextLocal = NF.NextFresh + 1000000; // disjunct-local fresh ids
   auto EnsureNonEmptySeq = [&](std::vector<VarId> &Seq) {
@@ -201,14 +226,51 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
         break;
       }
   }
-  if (Opts.TimeoutMs)
-    MpOpts.TimeoutMs = MpOpts.TimeoutMs
-                           ? std::min(MpOpts.TimeoutMs, remainingMs())
-                           : remainingMs();
   if (!MpOpts.Cancel)
     MpOpts.Cancel = Cancel;
+
+  // Child budget: the root's remaining time plus the full memory/step
+  // allowance; a caller-set Mp deadline still caps the child.
+  Budget::Limits CL = childLimits(Cancel);
+  if (MpOpts.TimeoutMs)
+    CL.TimeoutMs = CL.TimeoutMs ? std::min(CL.TimeoutMs, MpOpts.TimeoutMs)
+                                : MpOpts.TimeoutMs;
+  Budget Child(CL);
+  MpOpts.Budget = &Child;
   tagaut::MpResult R =
       tagaut::solveMP(A, Langs, Preds, NF.Sigma.size(), IntBuilder, MpOpts);
+  // Root-level accounting: the disjunct's cumulative charges count
+  // against the root cap too (the run loop's probe notices the trip).
+  Root->chargeMem(Child.memCharged());
+
+  // Graceful degradation: a disjunct stopping on MemOut/StepBudget gets
+  // one cheaper shot — Bland pivoting (bounded fill-in) and reduced MBQI
+  // bounds — on a fresh child budget. Timeout/Cancelled are not retried:
+  // there is no time left to spend.
+  if (R.V == Verdict::Unknown &&
+      (R.Stop == StopReason::MemOut || R.Stop == StopReason::StepBudget) &&
+      !(Cancel && Cancel->load(std::memory_order_relaxed))) {
+    ++St.DegradedRetries;
+    tagaut::MpOptions Deg = MpOpts;
+    Deg.Qf.Pivot.Rule = lia::PivotRule::Bland;
+    Deg.Mbqi.Qf.Pivot.Rule = lia::PivotRule::Bland;
+    Deg.Mbqi.MaxCandidates = std::min<uint32_t>(Deg.Mbqi.MaxCandidates, 16);
+    Deg.Mbqi.MaxOffsets = std::min<int64_t>(Deg.Mbqi.MaxOffsets, 512);
+    // Fresh limits: remainingMs() has shrunk by the first attempt.
+    Budget::Limits RL = childLimits(Cancel);
+    if (MpOpts.TimeoutMs)
+      RL.TimeoutMs = RL.TimeoutMs ? std::min(RL.TimeoutMs, MpOpts.TimeoutMs)
+                                  : MpOpts.TimeoutMs;
+    Budget RetryBud(RL);
+    Deg.Budget = &RetryBud;
+    R = tagaut::solveMP(A, Langs, Preds, NF.Sigma.size(), IntBuilder, Deg);
+    Root->chargeMem(RetryBud.memCharged());
+  }
+  if (R.V == Verdict::Unknown && R.Stop != StopReason::None) {
+    ++St.BudgetTrips;
+    if (StopOut == StopReason::None)
+      StopOut = R.Stop;
+  }
 
   if (R.V == Verdict::Sat) {
     // Project onto the original variables through the substitution map.
@@ -240,18 +302,21 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
 
 SolveResult Pipeline::run() {
   SolveResult Result;
+  StopReason AggStop = StopReason::None;
 
   NF = normalize(P);
 
+  // Stabilization runs directly on the root budget (its growth — automata
+  // products, subset constructions — is charged there).
   eq::StabilizeOptions StabOpts = Opts.Stabilize;
-  if (Opts.TimeoutMs)
-    StabOpts.TimeoutMs = StabOpts.TimeoutMs
-                             ? std::min(StabOpts.TimeoutMs, remainingMs())
-                             : remainingMs();
+  if (!StabOpts.Budget)
+    StabOpts.Budget = Root;
   eq::StabilizeResult Stab =
       eq::stabilize(NF.Langs, NF.Equations, NF.NextFresh, StabOpts);
   Stats.Disjuncts = static_cast<uint32_t>(Stab.Disjuncts.size());
   Stats.StabilizationIncomplete = !Stab.Complete;
+  if (!Stab.Complete && Stab.Stop != StopReason::None)
+    AggStop = Stab.Stop;
 
   bool AnyUnknown = !Stab.Complete;
 
@@ -263,11 +328,11 @@ SolveResult Pipeline::run() {
 
   if (Threads <= 1) {
     for (const eq::Decomposition &D : Stab.Disjuncts) {
-      if (timedOut()) {
+      if (stopped(AggStop)) {
         AnyUnknown = true;
         break;
       }
-      Verdict V = solveDisjunct(D, Result, Stats, nullptr);
+      Verdict V = solveDisjunct(D, Result, Stats, nullptr, AggStop);
       if (V == Verdict::Sat) {
         Result.V = Verdict::Sat;
         Result.Stats = Stats;
@@ -277,6 +342,8 @@ SolveResult Pipeline::run() {
         AnyUnknown = true;
     }
     Result.V = AnyUnknown ? Verdict::Unknown : Verdict::Unsat;
+    if (Result.V == Verdict::Unknown)
+      Result.Stop = AggStop;
     Result.Stats = Stats;
     return Result;
   }
@@ -288,13 +355,15 @@ SolveResult Pipeline::run() {
   // hosts, pays for work the serial loop would have skipped (the
   // solve-parallel-1 regression). Staging keeps the serial fast path:
   // only when disjunct 0 fails to answer Sat does the fan-out begin.
-  if (timedOut()) {
+  if (stopped(AggStop)) {
     Result.V = Verdict::Unknown;
+    Result.Stop = AggStop;
     Result.Stats = Stats;
     return Result;
   }
   {
-    Verdict V = solveDisjunct(Stab.Disjuncts[0], Result, Stats, nullptr);
+    Verdict V =
+        solveDisjunct(Stab.Disjuncts[0], Result, Stats, nullptr, AggStop);
     if (V == Verdict::Sat) {
       Result.V = Verdict::Sat;
       Result.Stats = Stats;
@@ -324,20 +393,24 @@ SolveResult Pipeline::run() {
   SolveResult Winner;
   SolveStats Merged = Stats;
 
+  StopReason PoolStop = AggStop;
+
   auto Worker = [&] {
     SolveStats Local;
+    StopReason LocalStop = StopReason::None;
     for (;;) {
       size_t I = NextIdx.fetch_add(1, std::memory_order_relaxed);
       if (I >= Stab.Disjuncts.size())
         break;
       if (Cancel.load(std::memory_order_relaxed))
         break;
-      if (timedOut()) {
+      if (stopped(LocalStop)) {
         PoolUnknown.store(true, std::memory_order_relaxed);
         break;
       }
       SolveResult R;
-      Verdict V = solveDisjunct(Stab.Disjuncts[I], R, Local, &Cancel);
+      Verdict V =
+          solveDisjunct(Stab.Disjuncts[I], R, Local, &Cancel, LocalStop);
       if (V == Verdict::Sat) {
         std::lock_guard<std::mutex> Lock(WinnerMu);
         if (!HaveWinner || I < WinnerIdx) {
@@ -354,8 +427,12 @@ SolveResult Pipeline::run() {
     std::lock_guard<std::mutex> Lock(WinnerMu);
     Merged.FastPathDecisions += Local.FastPathDecisions;
     Merged.MpCalls += Local.MpCalls;
+    Merged.BudgetTrips += Local.BudgetTrips;
+    Merged.DegradedRetries += Local.DegradedRetries;
     Merged.UsedMbqi |= Local.UsedMbqi;
     Merged.UsedApproximation |= Local.UsedApproximation;
+    if (PoolStop == StopReason::None)
+      PoolStop = LocalStop;
   };
 
   std::vector<std::thread> Pool;
@@ -371,6 +448,8 @@ SolveResult Pipeline::run() {
     Result.V = Verdict::Sat;
   } else {
     Result.V = PoolUnknown.load() ? Verdict::Unknown : Verdict::Unsat;
+    if (Result.V == Verdict::Unknown)
+      Result.Stop = PoolStop;
   }
   Result.Stats = Stats;
   return Result;

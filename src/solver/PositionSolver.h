@@ -32,6 +32,23 @@ namespace solver {
 struct SolveOptions {
   /// Overall deadline in milliseconds (0 = none).
   uint64_t TimeoutMs = 0;
+  /// Explicit memory-accounting cap in bytes (0 = none), charged at the
+  /// growth sites — automata states/transitions, subset-construction
+  /// maps, Simplex tableau rows, CDCL clause DB, encoder variable blocks.
+  /// Accounting is cumulative (freed structures are not credited back),
+  /// so the cap bounds total allocation, not the high-water mark. Each
+  /// disjunct gets the full cap (their arenas are independent and freed
+  /// when the disjunct finishes).
+  uint64_t MemLimitBytes = 0;
+  /// Abstract step budget per disjunct (0 = none): every budget probe in
+  /// the engines consumes one step, giving a deterministic, wall-clock-
+  /// independent resource bound (useful for tests and reproducible runs).
+  uint64_t StepLimit = 0;
+  /// Optional caller-owned shared budget (base/Budget.h). When set it
+  /// REPLACES the root budget built from TimeoutMs/MemLimitBytes/
+  /// StepLimit: its deadline governs the pipeline, and per-disjunct child
+  /// budgets are derived from its remaining time and its limits.
+  postr::Budget *Budget = nullptr;
   /// Worker threads for the disjunct pool. The decompositions produced by
   /// stabilization are independent (per-disjunct arena/Simplex/SAT core),
   /// so they are solved on a small pool with first-Sat cancellation.
@@ -54,6 +71,12 @@ struct SolveStats {
   uint32_t Disjuncts = 0;
   uint32_t FastPathDecisions = 0;
   uint32_t MpCalls = 0;
+  /// Disjuncts whose final answer was a budget-tripped Unknown (after
+  /// any degraded retry).
+  uint32_t BudgetTrips = 0;
+  /// Disjuncts re-run once in degraded mode (Bland pivoting, reduced
+  /// MBQI bounds) after stopping on MemOut/StepBudget.
+  uint32_t DegradedRetries = 0;
   bool UsedMbqi = false;
   bool UsedApproximation = false;
   bool StabilizationIncomplete = false;
@@ -61,6 +84,10 @@ struct SolveStats {
 
 struct SolveResult {
   Verdict V = Verdict::Unknown;
+  /// Why the verdict is Unknown when a resource ran out (Timeout /
+  /// Cancelled / MemOut / StepBudget); None for determinate verdicts and
+  /// for genuine incompleteness.
+  StopReason Stop = StopReason::None;
   /// On Sat (with BuildModel): words of the *original* problem variables.
   std::map<VarId, Word> Words;
   std::map<strings::IntVarId, int64_t> Ints;

@@ -7,6 +7,8 @@
 
 #include "tagaut/Encoder.h"
 
+#include "base/Budget.h"
+
 #include <algorithm>
 #include <array>
 #include <set>
@@ -438,6 +440,10 @@ SystemEncoding postr::tagaut::encodeSystem(
 #endif
 
   SystemEncoding Enc;
+  Budget *Bud = Opts.Budget;
+  // Phase probe: true means keep going. On a trip the function returns
+  // the partial encoding immediately; the caller checks Bud->exceeded().
+  auto Probe = [Bud] { return !Bud || Bud->checkpoint("tagaut.encode"); };
   uint32_t FirstVar = A.numVars();
   Enc.Vc = buildVarConcat(Langs);
   SystemTaOptions TaOpts;
@@ -453,11 +459,18 @@ SystemEncoding postr::tagaut::encodeSystem(
       [](const PosPredicate &P) { return P.Kind == PredKind::StrAtEq; });
   TaOpts.EmitCopies = Opts.EmitCopies && (Preds.size() > 1 || AnyStrAtEq);
   Enc.Ta = buildSystemTagAutomaton(Enc.Vc, TaOpts, Enc.Tags);
+  if (Bud)
+    Bud->chargeMem(Enc.Ta.transitions().size() * sizeof(TaTransition) +
+                   Enc.Ta.numStates() * 16);
+  if (!Probe())
+    return Enc;
   bool AnyNotContains = std::any_of(
       Preds.begin(), Preds.end(),
       [](const PosPredicate &P) { return P.Kind == PredKind::NotContains; });
   Enc.Span = AnyNotContains ? SpanMode::Eager : Opts.Span;
-  Enc.Pf = buildParikhFormula(Enc.Ta, A, "o.", Enc.Span);
+  Enc.Pf = buildParikhFormula(Enc.Ta, A, "o.", Enc.Span, Bud);
+  if (!Probe())
+    return Enc;
 
   SystemBuilder B(A, Preds, Enc.Vc, Enc.Tags, AlphabetSize,
                   TaOpts.EmitCopies);
@@ -476,15 +489,20 @@ SystemEncoding postr::tagaut::encodeSystem(
     OuterParts.push_back(B.buildPredicateSat(Enc.Pf, Sv, D));
   }
   Enc.Outer = A.conj(std::move(OuterParts));
+  if (!Probe())
+    return Enc;
 
   // One ∀κ block per ¬contains (Eq. 32): fresh #2 Parikh instance, same
   // words (EqualWords), and a mismatch for the offset κ.
   for (uint32_t D = 0; D < Preds.size(); ++D) {
     if (Preds[D].Kind != PredKind::NotContains)
       continue;
+    if (!Probe())
+      return Enc;
     std::string Prefix = "i" + std::to_string(D) + ".";
     lia::Var FirstInner = A.numVars();
-    ParikhFormula Pf2 = buildParikhFormula(Enc.Ta, A, Prefix);
+    ParikhFormula Pf2 =
+        buildParikhFormula(Enc.Ta, A, Prefix, SpanMode::Eager, Bud);
     SampleVars Sv2 = B.makeSampleVars(Prefix);
     lia::ForallBlock Block;
     Block.Kappa = A.freshVar(Prefix + "kappa", 0);

@@ -75,6 +75,13 @@ struct EncoderOptions {
   /// where no cut loop can see their models, and EqualWords ties #1 to
   /// them transition-by-transition).
   SpanMode Span = SpanMode::Lazy;
+  /// Optional shared resource budget (base/Budget.h), probed at the
+  /// encoder's phase boundaries ("tagaut.encode") and threaded into the
+  /// Parikh constructions ("tagaut.parikh"); tag-automaton and formula
+  /// growth is charged against its memory cap. A trip makes encodeSystem
+  /// return a PARTIAL encoding — callers must check Budget->exceeded()
+  /// and discard it.
+  postr::Budget *Budget = nullptr;
 };
 
 /// The result of encoding a system R′ ∧ P′.

@@ -7,6 +7,7 @@
 
 #include "tagaut/MpSolver.h"
 
+#include "base/Budget.h"
 #include "lia/Mbqi.h"
 #include "lia/Solver.h"
 
@@ -94,11 +95,24 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
                                 const IntConstraintBuilder &IntConstraints,
                                 const MpOptions &Opts) {
   MpResult Out;
-  // Cooperative cancellation: the disjunct pool flips the flag once a
-  // sibling answers Sat; the automata shortcuts and the encoder below
-  // can run for a while, so bail out between phases.
-  auto Cancelled = [&Opts] {
-    return Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed);
+  // Resource governance: the caller's shared budget, or a per-call one
+  // built from the legacy TimeoutMs/Cancel knobs. The automata shortcuts
+  // and the encoder below can run for a while, so probe between phases;
+  // the Cancel flag (the disjunct pool flips it once a sibling answers
+  // Sat) is checked separately so it works even when a caller-supplied
+  // budget does not carry it.
+  Budget Local(Budget::Limits{Opts.TimeoutMs, 0, 0, Opts.Cancel});
+  Budget *Bud = Opts.Budget ? Opts.Budget : &Local;
+  auto Stopped = [&Opts, Bud, &Out] {
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed)) {
+      Out.Stop = StopReason::Cancelled;
+      return true;
+    }
+    if (!Bud->checkpoint("tagaut.encode")) {
+      Out.Stop = Bud->reason();
+      return true;
+    }
+    return false;
   };
 
   // R′ alone is unsatisfiable if any variable's language is empty.
@@ -126,7 +140,7 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
   // word), it is unsatisfiable outright. ¬prefixof additionally requires
   // a strictly longer left side, which equality also rules out.
   for (const PosPredicate &P : Preds) {
-    if (Cancelled()) {
+    if (Stopped()) {
       Out.V = Verdict::Unknown;
       return Out;
     }
@@ -170,13 +184,16 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     }
   }
 
-  if (Cancelled()) {
+  if (Stopped()) {
     Out.V = Verdict::Unknown;
     return Out;
   }
-  SystemEncoding Enc =
-      encodeSystem(A, Langs, Preds, AlphabetSize, Opts.Encoder);
-  if (Cancelled()) {
+  EncoderOptions EncOpts = Opts.Encoder;
+  if (!EncOpts.Budget)
+    EncOpts.Budget = Bud;
+  SystemEncoding Enc = encodeSystem(A, Langs, Preds, AlphabetSize, EncOpts);
+  // A tripped encoder returns a partial encoding — discard it.
+  if (Stopped()) {
     Out.V = Verdict::Unknown;
     return Out;
   }
@@ -198,6 +215,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     if (Qf.Pivot.Family == lia::InstanceFamily::Unknown)
       Qf.Pivot.Family = Preds.empty() ? lia::InstanceFamily::ParikhHeavy
                                       : lia::InstanceFamily::WordEqHeavy;
+    if (Opts.Budget && !Qf.Budget)
+      Qf.Budget = Opts.Budget;
     if (Opts.TimeoutMs)
       Qf.TimeoutMs = Qf.TimeoutMs ? std::min(Qf.TimeoutMs, Opts.TimeoutMs)
                                   : Opts.TimeoutMs;
@@ -226,6 +245,10 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     };
     lia::QfResult R = lia::solveQF(A, Goal, Qf, Refine);
     Out.V = ExceededCuts ? Verdict::Unknown : R.V;
+    if (Out.V == Verdict::Unknown)
+      // Exhausted cut rounds are an engine-internal cap, not a shared-
+      // budget trip.
+      Out.Stop = ExceededCuts ? StopReason::StepBudget : R.Stop;
     if (Out.V == Verdict::Sat) {
       Out.Assignment = Enc.decode(R.Model);
       Out.Model = std::move(R.Model);
@@ -250,6 +273,7 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
   }
   if (MbqiGuard != 0 && Enc.Ta.transitions().size() > MbqiGuard) {
     Out.V = Verdict::Unknown;
+    Out.Stop = StopReason::StepBudget;
     return Out;
   }
 
@@ -259,6 +283,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
   Q.Blocks = Enc.Blocks;
   Q.BlockTerms = Enc.BlockTerms;
   lia::MbqiOptions Mb = Opts.Mbqi;
+  if (Opts.Budget && !Mb.Qf.Budget)
+    Mb.Qf.Budget = Opts.Budget;
   if (Opts.TimeoutMs)
     Mb.TimeoutMs = Mb.TimeoutMs ? std::min(Mb.TimeoutMs, Opts.TimeoutMs)
                                 : Opts.TimeoutMs;
@@ -266,6 +292,16 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     Mb.Qf.Cancel = Opts.Cancel;
   std::vector<int64_t> Model;
   Out.V = lia::solveMbqi(A, Q, &Model, Mb);
+  if (Out.V == Verdict::Unknown) {
+    // solveMbqi reports no reason itself; reconstruct it. Candidate /
+    // offset exhaustion without a budget trip is a step-budget stop.
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed))
+      Out.Stop = StopReason::Cancelled;
+    else if (Bud->exceeded())
+      Out.Stop = Bud->reason();
+    else
+      Out.Stop = StopReason::StepBudget;
+  }
   if (Out.V == Verdict::Sat) {
     Out.Assignment = Enc.decode(Model);
     Out.Model = std::move(Model);

@@ -49,11 +49,23 @@ struct MpOptions {
   /// rebuild via the POSTR_MBQI_MAX_TA_TRANSITIONS environment variable
   /// (large-instance experiments).
   uint32_t MbqiMaxTaTransitions = 4000;
+  /// Optional shared resource budget (deadline / memory cap / step limit
+  /// / cancel, see base/Budget.h). When set it governs the whole solve —
+  /// the encoder, the automata shortcuts, and every QF/MBQI sub-solve —
+  /// and TimeoutMs is ignored. When null a per-call budget is built from
+  /// TimeoutMs + Cancel.
+  postr::Budget *Budget = nullptr;
   EncoderOptions Encoder;
 };
 
 struct MpResult {
   Verdict V = Verdict::Unknown;
+  /// Why the verdict is Unknown, when a resource ran out: the budget's
+  /// trip reason, or StepBudget when an engine-internal cap (connectivity
+  /// cuts, MBQI candidates/offsets, tag-transition guard) was exhausted
+  /// without tripping the shared budget. None for Sat/Unsat and for
+  /// genuine incompleteness (non-flat ¬contains).
+  StopReason Stop = StopReason::None;
   /// On Sat: a witnessing string assignment for every variable.
   std::map<VarId, Word> Assignment;
   /// On Sat: the full LIA model (integer variables the caller minted can

@@ -7,6 +7,8 @@
 
 #include "tagaut/Parikh.h"
 
+#include "base/Budget.h"
+
 #include <algorithm>
 
 using namespace postr;
@@ -18,10 +20,18 @@ using lia::LinTerm;
 ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
                                                 lia::Arena &A,
                                                 const std::string &Prefix,
-                                                SpanMode Span) {
+                                                SpanMode Span, Budget *Bud) {
   ParikhFormula Pf;
   uint32_t NumStates = Ta.numStates();
   uint32_t NumTrans = static_cast<uint32_t>(Ta.transitions().size());
+
+  // The variable block dominates this construction's footprint: one count
+  // var per transition, two indicators (plus a depth var when Eager) per
+  // state, each with a name string in the arena.
+  if (Bud)
+    Bud->chargeMem((static_cast<uint64_t>(NumTrans) +
+                    (Span == SpanMode::Eager ? 3u : 2u) * NumStates) *
+                   64);
 
   Pf.TransCount.reserve(NumTrans);
   for (uint32_t I = 0; I < NumTrans; ++I)
@@ -70,8 +80,11 @@ ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
   // "exactly one last state" condition is induced by Kirchhoff (summing
   // Eq. 36 over all states gives Σγ^F = Σγ^I = 1).
 
-  // φ_Kirch (Eq. 36) per state.
+  // φ_Kirch (Eq. 36) per state. A budget trip abandons the remaining
+  // states — the formula is partial, the caller discards it.
   for (uint32_t Q = 0; Q < NumStates; ++Q) {
+    if (Bud && !Bud->checkpoint("tagaut.parikh"))
+      break;
     LinTerm Lhs = LinTerm::variable(Pf.GammaInit[Q]);
     for (uint32_t I : In[Q])
       Lhs.addMonomial(Pf.TransCount[I], 1);
@@ -84,6 +97,8 @@ ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
   // φ_Span (Eqs. 37–39) per state; skipped entirely in Lazy mode (the
   // caller runs the connectivity CEGAR loop instead).
   for (uint32_t Q = 0; Span == SpanMode::Eager && Q < NumStates; ++Q) {
+    if (Bud && !Bud->checkpoint("tagaut.parikh"))
+      break;
     LinTerm SigmaQ = LinTerm::variable(Sigma[Q]);
     LinTerm GammaQ = LinTerm::variable(Pf.GammaInit[Q]);
     // σ_q = 0 ⇔ γ^I_q = 1 (Eq. 37).

@@ -29,6 +29,9 @@
 #include <vector>
 
 namespace postr {
+
+class Budget;
+
 namespace tagaut {
 
 /// The Parikh formula together with its variable bookkeeping.
@@ -76,9 +79,13 @@ enum class SpanMode {
 
 /// Builds PF(T) into \p Arena. \p Prefix names the fresh variables (the
 /// ¬contains encoding instantiates the same automaton twice, as #1/#2).
+/// \p Bud, when non-null, is probed per state ("tagaut.parikh") and
+/// charged for the minted variables; a trip returns a PARTIAL formula —
+/// the caller must check Bud->exceeded() and discard it.
 ParikhFormula buildParikhFormula(const TagAutomaton &Ta, lia::Arena &Arena,
                                  const std::string &Prefix,
-                                 SpanMode Span = SpanMode::Eager);
+                                 SpanMode Span = SpanMode::Eager,
+                                 Budget *Bud = nullptr);
 
 /// For a model of a Lazy-mode PF: the set of states that carry positive
 /// flow but are unreachable from the model's start state over positive-

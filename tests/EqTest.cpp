@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 using namespace postr;
 using namespace postr::eq;
 using automata::Nfa;
@@ -154,6 +156,76 @@ TEST(StabilizeTest, FuelExhaustionIsReported) {
   F.Eqs.push_back({{X, Y, Z}, {Z, Y, X}});
   StabilizeResult R = F.run({/*Fuel=*/20, /*MaxDisjuncts=*/4});
   EXPECT_FALSE(R.Complete);
+}
+
+TEST(StabilizeTest, TinyBudgetsNeverFlipVerdicts) {
+  // Cancellation/budget robustness, differentially: for random systems,
+  // a run under a tiny deterministic budget (steps or bytes) must either
+  // finish with the same answer as the unbudgeted oracle or report an
+  // incomplete result carrying the budget's stop reason — never a wrong
+  // determinate verdict (e.g. "Unsat" because branches were dropped).
+  static const char *Regexes[] = {"(a|b)*", "a*", "(ab)*", "a{0,3}",
+                                  "b(a|b){0,2}", "a+", "abab"};
+  std::mt19937 Rng(20250808);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    Fixture F;
+    uint32_t NumVars = 2 + Rng() % 3;
+    std::vector<VarId> Vars;
+    for (uint32_t I = 0; I < NumVars; ++I)
+      Vars.push_back(F.var(Regexes[Rng() % 7]));
+    uint32_t NumEqs = 1 + Rng() % 2;
+    for (uint32_t E = 0; E < NumEqs; ++E) {
+      WordEquation Eq;
+      for (uint32_t I = 0, N = 1 + Rng() % 2; I < N; ++I)
+        Eq.Lhs.push_back(Vars[Rng() % NumVars]);
+      for (uint32_t I = 0, N = 1 + Rng() % 2; I < N; ++I)
+        Eq.Rhs.push_back(Vars[Rng() % NumVars]);
+      F.Eqs.push_back(Eq);
+    }
+
+    // Modest fuel keeps each run cheap; the differential property is
+    // about budgets, not search depth, and both sides share the cap.
+    StabilizeOptions Base;
+    Base.Fuel = 200;
+    Base.MaxDisjuncts = 16;
+    StabilizeResult Oracle = F.run(Base);
+
+    auto CheckAgainstOracle = [&](Budget &B, const char *What) {
+      StabilizeOptions O = Base;
+      O.Budget = &B;
+      StabilizeResult R = F.run(O);
+      if (R.Complete) {
+        EXPECT_EQ(R.Stop, StopReason::None) << What;
+        if (Oracle.Complete)
+          EXPECT_EQ(R.Disjuncts.empty(), Oracle.Disjuncts.empty())
+              << What << ": budgeted run flipped the verdict (iter "
+              << Iter << ")";
+      } else {
+        // Dropped branches: must say why, and an empty disjunct list
+        // means Unknown, not Unsat — which callers can only know
+        // because Complete is false.
+        EXPECT_NE(R.Stop, StopReason::None)
+            << What << ": incomplete result without a stop reason";
+      }
+    };
+
+    for (uint64_t Steps : {1ull, 2ull, 8ull, 64ull}) {
+      Budget B(Budget::Limits{0, 0, Steps, nullptr});
+      CheckAgainstOracle(B, "step budget");
+    }
+    for (uint64_t Bytes : {256ull, 4096ull, 1048576ull}) {
+      Budget B(Budget::Limits{0, Bytes, 0, nullptr});
+      CheckAgainstOracle(B, "memory budget");
+    }
+    // Pre-cancelled: must come back Cancelled without touching a branch.
+    std::atomic<bool> Cancel{true};
+    Budget B(Budget::Limits{0, 0, 0, &Cancel});
+    StabilizeOptions O = Base;
+    O.Budget = &B;
+    StabilizeResult R = F.run(O);
+    EXPECT_FALSE(R.Complete);
+    EXPECT_EQ(R.Stop, StopReason::Cancelled);
+  }
 }
 
 TEST(StabilizeTest, EmptyLanguageShortCircuit) {
