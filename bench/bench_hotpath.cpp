@@ -135,15 +135,29 @@ uint64_t solveRep(uint32_t Rep) {
 /// parallelizes. Timeouts are generous so verdicts — and therefore the
 /// checksum — are identical at every thread count even on an
 /// oversubscribed machine.
+/// Self-check counters accumulated across the end-to-end stages (the
+/// Sat-model validation layer is always on; its activity is emitted as
+/// `selfcheck_counters` so the JSON shows the cost is bounded and no
+/// model ever failed).
+struct {
+  uint64_t ModelsValidated = 0, ValidationFailures = 0, ParanoidChecks = 0;
+  void operator+=(const solver::SolveStats &S) {
+    ModelsValidated += S.ModelsValidated;
+    ValidationFailures += S.ValidationFailures;
+    ParanoidChecks += S.ParanoidChecks;
+  }
+} SelfCheckCounters;
+
 uint64_t solveParallelRep(uint32_t, uint32_t Threads) {
   uint64_t Acc = 0;
   for (uint32_t I = 0; I < 4; ++I) {
     strings::Problem P = bench::generate(bench::Family::Thefuck, 131, I);
     solver::SolveOptions O;
     O.TimeoutMs = 20000;
-    O.ValidateModels = false;
     O.Threads = Threads;
-    Acc += static_cast<uint64_t>(solver::solveProblem(P, O).V);
+    solver::SolveResult R = solver::solveProblem(P, O);
+    SelfCheckCounters += R.Stats;
+    Acc += static_cast<uint64_t>(R.V);
   }
   return Acc;
 }
@@ -157,8 +171,9 @@ uint64_t pipelineRep(uint32_t Rep) {
     strings::Problem P = bench::generate(F, 97, Rep % 8);
     solver::SolveOptions O;
     O.TimeoutMs = 5000;
-    O.ValidateModels = false;
-    Acc += static_cast<uint64_t>(solver::solveProblem(P, O).V);
+    solver::SolveResult R = solver::solveProblem(P, O);
+    SelfCheckCounters += R.Stats;
+    Acc += static_cast<uint64_t>(R.V);
   }
   return Acc;
 }
@@ -180,9 +195,10 @@ uint64_t mbqiRep(uint32_t) {
     strings::Problem P = bench::generate(bench::Family::Biopython, 97, I);
     solver::SolveOptions O;
     O.TimeoutMs = 30000;
-    O.ValidateModels = false;
     O.Mp.Mbqi.Stats = &MbqiCounters;
-    Acc += static_cast<uint64_t>(solver::solveProblem(P, O).V);
+    solver::SolveResult R = solver::solveProblem(P, O);
+    SelfCheckCounters += R.Stats;
+    Acc += static_cast<uint64_t>(R.V);
   }
   return Acc;
 }
@@ -235,7 +251,9 @@ int main() {
       "\"fence_recoveries\": %llu},\n"
       "  \"mbqi_counters\": {\"candidates\": %llu, \"outer_solves\": %llu, "
       "\"inner_queries\": %llu, \"inst_lemmas\": %llu, \"blockers\": %llu, "
-      "\"context_reuses\": %llu}\n}\n",
+      "\"context_reuses\": %llu},\n"
+      "  \"selfcheck_counters\": {\"models_validated\": %llu, "
+      "\"validation_failures\": %llu, \"paranoid_checks\": %llu}\n}\n",
       (unsigned long long)SolveCounters.Conflicts,
       (unsigned long long)SolveCounters.Propagations,
       (unsigned long long)SolveCounters.Decisions,
@@ -267,7 +285,10 @@ int main() {
       (unsigned long long)MbqiCounters.InnerQueries,
       (unsigned long long)MbqiCounters.InstLemmas,
       (unsigned long long)MbqiCounters.Blockers,
-      (unsigned long long)MbqiCounters.ContextReuses);
+      (unsigned long long)MbqiCounters.ContextReuses,
+      (unsigned long long)SelfCheckCounters.ModelsValidated,
+      (unsigned long long)SelfCheckCounters.ValidationFailures,
+      (unsigned long long)SelfCheckCounters.ParanoidChecks);
   Json += Counters;
 
   std::fputs(Json.c_str(), stdout);

@@ -18,8 +18,11 @@ using namespace postr;
 
 /// Exit codes: 0 sat/unsat, 1 parse error, 2 unknown (no recorded
 /// reason), then one per resource stop so scripts can tell a timeout
-/// from a memout without scraping stdout.
+/// from a memout without scraping stdout; 7 means the self-check
+/// rejected the solver's own answer (a bug worth reporting).
 static int exitCodeFor(const solver::SolveResult &R) {
+  if (R.Validation.Failed)
+    return 7;
   if (R.V != Verdict::Unknown)
     return 0;
   switch (R.Stop) {
@@ -72,15 +75,23 @@ int main(int Argc, char **Argv) {
     std::printf("unsat\n");
     break;
   case Verdict::Unknown:
-    if (R.Stop != StopReason::None)
+    if (R.Validation.Failed)
+      std::printf("unknown (self-check failed)\n");
+    else if (R.Stop != StopReason::None)
       std::printf("unknown (%s)\n", stopReasonName(R.Stop));
     else
       std::printf("unknown\n");
     break;
   }
+  if (R.Validation.Failed)
+    std::printf("; validation failure: %s\n", R.Validation.Detail.c_str());
   std::printf("; stats {\"stop_reason\": \"%s\", \"disjuncts\": %u, "
-              "\"budget_trips\": %u, \"degraded_retries\": %u}\n",
+              "\"budget_trips\": %u, \"degraded_retries\": %u, "
+              "\"models_validated\": %u, \"validation_failures\": %u, "
+              "\"paranoid_checks\": %u}\n",
               stopReasonName(R.Stop), R.Stats.Disjuncts,
-              R.Stats.BudgetTrips, R.Stats.DegradedRetries);
+              R.Stats.BudgetTrips, R.Stats.DegradedRetries,
+              R.Stats.ModelsValidated, R.Stats.ValidationFailures,
+              R.Stats.ParanoidChecks);
   return exitCodeFor(R);
 }

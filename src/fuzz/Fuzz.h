@@ -1,0 +1,164 @@
+//===- fuzz/Fuzz.h - Differential fuzzing over string problems ---*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzing subsystem: a seeded random `strings::Problem`
+/// generator weighted over the full atom/regex surface (deliberately
+/// mixing the families the four synthetic workload generators keep
+/// apart), a structure-aware mutator, a differential runner that pits the
+/// position-solver pipeline against the independent enumeration oracle
+/// (`solver::solveEnum` + `strings::ConcreteEvaluator`), and a
+/// delta-debugging shrinker that minimizes any failing problem while
+/// preserving an arbitrary failure predicate. `tools/postr_fuzz` drives
+/// these pieces and triages findings into standalone `.smt2` repro files
+/// via `smtlib/Printer.h`.
+///
+/// Everything here is deterministic in the seed: same seed, same
+/// problem, same verdicts — CI failures replay locally byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_FUZZ_FUZZ_H
+#define POSTR_FUZZ_FUZZ_H
+
+#include "solver/PositionSolver.h"
+#include "strings/Ast.h"
+
+#include <functional>
+#include <string>
+
+namespace postr {
+namespace fuzz {
+
+/// Shape bounds for the random problem generator. The defaults keep
+/// instances small enough that the enumeration oracle stays decisive on
+/// most of them (that is what makes the differential check bite) while
+/// still crossing atom families freely.
+struct GenOptions {
+  uint32_t MaxStrVars = 3;     ///< 1..MaxStrVars string variables
+  uint32_t MaxIntVars = 1;     ///< 0..MaxIntVars integer variables
+  uint32_t MinAssertions = 1;
+  uint32_t MaxAssertions = 4;
+  uint32_t AlphabetChars = 2;  ///< literals/regexes draw from 'a'..
+  uint32_t MaxLitLen = 3;      ///< longest generated string literal
+  uint32_t MaxRegexDepth = 3;  ///< operator nesting in generated regexes
+  uint32_t MaxConcatElems = 3; ///< longest generated str.++ sequence
+};
+
+/// Generates a random problem, deterministically in \p Seed.
+strings::Problem generate(uint64_t Seed, const GenOptions &O = {});
+
+/// Structure-aware mutation of \p P (drop/duplicate/add an assertion,
+/// flip a polarity, perturb a literal/regex/integer term), deterministic
+/// in \p Seed.
+strings::Problem mutate(const strings::Problem &P, uint64_t Seed,
+                        const GenOptions &O = {});
+
+/// Deep copy (problems are move-only aggregates of shared regex nodes;
+/// the copy shares the regex ASTs, which are immutable once built).
+strings::Problem clone(const strings::Problem &P);
+
+/// Number of asserted atoms — the shrinker's primary size measure.
+size_t atomCount(const strings::Problem &P);
+
+/// Secondary size measure: total term weight (sequence elements, literal
+/// characters, regex nodes, integer monomials). Strictly decreases on
+/// every accepted shrink step, so shrinking terminates.
+size_t problemWeight(const strings::Problem &P);
+
+/// How a fuzz iteration failed.
+enum class FailureKind : uint8_t {
+  None = 0,
+  /// Solver and oracle both determinate and disagreeing.
+  VerdictMismatch,
+  /// A Sat model failed concrete evaluation (the pipeline's own
+  /// self-check or the harness's independent re-validation), or the
+  /// paranoid Unsat cross-check flipped a verdict.
+  ValidationFailure,
+  /// The solver tripped a resource budget (only a finding when
+  /// DiffOptions::TripsAreFindings asks for hang hunting).
+  ResourceTrip,
+};
+
+const char *failureKindName(FailureKind K);
+
+/// Bounds for one differential check. Deterministic by default: the
+/// solver is step-limited, the oracle budget-limited, and no wall-clock
+/// deadline is set unless requested.
+struct DiffOptions {
+  /// Abstract step limit per pipeline call (0 = none). The default is
+  /// calibrated for throughput: generated instances that the pipeline can
+  /// decide at all are decided within a few thousand steps, while the
+  /// adversarial ¬contains + word-equation mixes degrade superlinearly in
+  /// the step allowance (tens of seconds past ~50k) without changing the
+  /// verdict. Those become budget-tripped Unknowns, which the
+  /// differential check skips unless TripsAreFindings hunts for them.
+  uint64_t SolverStepLimit = 4'000;
+  /// Disjunct cap forwarded to StabilizeOptions::MaxDisjuncts. The step
+  /// limit is per disjunct, so the worst-case work per check is the
+  /// product of the two; the stock 256-disjunct cap makes single
+  /// iterations take minutes.
+  uint32_t SolverMaxDisjuncts = 24;
+  /// Wall-clock guard per pipeline call in ms (0 = none). Off by default
+  /// so fixed-seed runs are bit-reproducible; the driver sets it.
+  uint64_t SolverTimeoutMs = 0;
+  /// Enumeration oracle word-length bound.
+  uint32_t OracleMaxWordLen = 3;
+  /// Abstract step budget for the oracle (one step per 64 evaluations).
+  uint64_t OracleStepLimit = 20'000;
+  /// Also cross-check determinate verdicts against the eq-reduction
+  /// baseline (shares more of the stack, catches path divergence).
+  bool CrossCheckEqReduction = false;
+  /// Treat budget-tripped Unknowns as findings (hang hunting).
+  bool TripsAreFindings = false;
+  /// Forwarded to SolveOptions::ParanoidUnsatCheck.
+  bool Paranoid = false;
+  /// Forwarded to SolveOptions::TamperModel (test-only corruption hook).
+  solver::ModelTamperHook TamperModel;
+};
+
+struct DiffResult {
+  FailureKind Kind = FailureKind::None;
+  Verdict SolverV = Verdict::Unknown;
+  Verdict OracleV = Verdict::Unknown;
+  StopReason SolverStop = StopReason::None;
+  std::string Detail;
+  bool failed() const { return Kind != FailureKind::None; }
+};
+
+/// Runs the pipeline on \p P and cross-checks the verdict: Sat models
+/// re-validated through `ConcreteEvaluator`, determinate verdicts
+/// compared against the enumeration oracle (whose Sat is
+/// evaluator-certified and whose Unsat is exhaustive within the bound).
+DiffResult differentialCheck(const strings::Problem &P,
+                             const DiffOptions &O = {});
+
+struct ShrinkOptions {
+  /// Hard cap on failure-predicate evaluations.
+  uint32_t MaxChecks = 2000;
+};
+
+/// Delta-debugging minimizer: repeatedly drops whole assertions, then
+/// simplifies the survivors (shorter sequences/literals, smaller
+/// regexes, fewer monomials), keeping every candidate on which \p Fails
+/// still holds, until a fixpoint or the check cap. The result satisfies
+/// `Fails`, has at most as many atoms as \p P, and mentions only the
+/// variables it uses.
+strings::Problem
+shrink(const strings::Problem &P,
+       const std::function<bool(const strings::Problem &)> &Fails,
+       const ShrinkOptions &O = {});
+
+/// Byte-level mutation for reader fuzzing: flips/inserts/deletes bytes,
+/// truncates, duplicates chunks. Deterministic in \p Seed.
+std::string mutateBytes(const std::string &In, uint64_t Seed,
+                        uint32_t MaxEdits = 4);
+
+} // namespace fuzz
+} // namespace postr
+
+#endif // POSTR_FUZZ_FUZZ_H

@@ -1,0 +1,521 @@
+//===- fuzz/Generator.cpp - Random problem generation and mutation ----------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace postr;
+using namespace postr::fuzz;
+using strings::Assertion;
+using strings::AssertKind;
+using strings::IntTerm;
+using strings::IntVarId;
+using strings::Problem;
+using strings::StrElem;
+using strings::StrSeq;
+
+namespace {
+
+using Rng = std::mt19937_64;
+
+uint32_t pick(Rng &R, uint32_t N) {
+  return N ? static_cast<uint32_t>(R() % N) : 0;
+}
+
+char randChar(Rng &R, const GenOptions &O) {
+  return static_cast<char>('a' + pick(R, std::max(1u, O.AlphabetChars)));
+}
+
+std::string randLit(Rng &R, const GenOptions &O, uint32_t MinLen) {
+  uint32_t Len = MinLen + pick(R, O.MaxLitLen + 1 - MinLen);
+  std::string S;
+  for (uint32_t I = 0; I < Len; ++I)
+    S.push_back(randChar(R, O));
+  return S;
+}
+
+regex::NodePtr mkNode(regex::NodeKind K) {
+  return std::make_unique<regex::Node>(K);
+}
+
+regex::NodePtr randRegex(Rng &R, const GenOptions &O, uint32_t Depth) {
+  using regex::NodeKind;
+  if (Depth == 0 || pick(R, 4) == 0) {
+    // Leaves. `Empty` is rare: it collapses most problems to Unsat.
+    switch (pick(R, 8)) {
+    case 0:
+      return mkNode(NodeKind::EpsilonK);
+    case 1:
+      return mkNode(NodeKind::AnyChar);
+    case 2:
+      if (pick(R, 4) == 0)
+        return mkNode(NodeKind::Empty);
+      [[fallthrough]];
+    default: {
+      regex::NodePtr N = mkNode(NodeKind::Chars);
+      N->Chars.push_back(randChar(R, O));
+      if (pick(R, 3) == 0)
+        N->Chars.push_back(randChar(R, O));
+      std::sort(N->Chars.begin(), N->Chars.end());
+      N->Chars.erase(std::unique(N->Chars.begin(), N->Chars.end()),
+                     N->Chars.end());
+      return N;
+    }
+    }
+  }
+  switch (pick(R, 6)) {
+  case 0: {
+    regex::NodePtr N = mkNode(NodeKind::Concat);
+    uint32_t K = 2 + pick(R, 2);
+    for (uint32_t I = 0; I < K; ++I)
+      N->Children.push_back(randRegex(R, O, Depth - 1));
+    return N;
+  }
+  case 1: {
+    regex::NodePtr N = mkNode(NodeKind::Union);
+    N->Children.push_back(randRegex(R, O, Depth - 1));
+    N->Children.push_back(randRegex(R, O, Depth - 1));
+    return N;
+  }
+  case 2: {
+    regex::NodePtr N = mkNode(NodeKind::Star);
+    N->Children.push_back(randRegex(R, O, Depth - 1));
+    return N;
+  }
+  case 3: {
+    regex::NodePtr N = mkNode(NodeKind::Plus);
+    N->Children.push_back(randRegex(R, O, Depth - 1));
+    return N;
+  }
+  case 4: {
+    regex::NodePtr N = mkNode(NodeKind::Optional);
+    N->Children.push_back(randRegex(R, O, Depth - 1));
+    return N;
+  }
+  default: {
+    regex::NodePtr N = mkNode(NodeKind::Repeat);
+    N->Children.push_back(randRegex(R, O, Depth - 1));
+    N->Min = static_cast<int>(pick(R, 3));
+    N->Max = N->Min + static_cast<int>(pick(R, 3));
+    return N;
+  }
+  }
+}
+
+regex::NodePtr cloneRegex(const regex::Node &N) {
+  regex::NodePtr Out = mkNode(N.Kind);
+  Out->Chars = N.Chars;
+  Out->Negated = N.Negated;
+  Out->Min = N.Min;
+  Out->Max = N.Max;
+  for (const regex::NodePtr &C : N.Children)
+    Out->Children.push_back(cloneRegex(*C));
+  return Out;
+}
+
+size_t regexWeight(const regex::Node &N) {
+  size_t W = 1 + N.Chars.size();
+  for (const regex::NodePtr &C : N.Children)
+    W += regexWeight(*C);
+  return W;
+}
+
+lia::Cmp randCmp(Rng &R) {
+  switch (pick(R, 6)) {
+  case 0:
+    return lia::Cmp::Le;
+  case 1:
+    return lia::Cmp::Lt;
+  case 2:
+    return lia::Cmp::Ge;
+  case 3:
+    return lia::Cmp::Gt;
+  case 4:
+    return lia::Cmp::Eq;
+  default:
+    return lia::Cmp::Ne;
+  }
+}
+
+StrElem randElem(Rng &R, const Problem &P, const GenOptions &O) {
+  if (pick(R, 3) == 0) {
+    // Empty literals are a deliberate edge case, kept rare.
+    uint32_t MinLen = pick(R, 8) == 0 ? 0 : 1;
+    return StrElem::lit(randLit(R, O, MinLen));
+  }
+  return StrElem::var(pick(R, P.numStrVars()));
+}
+
+StrSeq randSeq(Rng &R, const Problem &P, const GenOptions &O) {
+  StrSeq S;
+  uint32_t N = 1 + pick(R, std::max(1u, O.MaxConcatElems));
+  for (uint32_t I = 0; I < N; ++I)
+    S.push_back(randElem(R, P, O));
+  return S;
+}
+
+IntTerm randIntTerm(Rng &R, const Problem &P, bool ForPosition) {
+  IntTerm T;
+  uint32_t Monomials = pick(R, 3);
+  for (uint32_t I = 0; I < Monomials; ++I) {
+    // Positions keep unit coefficients: negative-scaled positions are
+    // trivially out of range and make StrAt atoms degenerate.
+    static const int64_t Coeffs[] = {-2, -1, 1, 2};
+    int64_t C = ForPosition ? 1 : Coeffs[pick(R, 4)];
+    if (P.numIntVars() > 0 && pick(R, 2) == 0)
+      T = T + IntTerm::intVar(pick(R, P.numIntVars()), C);
+    else
+      T = T + IntTerm::lenOf(pick(R, P.numStrVars()), C);
+  }
+  if (Monomials == 0 || pick(R, 2) == 0)
+    T.Const += static_cast<int64_t>(pick(R, 7)) - (ForPosition ? 1 : 3);
+  return T;
+}
+
+void addRandomAssertion(Problem &P, Rng &R, const GenOptions &O) {
+  // Weighted over the whole atom surface; any mix of families can land
+  // in one problem, which is exactly what the synthetic workload
+  // generators never produce.
+  struct Row {
+    AssertKind K;
+    uint32_t W;
+  };
+  static const Row Table[] = {
+      {AssertKind::InRe, 4},        {AssertKind::WordEq, 3},
+      {AssertKind::Diseq, 2},       {AssertKind::Prefixof, 1},
+      {AssertKind::NotPrefixof, 1}, {AssertKind::Suffixof, 1},
+      {AssertKind::NotSuffixof, 1}, {AssertKind::Contains, 1},
+      {AssertKind::NotContains, 1}, {AssertKind::StrAtEq, 1},
+      {AssertKind::StrAtNe, 1},     {AssertKind::IntAtom, 2},
+  };
+  uint32_t Total = 0;
+  for (const Row &E : Table)
+    Total += E.W;
+  uint32_t Roll = pick(R, Total);
+  AssertKind K = Table[0].K;
+  for (const Row &E : Table) {
+    if (Roll < E.W) {
+      K = E.K;
+      break;
+    }
+    Roll -= E.W;
+  }
+
+  switch (K) {
+  case AssertKind::InRe: {
+    Assertion A;
+    A.Kind = AssertKind::InRe;
+    A.Lhs = {StrElem::var(pick(R, P.numStrVars()))};
+    A.Re = std::shared_ptr<regex::Node>(
+        randRegex(R, O, O.MaxRegexDepth).release());
+    P.add(std::move(A));
+    break;
+  }
+  case AssertKind::WordEq:
+    P.assertWordEq(randSeq(R, P, O), randSeq(R, P, O));
+    break;
+  case AssertKind::Diseq:
+    P.assertDiseq(randSeq(R, P, O), randSeq(R, P, O));
+    break;
+  case AssertKind::Prefixof:
+  case AssertKind::NotPrefixof:
+  case AssertKind::Suffixof:
+  case AssertKind::NotSuffixof:
+  case AssertKind::Contains:
+  case AssertKind::NotContains:
+    P.assertPred(K, randSeq(R, P, O), randSeq(R, P, O));
+    break;
+  case AssertKind::StrAtEq:
+  case AssertKind::StrAtNe: {
+    // str.at yields a word of length <= 1, so the compared element is a
+    // variable or a short literal.
+    StrElem X = pick(R, 3) == 0 ? StrElem::lit(randLit(R, O, 0).substr(0, 1))
+                                : StrElem::var(pick(R, P.numStrVars()));
+    P.assertStrAt(K == AssertKind::StrAtEq, std::move(X), randSeq(R, P, O),
+                  randIntTerm(R, P, /*ForPosition=*/true));
+    break;
+  }
+  default:
+    P.assertIntAtom(randIntTerm(R, P, false), randCmp(R),
+                    randIntTerm(R, P, false));
+    break;
+  }
+}
+
+Problem emptyShell(const Problem &P) {
+  Problem Q;
+  for (VarId X = 0; X < P.numStrVars(); ++X)
+    Q.strVar(P.strVarName(X));
+  for (IntVarId V = 0; V < P.numIntVars(); ++V)
+    Q.intVar(P.intVarName(V));
+  return Q;
+}
+
+/// Flips a positive/negative atom pair in place; returns false for kinds
+/// with no cheap dual.
+bool flipPolarity(Assertion &A) {
+  switch (A.Kind) {
+  case AssertKind::WordEq:
+    A.Kind = AssertKind::Diseq;
+    return true;
+  case AssertKind::Diseq:
+    A.Kind = AssertKind::WordEq;
+    return true;
+  case AssertKind::Prefixof:
+    A.Kind = AssertKind::NotPrefixof;
+    return true;
+  case AssertKind::NotPrefixof:
+    A.Kind = AssertKind::Prefixof;
+    return true;
+  case AssertKind::Suffixof:
+    A.Kind = AssertKind::NotSuffixof;
+    return true;
+  case AssertKind::NotSuffixof:
+    A.Kind = AssertKind::Suffixof;
+    return true;
+  case AssertKind::Contains:
+    A.Kind = AssertKind::NotContains;
+    return true;
+  case AssertKind::NotContains:
+    A.Kind = AssertKind::Contains;
+    return true;
+  case AssertKind::StrAtEq:
+    A.Kind = AssertKind::StrAtNe;
+    return true;
+  case AssertKind::StrAtNe:
+    A.Kind = AssertKind::StrAtEq;
+    return true;
+  case AssertKind::IntAtom:
+  case AssertKind::LenEq:
+    switch (A.Op) {
+    case lia::Cmp::Le:
+      A.Op = lia::Cmp::Gt;
+      break;
+    case lia::Cmp::Lt:
+      A.Op = lia::Cmp::Ge;
+      break;
+    case lia::Cmp::Ge:
+      A.Op = lia::Cmp::Lt;
+      break;
+    case lia::Cmp::Gt:
+      A.Op = lia::Cmp::Le;
+      break;
+    case lia::Cmp::Eq:
+      A.Op = lia::Cmp::Ne;
+      break;
+    case lia::Cmp::Ne:
+      A.Op = lia::Cmp::Eq;
+      break;
+    }
+    return true;
+  case AssertKind::InRe:
+    return false;
+  }
+  return false;
+}
+
+void perturbSeq(StrSeq &S, Rng &R, const Problem &P, const GenOptions &O) {
+  if (S.empty()) {
+    S.push_back(randElem(R, P, O));
+    return;
+  }
+  StrElem &E = S[pick(R, static_cast<uint32_t>(S.size()))];
+  if (!E.IsVar && !E.Lit.empty() && pick(R, 2) == 0) {
+    if (pick(R, 2) == 0)
+      E.Lit.pop_back();
+    else
+      E.Lit.push_back(randChar(R, O));
+    return;
+  }
+  E = randElem(R, P, O);
+}
+
+} // namespace
+
+Problem postr::fuzz::generate(uint64_t Seed, const GenOptions &O) {
+  Rng R(Seed ^ 0x9e3779b97f4a7c15ull);
+  R.discard(4);
+  Problem P;
+  uint32_t NumStr = 1 + pick(R, std::max(1u, O.MaxStrVars));
+  for (uint32_t I = 0; I < NumStr; ++I)
+    P.strVar("s" + std::to_string(I));
+  uint32_t NumInt = pick(R, O.MaxIntVars + 1);
+  for (uint32_t I = 0; I < NumInt; ++I)
+    P.intVar("n" + std::to_string(I));
+  uint32_t Span = O.MaxAssertions >= O.MinAssertions
+                      ? O.MaxAssertions - O.MinAssertions + 1
+                      : 1;
+  uint32_t NumAsserts = O.MinAssertions + pick(R, Span);
+  for (uint32_t I = 0; I < NumAsserts; ++I)
+    addRandomAssertion(P, R, O);
+  return P;
+}
+
+Problem postr::fuzz::clone(const Problem &P) {
+  Problem Q = emptyShell(P);
+  for (const Assertion &A : P.assertions())
+    Q.add(A);
+  return Q;
+}
+
+Problem postr::fuzz::mutate(const Problem &P, uint64_t Seed,
+                            const GenOptions &O) {
+  Rng R(Seed * 0x2545F4914F6CDD1Dull + 0x9E3779B9ull);
+  R.discard(4);
+  Problem Q = emptyShell(P);
+  if (Q.numStrVars() == 0)
+    Q.strVar("s0"); // mutation helpers draw variables; ensure one exists
+  std::vector<Assertion> As(P.assertions().begin(), P.assertions().end());
+
+  uint32_t Op = pick(R, 5);
+  if (As.empty())
+    Op = 2; // nothing to mutate in place: add
+  uint32_t I = As.empty() ? 0 : pick(R, static_cast<uint32_t>(As.size()));
+  switch (Op) {
+  case 0: // drop
+    if (As.size() > 1)
+      As.erase(As.begin() + I);
+    break;
+  case 1: // duplicate
+    As.push_back(As[I]);
+    break;
+  case 2: { // add a fresh assertion
+    for (const Assertion &A : As)
+      Q.add(A);
+    addRandomAssertion(Q, R, O);
+    return Q;
+  }
+  case 3: // flip polarity (or perturb, for InRe)
+    if (!flipPolarity(As[I])) {
+      regex::NodePtr Wrapped = mkNode(pick(R, 2) == 0
+                                          ? regex::NodeKind::Star
+                                          : regex::NodeKind::Optional);
+      Wrapped->Children.push_back(cloneRegex(*As[I].Re));
+      As[I].Re = std::shared_ptr<regex::Node>(Wrapped.release());
+    }
+    break;
+  default: // structural perturbation
+    switch (As[I].Kind) {
+    case AssertKind::InRe: {
+      regex::NodePtr Re = cloneRegex(*As[I].Re);
+      if (!Re->Children.empty() && pick(R, 2) == 0)
+        Re = std::move(Re->Children[pick(
+            R, static_cast<uint32_t>(Re->Children.size()))]);
+      else if (!Re->Chars.empty())
+        Re->Chars[0] = randChar(R, O);
+      As[I].Re = std::shared_ptr<regex::Node>(Re.release());
+      break;
+    }
+    case AssertKind::IntAtom:
+    case AssertKind::LenEq:
+      if (pick(R, 2) == 0)
+        As[I].Pos.Const += pick(R, 2) == 0 ? 1 : -1;
+      else
+        As[I].IntRhs.Const += pick(R, 2) == 0 ? 1 : -1;
+      break;
+    case AssertKind::StrAtEq:
+    case AssertKind::StrAtNe:
+      if (pick(R, 2) == 0)
+        As[I].Pos.Const += pick(R, 2) == 0 ? 1 : -1;
+      else
+        perturbSeq(As[I].Rhs, R, Q, O);
+      break;
+    default:
+      perturbSeq(pick(R, 2) == 0 ? As[I].Lhs : As[I].Rhs, R, Q, O);
+      break;
+    }
+    break;
+  }
+  for (Assertion &A : As)
+    Q.add(std::move(A));
+  return Q;
+}
+
+size_t postr::fuzz::atomCount(const Problem &P) {
+  return P.assertions().size();
+}
+
+size_t postr::fuzz::problemWeight(const Problem &P) {
+  auto SeqW = [](const StrSeq &S) {
+    size_t W = 0;
+    for (const StrElem &E : S)
+      W += 1 + (E.IsVar ? 0 : E.Lit.size());
+    return W;
+  };
+  auto IntW = [](const IntTerm &T) {
+    return T.IntVars.size() + T.LenVars.size() + (T.Const != 0 ? 1 : 0);
+  };
+  size_t W = 0;
+  for (const Assertion &A : P.assertions()) {
+    W += 4; // every atom costs more than any of its parts
+    W += SeqW(A.Lhs) + SeqW(A.Rhs);
+    W += IntW(A.Pos) + IntW(A.IntRhs);
+    if (A.Re)
+      W += regexWeight(*A.Re);
+  }
+  return W;
+}
+
+const char *postr::fuzz::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::VerdictMismatch:
+    return "verdict-mismatch";
+  case FailureKind::ValidationFailure:
+    return "validation-failure";
+  case FailureKind::ResourceTrip:
+    return "resource-trip";
+  }
+  return "none";
+}
+
+std::string postr::fuzz::mutateBytes(const std::string &In, uint64_t Seed,
+                                     uint32_t MaxEdits) {
+  Rng R(Seed * 0xd1342543de82ef95ull + 0x6a09e667f3bcc909ull);
+  R.discard(4);
+  // Mostly structural bytes: delimiters, digits, operator fragments —
+  // the mutations that actually stress the lexer/translator instead of
+  // only producing "unsupported atom" on the first token.
+  static const char Pool[] = "()\"; \n\t0123456789-abcxyz.*+=<>_";
+  auto RandByte = [&]() -> char {
+    if (pick(R, 8) == 0)
+      return static_cast<char>(R() & 0xff);
+    return Pool[pick(R, sizeof(Pool) - 1)];
+  };
+  std::string Out = In;
+  uint32_t Edits = 1 + pick(R, std::max(1u, MaxEdits));
+  for (uint32_t I = 0; I < Edits; ++I) {
+    if (Out.empty()) {
+      Out.push_back(RandByte());
+      continue;
+    }
+    size_t P = pick(R, static_cast<uint32_t>(Out.size()));
+    switch (pick(R, 5)) {
+    case 0:
+      Out[P] = RandByte();
+      break;
+    case 1:
+      Out.erase(P, 1);
+      break;
+    case 2:
+      Out.insert(Out.begin() + static_cast<ptrdiff_t>(P), RandByte());
+      break;
+    case 3:
+      Out.resize(P);
+      break;
+    default: {
+      size_t Len = std::min(Out.size() - P, size_t{1} + pick(R, 16));
+      Out.insert(P, Out.substr(P, Len));
+      break;
+    }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- fuzz/Oracle.cpp - Differential verdict checking ----------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "base/Budget.h"
+#include "solver/Baselines.h"
+#include "strings/Eval.h"
+#include "strings/Normalize.h"
+
+using namespace postr;
+using namespace postr::fuzz;
+
+DiffResult postr::fuzz::differentialCheck(const strings::Problem &P,
+                                          const DiffOptions &O) {
+  DiffResult D;
+
+  solver::SolveOptions SO;
+  SO.TimeoutMs = O.SolverTimeoutMs;
+  SO.StepLimit = O.SolverStepLimit;
+  SO.Stabilize.MaxDisjuncts = O.SolverMaxDisjuncts;
+  SO.ParanoidUnsatCheck = O.Paranoid;
+  SO.TamperModel = O.TamperModel;
+  solver::SolveResult R = solver::solveProblem(P, SO);
+  D.SolverV = R.V;
+  D.SolverStop = R.Stop;
+
+  // The pipeline's own self-check already demoted any invalid Sat to a
+  // structured Unknown; surface it as a finding.
+  if (R.Validation.Failed) {
+    D.Kind = FailureKind::ValidationFailure;
+    D.Detail = R.Validation.Detail;
+    return D;
+  }
+
+  // Belt and braces: re-validate a Sat model here with a fresh evaluator,
+  // independent of whatever the pipeline cached or was configured with.
+  if (R.V == Verdict::Sat) {
+    strings::NormalForm NF = strings::normalize(P);
+    strings::ConcreteEvaluator Eval(P, NF.Sigma);
+    if (!Eval.evalAll(R.Words, R.Ints)) {
+      D.Kind = FailureKind::ValidationFailure;
+      D.Detail = "solver Sat model fails concrete evaluation";
+      return D;
+    }
+  }
+
+  // The enumeration oracle: its Sat is evaluator-certified, its Unsat is
+  // exhaustive within the bound, and anything else comes back Unknown —
+  // mismatches are only scored when both sides are determinate.
+  solver::EnumOptions EO;
+  EO.MaxWordLen = O.OracleMaxWordLen;
+  Budget OracleBud(
+      Budget::Limits{0, 0, O.OracleStepLimit, nullptr});
+  EO.Budget = &OracleBud;
+  solver::SolveResult OracleR = solver::solveEnum(P, EO);
+  D.OracleV = OracleR.V;
+
+  if (D.SolverV != Verdict::Unknown && D.OracleV != Verdict::Unknown &&
+      D.SolverV != D.OracleV) {
+    D.Kind = FailureKind::VerdictMismatch;
+    D.Detail = std::string("solver says ") + verdictName(D.SolverV) +
+               ", enumeration oracle says " + verdictName(D.OracleV);
+    return D;
+  }
+
+  if (O.CrossCheckEqReduction && D.SolverV != Verdict::Unknown) {
+    solver::EqReductionOptions Q;
+    Budget EqBud(Budget::Limits{0, 0, O.OracleStepLimit, nullptr});
+    Q.Budget = &EqBud;
+    solver::SolveResult EqR = solver::solveEqReduction(P, Q);
+    if (EqR.V != Verdict::Unknown && EqR.V != D.SolverV) {
+      D.Kind = FailureKind::VerdictMismatch;
+      D.Detail = std::string("solver says ") + verdictName(D.SolverV) +
+                 ", eq-reduction baseline says " + verdictName(EqR.V);
+      return D;
+    }
+  }
+
+  if (O.TripsAreFindings && D.SolverV == Verdict::Unknown &&
+      D.SolverStop != StopReason::None) {
+    D.Kind = FailureKind::ResourceTrip;
+    D.Detail = std::string("solver tripped its budget (") +
+               stopReasonName(D.SolverStop) + ")";
+  }
+  return D;
+}

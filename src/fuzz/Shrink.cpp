@@ -1,0 +1,278 @@
+//===- fuzz/Shrink.cpp - Delta-debugging minimizer --------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Classic greedy delta debugging over two levels: whole assertions first
+// (the coarse grain dominates repro size), then structural
+// simplifications inside each surviving assertion. Every accepted step
+// strictly decreases (atomCount, problemWeight) lexicographically, so the
+// loop terminates without a step counter; MaxChecks bounds predicate
+// cost, which is where the time actually goes (each check re-solves).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include <algorithm>
+
+using namespace postr;
+using namespace postr::fuzz;
+using strings::Assertion;
+using strings::AssertKind;
+using strings::IntTerm;
+using strings::IntVarId;
+using strings::Problem;
+using strings::StrElem;
+using strings::StrSeq;
+
+namespace {
+
+regex::NodePtr cloneRegex(const regex::Node &N) {
+  regex::NodePtr Out = std::make_unique<regex::Node>(N.Kind);
+  Out->Chars = N.Chars;
+  Out->Negated = N.Negated;
+  Out->Min = N.Min;
+  Out->Max = N.Max;
+  for (const regex::NodePtr &C : N.Children)
+    Out->Children.push_back(cloneRegex(*C));
+  return Out;
+}
+
+Problem rebuild(const Problem &P, const std::vector<Assertion> &As) {
+  Problem Q;
+  for (VarId X = 0; X < P.numStrVars(); ++X)
+    Q.strVar(P.strVarName(X));
+  for (IntVarId V = 0; V < P.numIntVars(); ++V)
+    Q.intVar(P.intVarName(V));
+  for (const Assertion &A : As)
+    Q.add(A);
+  return Q;
+}
+
+void setRe(Assertion &A, regex::NodePtr N) {
+  A.Re = std::shared_ptr<regex::Node>(N.release());
+}
+
+/// Structurally smaller variants of one assertion, in rough order of
+/// payoff. Each candidate weighs strictly less than the original.
+std::vector<Assertion> simplifications(const Assertion &A) {
+  std::vector<Assertion> Out;
+
+  auto WithSeq = [&](bool Left, StrSeq S) {
+    Assertion B = A;
+    (Left ? B.Lhs : B.Rhs) = std::move(S);
+    Out.push_back(std::move(B));
+  };
+  auto ShrinkSeq = [&](const StrSeq &S, bool Left, size_t MinElems) {
+    // Drop one element at a time.
+    if (S.size() > MinElems)
+      for (size_t I = 0; I < S.size(); ++I) {
+        StrSeq T = S;
+        T.erase(T.begin() + static_cast<ptrdiff_t>(I));
+        WithSeq(Left, std::move(T));
+      }
+    // Shorten one literal at a time.
+    for (size_t I = 0; I < S.size(); ++I) {
+      if (S[I].IsVar || S[I].Lit.empty())
+        continue;
+      StrSeq T = S;
+      T[I].Lit.pop_back();
+      WithSeq(Left, std::move(T));
+    }
+  };
+  auto ShrinkInt = [&](const IntTerm &T, IntTerm Assertion::*Field) {
+    auto Push = [&](IntTerm U) {
+      Assertion B = A;
+      B.*Field = std::move(U);
+      Out.push_back(std::move(B));
+    };
+    for (size_t I = 0; I < T.IntVars.size(); ++I) {
+      IntTerm U = T;
+      U.IntVars.erase(U.IntVars.begin() + static_cast<ptrdiff_t>(I));
+      Push(std::move(U));
+    }
+    for (size_t I = 0; I < T.LenVars.size(); ++I) {
+      IntTerm U = T;
+      U.LenVars.erase(U.LenVars.begin() + static_cast<ptrdiff_t>(I));
+      Push(std::move(U));
+    }
+    if (T.Const != 0) {
+      IntTerm U = T;
+      U.Const = 0;
+      Push(std::move(U));
+    }
+  };
+
+  switch (A.Kind) {
+  case AssertKind::InRe: {
+    const regex::Node &N = *A.Re;
+    // Replace the root with each child (unwraps Star/Plus/Opt/Repeat,
+    // picks one Union/Concat branch).
+    for (const regex::NodePtr &C : N.Children) {
+      Assertion B = A;
+      setRe(B, cloneRegex(*C));
+      Out.push_back(std::move(B));
+    }
+    // Drop one child of an n-ary root.
+    if ((N.Kind == regex::NodeKind::Concat ||
+         N.Kind == regex::NodeKind::Union) &&
+        N.Children.size() > 1)
+      for (size_t I = 0; I < N.Children.size(); ++I) {
+        regex::NodePtr M = cloneRegex(N);
+        M->Children.erase(M->Children.begin() +
+                          static_cast<ptrdiff_t>(I));
+        Assertion B = A;
+        setRe(B, std::move(M));
+        Out.push_back(std::move(B));
+      }
+    // Thin a character class.
+    if (N.Kind == regex::NodeKind::Chars && N.Chars.size() > 1) {
+      regex::NodePtr M = cloneRegex(N);
+      M->Chars.resize(1);
+      Assertion B = A;
+      setRe(B, std::move(M));
+      Out.push_back(std::move(B));
+    }
+    // Last resort: the whole regex collapses to epsilon.
+    if (!(N.Kind == regex::NodeKind::EpsilonK && N.Children.empty())) {
+      Assertion B = A;
+      setRe(B, std::make_unique<regex::Node>(regex::NodeKind::EpsilonK));
+      Out.push_back(std::move(B));
+    }
+    break;
+  }
+  case AssertKind::StrAtEq:
+  case AssertKind::StrAtNe:
+    ShrinkSeq(A.Rhs, /*Left=*/false, /*MinElems=*/1);
+    ShrinkInt(A.Pos, &Assertion::Pos);
+    break;
+  case AssertKind::IntAtom:
+  case AssertKind::LenEq:
+    ShrinkInt(A.Pos, &Assertion::Pos);
+    ShrinkInt(A.IntRhs, &Assertion::IntRhs);
+    break;
+  default:
+    ShrinkSeq(A.Lhs, /*Left=*/true, /*MinElems=*/0);
+    ShrinkSeq(A.Rhs, /*Left=*/false, /*MinElems=*/0);
+    break;
+  }
+  return Out;
+}
+
+/// Rebuilds \p P mentioning only the variables its assertions use (the
+/// repro file then carries no dead declarations).
+Problem gcVariables(const Problem &P) {
+  std::vector<bool> StrUsed(P.numStrVars(), false);
+  std::vector<bool> IntUsed(P.numIntVars(), false);
+  auto MarkSeq = [&](const StrSeq &S) {
+    for (const StrElem &E : S)
+      if (E.IsVar)
+        StrUsed[E.Var] = true;
+  };
+  auto MarkInt = [&](const IntTerm &T) {
+    for (auto [V, C] : T.IntVars)
+      IntUsed[V] = true;
+    for (auto [X, C] : T.LenVars)
+      StrUsed[X] = true;
+  };
+  for (const Assertion &A : P.assertions()) {
+    MarkSeq(A.Lhs);
+    MarkSeq(A.Rhs);
+    MarkInt(A.Pos);
+    MarkInt(A.IntRhs);
+  }
+
+  Problem Q;
+  std::vector<VarId> StrMap(P.numStrVars(), InvalidVar);
+  std::vector<IntVarId> IntMap(P.numIntVars(), 0);
+  for (VarId X = 0; X < P.numStrVars(); ++X)
+    if (StrUsed[X])
+      StrMap[X] = Q.strVar(P.strVarName(X));
+  for (IntVarId V = 0; V < P.numIntVars(); ++V)
+    if (IntUsed[V])
+      IntMap[V] = Q.intVar(P.intVarName(V));
+
+  for (Assertion A : P.assertions()) {
+    for (StrSeq *S : {&A.Lhs, &A.Rhs})
+      for (StrElem &E : *S)
+        if (E.IsVar)
+          E.Var = StrMap[E.Var];
+    for (IntTerm *T : {&A.Pos, &A.IntRhs}) {
+      for (auto &[V, C] : T->IntVars)
+        V = IntMap[V];
+      for (auto &[X, C] : T->LenVars)
+        X = StrMap[X];
+    }
+    Q.add(std::move(A));
+  }
+  return Q;
+}
+
+} // namespace
+
+Problem postr::fuzz::shrink(
+    const Problem &P,
+    const std::function<bool(const Problem &)> &Fails,
+    const ShrinkOptions &O) {
+  uint32_t Checks = 0;
+  auto Check = [&](const Problem &Q) {
+    if (Checks >= O.MaxChecks)
+      return false;
+    ++Checks;
+    return Fails(Q);
+  };
+
+  Problem Cur = clone(P);
+  bool Progress = true;
+  while (Progress && Checks < O.MaxChecks) {
+    Progress = false;
+
+    // Level 1: drop whole assertions, greedily to a fixpoint.
+    for (size_t I = 0; I < Cur.assertions().size();) {
+      if (Cur.assertions().size() <= 1)
+        break;
+      std::vector<Assertion> As(Cur.assertions().begin(),
+                                Cur.assertions().end());
+      As.erase(As.begin() + static_cast<ptrdiff_t>(I));
+      Problem Q = rebuild(Cur, As);
+      if (Check(Q)) {
+        Cur = std::move(Q);
+        Progress = true;
+        // Same index now names the next assertion; retry it.
+      } else {
+        ++I;
+      }
+    }
+
+    // Level 2: simplify inside each surviving assertion.
+    for (size_t I = 0; I < Cur.assertions().size(); ++I) {
+      bool Shrunk = true;
+      while (Shrunk && Checks < O.MaxChecks) {
+        Shrunk = false;
+        for (Assertion &Cand : simplifications(Cur.assertions()[I])) {
+          std::vector<Assertion> As(Cur.assertions().begin(),
+                                    Cur.assertions().end());
+          As[I] = std::move(Cand);
+          Problem Q = rebuild(Cur, As);
+          if (problemWeight(Q) < problemWeight(Cur) && Check(Q)) {
+            Cur = std::move(Q);
+            Progress = true;
+            Shrunk = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Drop unused declarations; keep the result only if the predicate
+  // still holds on it (it should — GC is semantics-preserving — but the
+  // predicate may inspect the variable set).
+  Problem Gc = gcVariables(Cur);
+  if (Gc.numStrVars() != Cur.numStrVars() ||
+      Gc.numIntVars() != Cur.numIntVars())
+    if (Fails(Gc))
+      return Gc;
+  return Cur;
+}

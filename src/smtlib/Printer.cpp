@@ -1,0 +1,233 @@
+//===- smtlib/Printer.cpp - SMT-LIB subset printer --------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace postr;
+using namespace postr::smtlib;
+using strings::Assertion;
+using strings::AssertKind;
+using strings::IntTerm;
+using strings::Problem;
+using strings::StrElem;
+using strings::StrSeq;
+
+namespace {
+
+/// SMT-LIB string literal: quotes are escaped by doubling, every other
+/// byte passes through verbatim (the lexer reads raw bytes).
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    Out.push_back(C);
+    if (C == '"')
+      Out.push_back('"');
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+bool isSingleChar(const regex::Node &N) {
+  return N.Kind == regex::NodeKind::Chars && !N.Negated &&
+         N.Chars.size() == 1;
+}
+
+std::string elemStr(const StrElem &E, const Problem &P) {
+  return E.IsVar ? P.strVarName(E.Var) : quoted(E.Lit);
+}
+
+std::string seqStr(const StrSeq &S, const Problem &P) {
+  if (S.empty())
+    return "\"\"";
+  if (S.size() == 1)
+    return elemStr(S[0], P);
+  std::string Out = "(str.++";
+  for (const StrElem &E : S)
+    Out += " " + elemStr(E, P);
+  return Out + ")";
+}
+
+std::string intTermStr(const IntTerm &T, const Problem &P) {
+  std::vector<std::string> Parts;
+  for (auto [V, C] : T.IntVars) {
+    const std::string &Name = P.intVarName(V);
+    Parts.push_back(C == 1 ? Name
+                           : "(* " + std::to_string(C) + " " + Name + ")");
+  }
+  for (auto [X, C] : T.LenVars) {
+    std::string Len = "(str.len " + P.strVarName(X) + ")";
+    Parts.push_back(C == 1 ? Len
+                           : "(* " + std::to_string(C) + " " + Len + ")");
+  }
+  if (T.Const != 0 || Parts.empty())
+    Parts.push_back(std::to_string(T.Const));
+  if (Parts.size() == 1)
+    return Parts.front();
+  std::string Out = "(+";
+  for (const std::string &S : Parts)
+    Out += " " + S;
+  return Out + ")";
+}
+
+std::string cmpStr(const IntTerm &L, lia::Cmp Op, const IntTerm &R,
+                   const Problem &P) {
+  std::string Ls = intTermStr(L, P), Rs = intTermStr(R, P);
+  switch (Op) {
+  case lia::Cmp::Le:
+    return "(<= " + Ls + " " + Rs + ")";
+  case lia::Cmp::Lt:
+    return "(< " + Ls + " " + Rs + ")";
+  case lia::Cmp::Ge:
+    return "(>= " + Ls + " " + Rs + ")";
+  case lia::Cmp::Gt:
+    return "(> " + Ls + " " + Rs + ")";
+  case lia::Cmp::Eq:
+    return "(= " + Ls + " " + Rs + ")";
+  case lia::Cmp::Ne:
+    return "(not (= " + Ls + " " + Rs + "))";
+  }
+  assert(false && "bad cmp");
+  return "";
+}
+
+std::string assertionBody(const Assertion &A, const Problem &P) {
+  switch (A.Kind) {
+  case AssertKind::InRe:
+    return "(str.in_re " + seqStr(A.Lhs, P) + " " + printRegex(*A.Re) + ")";
+  case AssertKind::WordEq:
+    return "(= " + seqStr(A.Lhs, P) + " " + seqStr(A.Rhs, P) + ")";
+  case AssertKind::Diseq:
+    return "(not (= " + seqStr(A.Lhs, P) + " " + seqStr(A.Rhs, P) + "))";
+  case AssertKind::Prefixof:
+  case AssertKind::NotPrefixof: {
+    std::string S =
+        "(str.prefixof " + seqStr(A.Lhs, P) + " " + seqStr(A.Rhs, P) + ")";
+    return A.Kind == AssertKind::Prefixof ? S : "(not " + S + ")";
+  }
+  case AssertKind::Suffixof:
+  case AssertKind::NotSuffixof: {
+    std::string S =
+        "(str.suffixof " + seqStr(A.Lhs, P) + " " + seqStr(A.Rhs, P) + ")";
+    return A.Kind == AssertKind::Suffixof ? S : "(not " + S + ")";
+  }
+  case AssertKind::Contains:
+  case AssertKind::NotContains: {
+    // SMT-LIB argument order is (str.contains haystack needle); the AST
+    // stores the needle as Lhs.
+    std::string S =
+        "(str.contains " + seqStr(A.Rhs, P) + " " + seqStr(A.Lhs, P) + ")";
+    return A.Kind == AssertKind::Contains ? S : "(not " + S + ")";
+  }
+  case AssertKind::StrAtEq:
+  case AssertKind::StrAtNe: {
+    assert(A.Lhs.size() == 1 && "str.at lhs must be a single element");
+    std::string S = "(= " + elemStr(A.Lhs[0], P) + " (str.at " +
+                    seqStr(A.Rhs, P) + " " + intTermStr(A.Pos, P) + "))";
+    return A.Kind == AssertKind::StrAtEq ? S : "(not " + S + ")";
+  }
+  case AssertKind::IntAtom:
+  case AssertKind::LenEq:
+    return cmpStr(A.Pos, A.Op, A.IntRhs, P);
+  }
+  assert(false && "bad assertion kind");
+  return "";
+}
+
+} // namespace
+
+std::string postr::smtlib::printRegex(const regex::Node &N) {
+  using regex::NodeKind;
+  switch (N.Kind) {
+  case NodeKind::Empty:
+    return "re.none";
+  case NodeKind::EpsilonK:
+    return "(str.to_re \"\")";
+  case NodeKind::AnyChar:
+    return "re.allchar";
+  case NodeKind::Chars: {
+    assert(!N.Negated &&
+           "negated classes have no Reader-compatible rendering");
+    std::vector<char> Cs = N.Chars;
+    std::sort(Cs.begin(), Cs.end());
+    Cs.erase(std::unique(Cs.begin(), Cs.end()), Cs.end());
+    if (Cs.empty())
+      return "re.none";
+    if (Cs.size() == 1)
+      return "(str.to_re " + quoted(std::string(1, Cs[0])) + ")";
+    bool Contiguous = true;
+    for (size_t I = 0; I + 1 < Cs.size(); ++I)
+      if (static_cast<unsigned char>(Cs[I + 1]) !=
+          static_cast<unsigned char>(Cs[I]) + 1)
+        Contiguous = false;
+    if (Contiguous)
+      return "(re.range " + quoted(std::string(1, Cs.front())) + " " +
+             quoted(std::string(1, Cs.back())) + ")";
+    std::string Out = "(re.union";
+    for (char C : Cs)
+      Out += " (str.to_re " + quoted(std::string(1, C)) + ")";
+    return Out + ")";
+  }
+  case NodeKind::Concat: {
+    if (N.Children.empty())
+      return "(str.to_re \"\")";
+    // A concatenation of single-character classes is a word: print the
+    // `str.to_re` sugar the Reader desugars it from, so re-printing a
+    // parsed script reproduces it byte for byte.
+    bool AllChars = std::all_of(
+        N.Children.begin(), N.Children.end(),
+        [](const regex::NodePtr &C) { return isSingleChar(*C); });
+    if (AllChars) {
+      std::string W;
+      for (const regex::NodePtr &C : N.Children)
+        W.push_back(C->Chars.front());
+      return "(str.to_re " + quoted(W) + ")";
+    }
+    std::string Out = "(re.++";
+    for (const regex::NodePtr &C : N.Children)
+      Out += " " + printRegex(*C);
+    return Out + ")";
+  }
+  case NodeKind::Union: {
+    if (N.Children.empty())
+      return "re.none";
+    if (N.Children.size() == 1)
+      return printRegex(*N.Children.front());
+    std::string Out = "(re.union";
+    for (const regex::NodePtr &C : N.Children)
+      Out += " " + printRegex(*C);
+    return Out + ")";
+  }
+  case NodeKind::Star:
+    return "(re.* " + printRegex(*N.Children.front()) + ")";
+  case NodeKind::Plus:
+    return "(re.+ " + printRegex(*N.Children.front()) + ")";
+  case NodeKind::Optional:
+    return "(re.opt " + printRegex(*N.Children.front()) + ")";
+  case NodeKind::Repeat:
+    assert(N.Min >= 0 && N.Max >= N.Min &&
+           "unbounded/invalid re.loop bounds are outside the printable set");
+    return "(re.loop " + printRegex(*N.Children.front()) + " " +
+           std::to_string(N.Min) + " " + std::to_string(N.Max) + ")";
+  }
+  assert(false && "bad regex node kind");
+  return "";
+}
+
+std::string postr::smtlib::printProblem(const Problem &P) {
+  std::string Out = "(set-logic QF_SLIA)\n";
+  for (VarId X = 0; X < P.numStrVars(); ++X)
+    Out += "(declare-fun " + P.strVarName(X) + " () String)\n";
+  for (strings::IntVarId V = 0; V < P.numIntVars(); ++V)
+    Out += "(declare-fun " + P.intVarName(V) + " () Int)\n";
+  for (const Assertion &A : P.assertions())
+    Out += "(assert " + assertionBody(A, P) + ")\n";
+  Out += "(check-sat)\n(exit)\n";
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- smtlib/Printer.h - SMT-LIB subset printer -----------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a `strings::Problem` back to SMT-LIB 2.6 concrete syntax, the
+/// inverse of `smtlib/Reader.h` on the supported fragment. The fuzz
+/// shrinker uses it to emit standalone `.smt2` repro files, and the
+/// round-trip property test pins print → parse → print as a fixpoint:
+/// the Reader re-sugars some forms (`str.to_re "ab"` parses to a Concat
+/// of Chars nodes), so byte equality holds from the first re-print on,
+/// not between the AST and its first print.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_SMTLIB_PRINTER_H
+#define POSTR_SMTLIB_PRINTER_H
+
+#include "strings/Ast.h"
+
+#include <string>
+
+namespace postr {
+namespace smtlib {
+
+/// Renders \p P as a complete SMT-LIB script: `(set-logic QF_SLIA)`,
+/// declarations in id order, one `(assert ...)` per assertion, then
+/// `(check-sat)` and `(exit)`. The output parses back through
+/// `parseString` into a structurally equivalent problem (same variables,
+/// same assertion kinds in the same order, equivalent terms).
+std::string printProblem(const strings::Problem &P);
+
+/// Renders one regex AST in SMT-LIB regex syntax (`str.to_re`, `re.++`,
+/// `re.union`, `re.range`, `re.loop`, ...). Supports every node shape
+/// the Reader or the fuzz generator produces; negated character classes
+/// (which neither produces) assert.
+std::string printRegex(const regex::Node &N);
+
+} // namespace smtlib
+} // namespace postr
+
+#endif // POSTR_SMTLIB_PRINTER_H

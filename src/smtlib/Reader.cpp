@@ -54,7 +54,7 @@ public:
       skipWs();
       if (Pos >= Text.size())
         return Result<std::vector<Sexp>>::success(std::move(Out));
-      Result<Sexp> S = parseOne();
+      Result<Sexp> S = parseOne(0);
       if (!S)
         return Result<std::vector<Sexp>>::failure(S.error());
       Out.push_back(S.take());
@@ -87,7 +87,12 @@ private:
     return "line " + std::to_string(Line) + " col " + std::to_string(Col);
   }
 
-  Result<Sexp> parseOne() {
+  /// Hard bound on list nesting: parseOne recurses per '(' and a
+  /// hostile input of a few hundred kilobytes of open parens would
+  /// otherwise land in the C++ stack, not a diagnostic.
+  static constexpr uint32_t MaxDepth = 200;
+
+  Result<Sexp> parseOne(uint32_t Depth) {
     skipWs();
     if (Pos >= Text.size())
       return Result<Sexp>::failure("unexpected end of input at " + where());
@@ -96,6 +101,10 @@ private:
     S.Col = Col;
     char C = Text[Pos];
     if (C == '(') {
+      if (Depth >= MaxDepth)
+        return Result<Sexp>::failure(
+            "expression nesting exceeds depth " +
+            std::to_string(MaxDepth) + " at " + where());
       advance();
       S.K = Sexp::List;
       for (;;) {
@@ -106,7 +115,7 @@ private:
           advance();
           return Result<Sexp>::success(std::move(S));
         }
-        Result<Sexp> Child = parseOne();
+        Result<Sexp> Child = parseOne(Depth + 1);
         if (!Child)
           return Child;
         S.Items.push_back(Child.take());
@@ -192,9 +201,43 @@ public:
   }
 
 private:
+  static std::string at(const Sexp &S) {
+    return " (line " + std::to_string(S.Line) + " col " +
+           std::to_string(S.Col) + ")";
+  }
+
+  /// Every diagnostic carries the offending s-expression's location.
+  template <typename T>
+  static Result<T> errT(const Sexp &S, const std::string &Msg) {
+    return Result<T>::failure(Msg + at(S));
+  }
+
   static Result<Unit> err(const Sexp &S, const std::string &Msg) {
-    return Result<Unit>::failure(Msg + " (line " + std::to_string(S.Line) +
-                               " col " + std::to_string(S.Col) + ")");
+    return errT<Unit>(S, Msg);
+  }
+
+  /// Checked numeral: optional leading '-', then 1..18 decimal digits
+  /// (so the value always fits int64_t without overflow UB). atoll's
+  /// silent 0-on-garbage and undefined overflow are exactly the bugs a
+  /// reader fuzzer finds first.
+  static Result<int64_t> numeral(const Sexp &S) {
+    const std::string &T = S.Text;
+    size_t I = 0;
+    bool Neg = false;
+    if (S.K == Sexp::Atom && I < T.size() && T[I] == '-') {
+      Neg = true;
+      ++I;
+    }
+    size_t Digits = T.size() - I;
+    if (S.K != Sexp::Atom || Digits == 0 || Digits > 18)
+      return errT<int64_t>(S, "malformed numeral '" + T + "'");
+    int64_t V = 0;
+    for (; I < T.size(); ++I) {
+      if (!std::isdigit(static_cast<unsigned char>(T[I])))
+        return errT<int64_t>(S, "malformed numeral '" + T + "'");
+      V = V * 10 + (T[I] - '0');
+    }
+    return Result<int64_t>::success(Neg ? -V : V);
   }
 
   Result<Unit> declare(const Sexp &S) {
@@ -207,12 +250,17 @@ private:
         (S.Items[2].K != Sexp::List || !S.Items[2].Items.empty()))
       return err(S, "only zero-arity declare-fun is supported");
     const Sexp &Sort = S.Items[SortIdx];
+    const std::string &Name = S.Items[1].Text;
     if (Sort.isAtom("String")) {
-      P.strVar(S.Items[1].Text);
+      if (P.hasIntVar(Name))
+        return err(S, "'" + Name + "' redeclared with a different sort");
+      P.strVar(Name);
       return Result<Unit>::success(Unit{});
     }
     if (Sort.isAtom("Int")) {
-      P.intVar(S.Items[1].Text);
+      if (P.hasStrVar(Name))
+        return err(S, "'" + Name + "' redeclared with a different sort");
+      P.intVar(Name);
       return Result<Unit>::success(Unit{});
     }
     return err(Sort, "unsupported sort");
@@ -256,18 +304,8 @@ private:
       if (!Re)
         return Result<Unit>::failure(Re.error());
       NodePtr Node = Re.take();
-      if (!Positive) {
-        // Sec. 2 footnote 4: complement at compile time.
-        Node->Negated = !Node->Negated;
-        // Wrap so the flag lives on a dedicated node the compiler
-        // understands as language complement.
-        NodePtr Wrap = std::make_unique<regex::Node>(NodeKind::Repeat);
-        Wrap->Min = 1;
-        Wrap->Max = 1;
-        Wrap->Negated = true;
-        Wrap->Children.push_back(std::move(Node));
+      if (!Positive)
         return err(S, "negated str.in_re is not supported yet");
-      }
       Assertion A;
       A.Kind = AssertKind::InRe;
       A.Lhs = {(*T)[0]};
@@ -419,16 +457,20 @@ private:
     if (S.K == Sexp::Atom) {
       if (!S.Text.empty() &&
           (std::isdigit(static_cast<unsigned char>(S.Text[0])) ||
-           (S.Text[0] == '-' && S.Text.size() > 1)))
-        return Result<IntTerm>::success(IntTerm::constant(std::atoll(S.Text.c_str())));
+           (S.Text[0] == '-' && S.Text.size() > 1))) {
+        Result<int64_t> N = numeral(S);
+        if (!N)
+          return Result<IntTerm>::failure(N.error());
+        return Result<IntTerm>::success(IntTerm::constant(*N));
+      }
       if (P.hasIntVar(S.Text))
         return Result<IntTerm>::success(IntTerm::intVar(P.intVar(S.Text)));
-      return Result<IntTerm>::failure("undeclared integer variable '" +
-                                    S.Text + "'");
+      return errT<IntTerm>(S, "undeclared integer variable '" + S.Text +
+                                  "'");
     }
     if (S.isList("str.len")) {
       if (S.Items.size() != 2)
-        return Result<IntTerm>::failure("str.len takes one argument");
+        return errT<IntTerm>(S, "str.len takes one argument");
       Result<StrSeq> T = strTerm(S.Items[1]);
       if (!T)
         return Result<IntTerm>::failure(T.error());
@@ -445,7 +487,7 @@ private:
     if (S.isList("+") || S.isList("-")) {
       bool Minus = S.Items.front().Text == "-";
       if (S.Items.size() < 2)
-        return Result<IntTerm>::failure("arity error in +/-");
+        return errT<IntTerm>(S, "arity error in +/-");
       Result<IntTerm> Acc = intTerm(S.Items[1]);
       if (!Acc)
         return Acc;
@@ -462,7 +504,7 @@ private:
     }
     if (S.isList("*")) {
       if (S.Items.size() != 3)
-        return Result<IntTerm>::failure("* takes two arguments");
+        return errT<IntTerm>(S, "* takes two arguments");
       // One side must be a numeral.
       const Sexp *Num = nullptr, *Term = nullptr;
       for (size_t I = 1; I <= 2; ++I) {
@@ -475,13 +517,16 @@ private:
           Term = &C;
       }
       if (!Num || !Term)
-        return Result<IntTerm>::failure("* needs one numeral factor");
+        return errT<IntTerm>(S, "* needs one numeral factor");
+      Result<int64_t> Factor = numeral(*Num);
+      if (!Factor)
+        return Result<IntTerm>::failure(Factor.error());
       Result<IntTerm> T = intTerm(*Term);
       if (!T)
         return T;
-      return Result<IntTerm>::success(T.take() * std::atoll(Num->Text.c_str()));
+      return Result<IntTerm>::success(T.take() * *Factor);
     }
-    return Result<IntTerm>::failure("unsupported integer term");
+    return errT<IntTerm>(S, "unsupported integer term");
   }
 
   //===--------------------------------------------------------------------===
@@ -493,7 +538,7 @@ private:
   Result<NodePtr> regexTerm(const Sexp &S) {
     if (S.isList("str.to_re") || S.isList("str.to.re")) {
       if (S.Items.size() != 2 || S.Items[1].K != Sexp::Str)
-        return Result<NodePtr>::failure("str.to_re takes a string literal");
+        return errT<NodePtr>(S, "str.to_re takes a string literal");
       NodePtr N = mk(NodeKind::Concat);
       for (char C : S.Items[1].Text) {
         NodePtr Ch = mk(NodeKind::Chars);
@@ -517,8 +562,12 @@ private:
       if (S.Items.size() != 3 || S.Items[1].K != Sexp::Str ||
           S.Items[2].K != Sexp::Str || S.Items[1].Text.size() != 1 ||
           S.Items[2].Text.size() != 1)
-        return Result<NodePtr>::failure(
-            "re.range takes two single-character strings");
+        return errT<NodePtr>(S,
+                             "re.range takes two single-character strings");
+      // SMT-LIB: an inverted range denotes the empty language. An empty
+      // Chars node means that here, but Empty says it explicitly.
+      if (S.Items[1].Text[0] > S.Items[2].Text[0])
+        return Result<NodePtr>::success(mk(NodeKind::Empty));
       NodePtr N = mk(NodeKind::Chars);
       for (char C = S.Items[1].Text[0]; C <= S.Items[2].Text[0]; ++C)
         N->Chars.push_back(C);
@@ -540,7 +589,7 @@ private:
       return Nary(NodeKind::Union);
     auto Unary = [&](NodeKind K) -> Result<NodePtr> {
       if (S.Items.size() != 2)
-        return Result<NodePtr>::failure("unary regex arity error");
+        return errT<NodePtr>(S, "unary regex arity error");
       Result<NodePtr> C = regexTerm(S.Items[1]);
       if (!C)
         return C;
@@ -556,18 +605,28 @@ private:
       return Unary(NodeKind::Optional);
     if (S.isList("re.loop")) {
       if (S.Items.size() != 4)
-        return Result<NodePtr>::failure("re.loop takes r n m");
+        return errT<NodePtr>(S, "re.loop takes r n m");
       Result<NodePtr> C = regexTerm(S.Items[1]);
       if (!C)
         return C;
+      Result<int64_t> Min = numeral(S.Items[2]);
+      if (!Min)
+        return Result<NodePtr>::failure(Min.error());
+      Result<int64_t> Max = numeral(S.Items[3]);
+      if (!Max)
+        return Result<NodePtr>::failure(Max.error());
+      // Downstream unrollers allocate O(Max) structure per loop; a
+      // hostile bound would turn one token into gigabytes.
+      if (*Min < 0 || *Max < *Min || *Max > 1024)
+        return errT<NodePtr>(
+            S, "re.loop bounds must satisfy 0 <= n <= m <= 1024");
       NodePtr N = mk(NodeKind::Repeat);
       N->Children.push_back(C.take());
-      N->Min = std::atoi(S.Items[2].Text.c_str());
-      N->Max = std::atoi(S.Items[3].Text.c_str());
+      N->Min = static_cast<int32_t>(*Min);
+      N->Max = static_cast<int32_t>(*Max);
       return Result<NodePtr>::success(std::move(N));
     }
-    return Result<NodePtr>::failure("unsupported regex term at line " +
-                                  std::to_string(S.Line));
+    return errT<NodePtr>(S, "unsupported regex term");
   }
 
   Problem &P;
@@ -582,10 +641,17 @@ Result<Problem> postr::smtlib::parseString(std::string_view Text) {
     return Result<Problem>::failure(Cmds.error());
   Problem P;
   Translator T(P);
+  bool SawExit = false;
   for (const Sexp &S : *Cmds) {
+    if (SawExit)
+      return Result<Problem>::failure(
+          "trailing input after (exit) (line " + std::to_string(S.Line) +
+          " col " + std::to_string(S.Col) + ")");
     Result<Unit> R = T.command(S);
     if (!R)
       return Result<Problem>::failure(R.error());
+    if (S.isList("exit"))
+      SawExit = true;
   }
   return Result<Problem>::success(std::move(P));
 }

@@ -394,8 +394,21 @@ SolveResult postr::solver::solveEqReduction(const Problem &P,
 
 SolveResult postr::solver::solveEnum(const Problem &P,
                                      const EnumOptions &Opts) {
+  // TimeoutMs and a caller-shared Budget compose: both are probed and
+  // the tighter limit wins (a set Budget used to replace TimeoutMs).
   Budget Local(Budget::Limits{Opts.TimeoutMs, 0, 0, nullptr});
-  Budget *Bud = Opts.Budget ? Opts.Budget : &Local;
+  Budget *Shared = Opts.Budget;
+  Budget *MemBud = Shared ? Shared : &Local;
+  auto Probe = [&](const char *Site) {
+    if (Shared && !Shared->checkpoint(Site))
+      return false;
+    return Local.checkpoint(Site);
+  };
+  auto Reason = [&] {
+    if (Shared && Shared->reason() != StopReason::None)
+      return Shared->reason();
+    return Local.reason();
+  };
 
   SolveResult Result;
   NormalForm NF = normalize(P);
@@ -422,16 +435,16 @@ SolveResult postr::solver::solveEnum(const Problem &P,
     if (!Fin || *Fin > Opts.MaxWordLen)
       Exhaustive = false;
     std::vector<Word> Words = Lang.enumerateWords(Opts.MaxWordLen);
-    Bud->chargeMem(Words.size() * (sizeof(Word) + 8));
+    MemBud->chargeMem(Words.size() * (sizeof(Word) + 8));
     if (Words.empty()) {
       // Non-empty language, but no word within the bound.
       Result.V = Verdict::Unknown;
       Result.Stop = StopReason::StepBudget;
       return Result;
     }
-    if (!Bud->checkpoint("solver.enum")) {
+    if (!Probe("solver.enum")) {
       Result.V = Verdict::Unknown;
-      Result.Stop = Bud->reason();
+      Result.Stop = Reason();
       return Result;
     }
     std::stable_sort(Words.begin(), Words.end(),
@@ -458,9 +471,9 @@ SolveResult postr::solver::solveEnum(const Problem &P,
     for (;;) {
       // Shared-budget probe (deadline, cancel, memory, steps) every 64
       // evaluations; the old code polled only the deadline, every 256.
-      if ((++Steps & 63) == 0 && !Bud->checkpoint("solver.enum")) {
+      if ((++Steps & 63) == 0 && !Probe("solver.enum")) {
         Result.V = Verdict::Unknown;
-        Result.Stop = Bud->reason();
+        Result.Stop = Reason();
         return Result;
       }
       std::map<IntVarId, int64_t> Ints;

@@ -57,8 +57,9 @@ struct EnumOptions {
   /// MaxIntVars integer variables yields Unknown.
   int64_t MaxIntValue = 16;
   uint32_t MaxIntVars = 2;
-  /// Optional shared resource budget; when null one is built from
-  /// TimeoutMs. Probed every 64 evaluation steps ("solver.enum").
+  /// Optional shared resource budget, probed every 64 evaluation steps
+  /// ("solver.enum"). Composes with TimeoutMs: both are probed, the
+  /// tighter limit wins.
   postr::Budget *Budget = nullptr;
 };
 

@@ -39,8 +39,8 @@ struct BruteForceOptions {
   uint64_t TimeoutMs = 0;
   /// Optional shared resource budget (base/Budget.h), probed every 64
   /// evaluations ("solver.bruteforce") — covers cancellation and
-  /// step/memory limits, which the bare TimeoutMs poll never did. When
-  /// null, a per-call budget is built from TimeoutMs.
+  /// step/memory limits, which the bare TimeoutMs poll never did.
+  /// Composes with TimeoutMs: both are probed, the tighter limit wins.
   postr::Budget *Budget = nullptr;
 };
 

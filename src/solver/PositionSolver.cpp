@@ -8,10 +8,14 @@
 #include "solver/PositionSolver.h"
 
 #include "base/Budget.h"
+#include "solver/Baselines.h"
 #include "strings/Eval.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -24,6 +28,17 @@ using tagaut::PredKind;
 
 namespace {
 
+/// POSTR_SELFCHECK=paranoid turns on the Unsat-vs-enumeration cross-check
+/// process-wide, without touching SolveOptions (read once; the usual
+/// pattern for deployment knobs in this codebase).
+bool paranoidSelfCheckEnv() {
+  static const bool On = [] {
+    const char *E = std::getenv("POSTR_SELFCHECK");
+    return E && std::strcmp(E, "paranoid") == 0;
+  }();
+  return On;
+}
+
 class Pipeline {
 public:
   Pipeline(const Problem &P, const SolveOptions &Opts)
@@ -35,6 +50,17 @@ public:
   SolveResult run();
 
 private:
+  SolveResult runImpl();
+
+  /// The shared model-validation evaluator, built once on first use
+  /// (regex compilation is the expensive part; disjunct workers share
+  /// the compiled automata, which are immutable after construction).
+  const ConcreteEvaluator &evaluator() const {
+    std::call_once(EvalOnce,
+                   [&] { Eval = std::make_unique<ConcreteEvaluator>(
+                             P, NF.Sigma); });
+    return *Eval;
+  }
   /// Milliseconds left on the root deadline (0 = no deadline, for
   /// Budget::Limits). Clamped to >= 1 so a derived timeout never means
   /// "none".
@@ -94,6 +120,11 @@ private:
   Budget *Root;
   NormalForm NF;
   SolveStats Stats;
+  mutable std::once_flag EvalOnce;
+  mutable std::unique_ptr<ConcreteEvaluator> Eval;
+  /// First self-check rejection across all disjuncts/workers.
+  mutable std::mutex FailMu;
+  mutable ValidationFailure FirstFail;
 };
 
 Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
@@ -286,13 +317,28 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
     Result.Ints.clear();
     for (IntVarId V = 0; V < NF.NumIntVars; ++V)
       Result.Ints[V] = R.Model[IntHandles[V]];
-#ifndef NDEBUG
+    if (Opts.TamperModel)
+      Opts.TamperModel(Result.Words, Result.Ints);
+    // Always-on self-check: every Sat model is re-validated against the
+    // concrete semantics before it leaves the pipeline. An invalid model
+    // is demoted to a structured Unknown (never a silent wrong answer).
     if (Opts.ValidateModels) {
-      ConcreteEvaluator Eval(P, NF.Sigma);
-      assert(Eval.evalAll(Result.Words, Result.Ints) &&
-             "pipeline produced a spurious model");
+      ++St.ModelsValidated;
+      const ConcreteEvaluator &E = evaluator();
+      for (size_t I = 0; I < P.assertions().size(); ++I) {
+        if (E.evalOne(I, Result.Words, Result.Ints))
+          continue;
+        ++St.ValidationFailures;
+        std::lock_guard<std::mutex> Lock(FailMu);
+        if (!FirstFail.Failed) {
+          FirstFail.Failed = true;
+          FirstFail.AssertionIndex = static_cast<uint32_t>(I);
+          FirstFail.Detail = "Sat model falsifies assertion #" +
+                             std::to_string(I);
+        }
+        return Verdict::Unknown;
+      }
     }
-#endif
     return Verdict::Sat;
   }
   if (R.V == Verdict::Unsat && Approximated)
@@ -301,6 +347,44 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
 }
 
 SolveResult Pipeline::run() {
+  SolveResult R = runImpl();
+
+  // Attach the first self-check rejection, if any. The demoted disjunct
+  // already reported Unknown, so R.V reflects it; the diagnostic makes
+  // the demotion visible to callers (CLI exit code 7, fuzz triage).
+  {
+    std::lock_guard<std::mutex> Lock(FailMu);
+    if (FirstFail.Failed)
+      R.Validation = FirstFail;
+  }
+
+  // Paranoid mode: cross-check Unsat against the bounded enumeration
+  // oracle. Its Sat is evaluator-certified, so a hit is a proven wrong
+  // Unsat — demote and say so.
+  if (R.V == Verdict::Unsat &&
+      (Opts.ParanoidUnsatCheck || paranoidSelfCheckEnv())) {
+    ++R.Stats.ParanoidChecks;
+    EnumOptions EO;
+    EO.MaxWordLen = Opts.ParanoidMaxWordLen;
+    Budget ParanoidBud(
+        Budget::Limits{0, 0, Opts.ParanoidStepLimit, nullptr});
+    EO.Budget = &ParanoidBud;
+    SolveResult OracleR = solveEnum(P, EO);
+    if (OracleR.V == Verdict::Sat) {
+      ++R.Stats.ValidationFailures;
+      R.V = Verdict::Unknown;
+      R.Stop = StopReason::None;
+      R.Validation.Failed = true;
+      R.Validation.AssertionIndex = ~0u;
+      R.Validation.Detail =
+          "paranoid self-check: enumeration oracle found a certified "
+          "model for an Unsat verdict";
+    }
+  }
+  return R;
+}
+
+SolveResult Pipeline::runImpl() {
   SolveResult Result;
   StopReason AggStop = StopReason::None;
 
@@ -431,6 +515,9 @@ SolveResult Pipeline::run() {
     Merged.DegradedRetries += Local.DegradedRetries;
     Merged.UsedMbqi |= Local.UsedMbqi;
     Merged.UsedApproximation |= Local.UsedApproximation;
+    Merged.ModelsValidated += Local.ModelsValidated;
+    Merged.ValidationFailures += Local.ValidationFailures;
+    Merged.ParanoidChecks += Local.ParanoidChecks;
     if (PoolStop == StopReason::None)
       PoolStop = LocalStop;
   };

@@ -24,10 +24,18 @@
 #include "strings/Normalize.h"
 #include "tagaut/MpSolver.h"
 
+#include <functional>
 #include <map>
 
 namespace postr {
 namespace solver {
+
+/// Test-only hook: mutates a Sat model before the self-check validates
+/// it. Fuzz/unit tests install this to prove that a corrupted model is
+/// caught and surfaced as a ValidationFailure rather than returned as
+/// Sat. Never set in production paths.
+using ModelTamperHook = std::function<void(
+    std::map<VarId, Word> &, std::map<strings::IntVarId, int64_t> &)>;
 
 struct SolveOptions {
   /// Overall deadline in milliseconds (0 = none).
@@ -63,8 +71,25 @@ struct SolveOptions {
   /// Construct witness assignments on Sat (forces the LIA path even when
   /// the one-counter path answered, since the latter yields no model).
   bool BuildModel = true;
-  /// Validate Sat models against the concrete semantics (debug aid).
+  /// Re-validate every Sat model against the concrete semantics before
+  /// returning it (always on, all build types). An invalid model is
+  /// demoted to Unknown with SolveResult::Validation filled in — the
+  /// solver never silently returns a wrong Sat. Only the fast path
+  /// (UseOcaFastPath with BuildModel=false) is exempt, since it produces
+  /// no model to check.
   bool ValidateModels = true;
+  /// Cross-check every Unsat against the bounded enumeration oracle
+  /// (solver::solveEnum). If the oracle finds a certified model, the
+  /// Unsat is demoted to Unknown with a ValidationFailure diagnostic.
+  /// Expensive; also enabled process-wide by POSTR_SELFCHECK=paranoid.
+  bool ParanoidUnsatCheck = false;
+  /// Word-length bound for the paranoid enumeration cross-check.
+  uint32_t ParanoidMaxWordLen = 3;
+  /// Abstract step budget for the paranoid cross-check (keeps it cheap
+  /// and deterministic; the oracle reports Unknown when it trips).
+  uint64_t ParanoidStepLimit = 50'000;
+  /// Test-only model corruption hook (see ModelTamperHook).
+  ModelTamperHook TamperModel;
 };
 
 struct SolveStats {
@@ -80,6 +105,24 @@ struct SolveStats {
   bool UsedMbqi = false;
   bool UsedApproximation = false;
   bool StabilizationIncomplete = false;
+  /// Sat models run through the concrete-evaluation self-check.
+  uint32_t ModelsValidated = 0;
+  /// Self-check rejections: invalid Sat models caught (and demoted to
+  /// Unknown), plus paranoid Unsat cross-checks that found a model.
+  uint32_t ValidationFailures = 0;
+  /// Unsat verdicts cross-checked against the enumeration oracle.
+  uint32_t ParanoidChecks = 0;
+};
+
+/// Structured self-check diagnostic. When Failed, the accompanying
+/// verdict is Unknown: the pipeline produced an answer its own
+/// validation layer rejected, and surfacing that beats returning it.
+struct ValidationFailure {
+  bool Failed = false;
+  /// Index of the first assertion the Sat model falsified (~0u when the
+  /// failure is a paranoid Unsat cross-check, which has no model).
+  uint32_t AssertionIndex = ~0u;
+  std::string Detail;
 };
 
 struct SolveResult {
@@ -92,6 +135,9 @@ struct SolveResult {
   std::map<VarId, Word> Words;
   std::map<strings::IntVarId, int64_t> Ints;
   SolveStats Stats;
+  /// Filled in when the self-check demoted a verdict (see
+  /// ValidationFailure); Validation.Failed is false on clean runs.
+  ValidationFailure Validation;
 };
 
 /// Decides a conjunction of string assertions.

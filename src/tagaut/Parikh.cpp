@@ -68,8 +68,11 @@ ParikhFormula postr::tagaut::buildParikhFormula(const TagAutomaton &Ta,
 
   // φ_Init (Eq. 34): exactly one first state, and only initial states may
   // be first. The 0/1 range is intrinsic; non-initial states have an
-  // intrinsic upper bound of 0 already.
-  {
+  // intrinsic upper bound of 0 already. The zero-state automaton is the
+  // concatenation of zero variable blocks — its unique accepting run is
+  // the empty run, so it gets no constraint (an unconditional Σγ^I = 1
+  // over the empty sum would wrongly make the formula unsatisfiable).
+  if (NumStates > 0) {
     LinTerm SumInit;
     for (uint32_t Q = 0; Q < NumStates; ++Q)
       if (Ta.isInitial(Q))
@@ -142,6 +145,8 @@ std::vector<uint32_t> postr::tagaut::connectedComponentGap(
     const TagAutomaton &Ta, const ParikhFormula &Pf,
     const std::vector<int64_t> &Model) {
   uint32_t NumStates = Ta.numStates();
+  if (NumStates == 0)
+    return {}; // the empty run is trivially connected
   std::vector<std::vector<uint32_t>> UsedOut(NumStates);
   std::vector<bool> Touched(NumStates, false);
   for (uint32_t I = 0; I < Ta.transitions().size(); ++I) {
@@ -207,6 +212,8 @@ std::vector<uint32_t>
 postr::tagaut::decodeRun(const TagAutomaton &Ta, const ParikhFormula &Pf,
                          const std::vector<int64_t> &Model) {
   uint32_t NumStates = Ta.numStates();
+  if (NumStates == 0)
+    return {}; // zero-state automaton: the empty run
   // Remaining multiplicity per transition.
   std::vector<int64_t> Remaining(Ta.transitions().size());
   uint64_t Total = 0;

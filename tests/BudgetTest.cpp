@@ -461,4 +461,63 @@ TEST(FaultSweepTest, TrippedSolveRetriesOnFreshBudget) {
   EXPECT_EQ(Again.Stop, StopReason::None);
 }
 
+TEST(BudgetTest, BruteForceTimeoutComposesWithSharedBudget) {
+  // Regression: a caller-supplied Budget used to silently replace the
+  // legacy TimeoutMs deadline in solveBruteForce — an unlimited shared
+  // budget turned a 1 ms deadline into minutes of enumeration. Both are
+  // probed now; the tighter limit wins.
+  Alphabet Sigma;
+  std::map<VarId, Nfa> Langs;
+  Langs[0] = regex::compileString("(a|b)*", Sigma);
+  Langs[1] = regex::compileString("(a|b)*", Sigma);
+  // x != x never holds, so enumeration can only stop on a limit.
+  std::vector<tagaut::PosPredicate> Preds = {
+      {tagaut::PredKind::Diseq, {0}, {0}, {}}};
+
+  Budget Unlimited(Budget::Limits{0, 0, 0, nullptr});
+  solver::BruteForceOptions O;
+  O.MaxWordLen = 12;
+  O.TimeoutMs = 1;
+  O.Budget = &Unlimited;
+  solver::BruteForceResult R = solver::solveBruteForce(Langs, Preds, O);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_EQ(R.Stop, StopReason::Timeout);
+}
+
+TEST(BudgetTest, BruteForceSharedBudgetComposesWithTimeout) {
+  // The other direction: a step-limited shared budget must still trip
+  // under a generous TimeoutMs.
+  Alphabet Sigma;
+  std::map<VarId, Nfa> Langs;
+  Langs[0] = regex::compileString("(a|b)*", Sigma);
+  std::vector<tagaut::PosPredicate> Preds = {
+      {tagaut::PredKind::Diseq, {0}, {0}, {}}};
+
+  Budget Stepped(Budget::Limits{0, 0, 1, nullptr});
+  solver::BruteForceOptions O;
+  O.MaxWordLen = 12;
+  O.TimeoutMs = 20000;
+  O.Budget = &Stepped;
+  solver::BruteForceResult R = solver::solveBruteForce(Langs, Preds, O);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_EQ(R.Stop, StopReason::StepBudget);
+}
+
+TEST(BudgetTest, EnumTimeoutComposesWithSharedBudget) {
+  strings::Problem P;
+  VarId X = P.strVar("x"), Y = P.strVar("y");
+  P.assertInRe(X, "(a|b)*");
+  P.assertInRe(Y, "(a|b)*");
+  P.assertDiseq({strings::StrElem::var(X)}, {strings::StrElem::var(X)});
+
+  Budget Unlimited(Budget::Limits{0, 0, 0, nullptr});
+  solver::EnumOptions O;
+  O.MaxWordLen = 12;
+  O.TimeoutMs = 1;
+  O.Budget = &Unlimited;
+  solver::SolveResult R = solver::solveEnum(P, O);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_EQ(R.Stop, StopReason::Timeout);
+}
+
 } // namespace

@@ -5,6 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/Fuzz.h"
+#include "smtlib/Printer.h"
 #include "smtlib/Reader.h"
 #include "solver/PositionSolver.h"
 
@@ -130,6 +132,57 @@ TEST(SmtlibTest, EndToEndSolve) {
   solver::SolveOptions Opts;
   Opts.TimeoutMs = 20000;
   EXPECT_EQ(solver::solveProblem(*P, Opts).V, Verdict::Unsat);
+}
+
+TEST(PrinterTest, RoundTripIsAPrintFixpoint) {
+  // print ∘ parse ∘ print = print over the generator's whole surface:
+  // one reparse canonicalizes nothing, so the printed form is stable and
+  // every construct the printer emits is one the reader accepts.
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    strings::Problem P = fuzz::generate(Seed);
+    std::string Text = smtlib::printProblem(P);
+    Result<strings::Problem> Q = smtlib::parseString(Text);
+    ASSERT_TRUE(static_cast<bool>(Q)) << "seed " << Seed << ": " << Q.error()
+                                      << "\n" << Text;
+    EXPECT_EQ(Q->numStrVars(), P.numStrVars()) << "seed " << Seed;
+    EXPECT_EQ(Q->assertions().size(), P.assertions().size())
+        << "seed " << Seed;
+    EXPECT_EQ(smtlib::printProblem(*Q), Text) << "seed " << Seed;
+  }
+}
+
+TEST(SmtlibTest, MalformedInputCorpus) {
+  // Every rejection is structured: no crash, and the diagnostic carries
+  // a source location.
+  std::string Deep(300, '('), DeepClose(300, ')');
+  const std::string Corpus[] = {
+      // Nesting beyond the 200-level recursion bound.
+      "(assert " + Deep + "x" + DeepClose + ")",
+      // Trailing input after (exit).
+      "(exit)(check-sat)",
+      "(exit) x",
+      // Stray closer / unterminated forms.
+      "(declare-fun x () String))",
+      "(assert (= \"a",
+      "(assert (= \"a\" ",
+      // Malformed numerals: sign mid-token, overflow-length digits.
+      "(declare-fun x () String)(assert (>= (str.len x) 1-2))",
+      "(declare-fun x () String)(assert (>= (str.len x) "
+      "12345678901234567890123))",
+      // re.loop bound violations.
+      "(declare-fun x () String)"
+      "(assert (str.in_re x (re.loop (str.to_re \"a\") 3 2)))",
+      "(declare-fun x () String)"
+      "(assert (str.in_re x (re.loop (str.to_re \"a\") 0 99999)))",
+      // Cross-sort redeclaration.
+      "(declare-fun x () String)(declare-fun x () Int)",
+  };
+  for (const std::string &Text : Corpus) {
+    Result<Problem> P = smtlib::parseString(Text);
+    ASSERT_FALSE(static_cast<bool>(P)) << Text;
+    EXPECT_NE(P.error().find("line "), std::string::npos)
+        << "no location in: " << P.error() << "\nfor input: " << Text;
+  }
 }
 
 } // namespace

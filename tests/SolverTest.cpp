@@ -295,4 +295,64 @@ TEST(PipelineTest, ParallelPoolVerdictsMatchSerial) {
   }
 }
 
+TEST(SelfCheckTest, EmptySideEquationIsSat) {
+  // Regression: `x = ""` substitutes every variable away, leaving a
+  // zero-state system automaton whose Parikh formula must accept the
+  // empty run (it used to demand "exactly one first state" over an empty
+  // sum and answer Unsat). Found by the differential fuzzer.
+  Problem P;
+  VarId X = P.strVar("x"), Y = P.strVar("y");
+  P.assertWordEq({}, {StrElem::var(X), StrElem::var(Y)});
+  SolveResult R = solve(P);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_TRUE(R.Words.at(X).empty());
+  EXPECT_TRUE(R.Words.at(Y).empty());
+}
+
+TEST(SelfCheckTest, CleanSatModelIsCountedValidated) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "(a|b){1,3}");
+  P.assertDiseq({StrElem::var(X)}, {StrElem::lit("ab")});
+  SolveResult R = solve(P);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_FALSE(R.Validation.Failed);
+  EXPECT_GE(R.Stats.ModelsValidated, 1u);
+  EXPECT_EQ(R.Stats.ValidationFailures, 0u);
+}
+
+TEST(SelfCheckTest, TamperedModelIsDemotedToUnknown) {
+  // Corrupt every produced model through the test-only hook: the
+  // always-on self-check must catch it and never let the Sat escape.
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "ab");
+  SolveOptions Opts;
+  Opts.TimeoutMs = 20000;
+  Opts.TamperModel = [](std::map<VarId, Word> &Words,
+                        std::map<strings::IntVarId, int64_t> &) {
+    for (auto &[V, W] : Words)
+      W.clear(); // ε no longer matches "ab"
+  };
+  SolveResult R = solver::solveProblem(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  ASSERT_TRUE(R.Validation.Failed);
+  EXPECT_NE(R.Validation.Detail.find("falsifies"), std::string::npos);
+  EXPECT_GE(R.Stats.ValidationFailures, 1u);
+}
+
+TEST(SelfCheckTest, ParanoidCrossCheckKeepsTrueUnsat) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "ab");
+  P.assertDiseq({StrElem::var(X)}, {StrElem::lit("ab")});
+  SolveOptions Opts;
+  Opts.TimeoutMs = 20000;
+  Opts.ParanoidUnsatCheck = true;
+  SolveResult R = solver::solveProblem(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Unsat);
+  EXPECT_FALSE(R.Validation.Failed);
+  EXPECT_EQ(R.Stats.ParanoidChecks, 1u);
+}
+
 } // namespace

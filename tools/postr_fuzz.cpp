@@ -1,0 +1,391 @@
+//===- tools/postr_fuzz.cpp - Differential fuzzing driver -------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the src/fuzz/ subsystem from the command line:
+//
+//   postr_fuzz --iters 2000 --seed 1 [--out DIR]
+//     Differential mode (default): random problems through the pipeline
+//     vs the enumeration oracle. Findings are shrunk to a minimal
+//     failing problem and written to DIR as standalone .smt2 repro
+//     files, deduplicated by failure signature.
+//
+//   postr_fuzz --repro FILE
+//     Re-runs one repro file through the differential check.
+//
+//   postr_fuzz --reader-fuzz --iters N --seed S
+//     Byte-level mutation of well-formed scripts through the SMT-LIB
+//     reader: must never crash, and whatever parses must round-trip
+//     through the printer (run under ASan/UBSan in CI).
+//
+//   postr_fuzz --fault SITE:N[:SEED] --iters N --seed S
+//     Fault-injection differential mode: every problem is solved clean
+//     and with the injector armed; an injected fault may only turn a
+//     verdict into a structured Unknown, never flip it.
+//
+// Everything is deterministic in --seed: CI failures replay locally.
+// Exit code: 0 clean, 1 findings, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "base/Budget.h"
+#include "fuzz/Fuzz.h"
+#include "smtlib/Printer.h"
+#include "smtlib/Reader.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace postr;
+
+namespace {
+
+/// splitmix64-style mixing: per-iteration seeds that do not correlate
+/// across neighbouring iteration indices.
+uint64_t mix(uint64_t A, uint64_t B) {
+  uint64_t X = A + 0x9e3779b97f4a7c15ull * (B + 1);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+struct Args {
+  uint64_t Seed = 1;
+  uint64_t Iters = 1000;
+  std::string Out = "fuzz-corpus";
+  bool Shrink = true;
+  std::string Repro;
+  bool ReaderFuzz = false;
+  std::string Fault; ///< SITE:N[:SEED]
+  bool Paranoid = false;
+  bool TripsAreFindings = false;
+  uint64_t TimeoutMs = 0;
+  uint64_t StepLimit = 0;     ///< 0 = keep the DiffOptions default
+  uint32_t MaxDisjuncts = 0;  ///< 0 = keep the DiffOptions default
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: postr_fuzz [--seed N] [--iters N] [--out DIR] [--no-shrink]\n"
+      "                  [--paranoid] [--trips-are-findings]\n"
+      "                  [--timeout-ms N] [--step-limit N] "
+      "[--max-disjuncts N]\n"
+      "                  [--repro FILE | --reader-fuzz | --fault "
+      "SITE:N[:SEED]]\n");
+}
+
+bool parseArgs(int Argc, char **Argv, Args &A) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string F = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (F == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Seed = std::strtoull(V, nullptr, 10);
+    } else if (F == "--iters") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Iters = std::strtoull(V, nullptr, 10);
+    } else if (F == "--out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Out = V;
+    } else if (F == "--shrink") {
+      A.Shrink = true;
+    } else if (F == "--no-shrink") {
+      A.Shrink = false;
+    } else if (F == "--repro") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Repro = V;
+    } else if (F == "--reader-fuzz") {
+      A.ReaderFuzz = true;
+    } else if (F == "--fault") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Fault = V;
+    } else if (F == "--paranoid") {
+      A.Paranoid = true;
+    } else if (F == "--trips-are-findings") {
+      A.TripsAreFindings = true;
+    } else if (F == "--timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.TimeoutMs = std::strtoull(V, nullptr, 10);
+    } else if (F == "--step-limit") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.StepLimit = std::strtoull(V, nullptr, 10);
+    } else if (F == "--max-disjuncts") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.MaxDisjuncts =
+          static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", F.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+fuzz::DiffOptions diffOptions(const Args &A) {
+  fuzz::DiffOptions O;
+  O.SolverTimeoutMs = A.TimeoutMs;
+  if (A.StepLimit)
+    O.SolverStepLimit = A.StepLimit;
+  if (A.MaxDisjuncts)
+    O.SolverMaxDisjuncts = A.MaxDisjuncts;
+  O.Paranoid = A.Paranoid;
+  O.TripsAreFindings = A.TripsAreFindings;
+  return O;
+}
+
+/// Stable signature for deduplication: the failure kind, the two
+/// verdicts, and the multiset of assertion kinds of the (shrunk)
+/// problem. Distinct root causes that shrink to the same shape are the
+/// same bug for triage purposes.
+std::string signature(const fuzz::DiffResult &D, const strings::Problem &P) {
+  std::string Sig = std::string(fuzz::failureKindName(D.Kind)) + ":" +
+                    verdictName(D.SolverV) + ":" + verdictName(D.OracleV);
+  std::vector<int> Kinds;
+  for (const strings::Assertion &As : P.assertions())
+    Kinds.push_back(static_cast<int>(As.Kind));
+  std::sort(Kinds.begin(), Kinds.end());
+  for (int K : Kinds)
+    Sig += ":" + std::to_string(K);
+  return Sig;
+}
+
+void writeRepro(const std::string &Dir, const std::string &Sig,
+                uint64_t Seed, uint64_t Iter, const fuzz::DiffResult &D,
+                const strings::Problem &P) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  std::string Name = Dir + "/" + fuzz::failureKindName(D.Kind) + "-" +
+                     std::to_string(mix(std::hash<std::string>{}(Sig), 0)) +
+                     ".smt2";
+  std::string Body;
+  Body += "; postr_fuzz repro\n";
+  Body += "; kind: " + std::string(fuzz::failureKindName(D.Kind)) + "\n";
+  Body += "; detail: " + D.Detail + "\n";
+  Body += "; seed " + std::to_string(Seed) + " iter " +
+          std::to_string(Iter) + "\n";
+  Body += smtlib::printProblem(P);
+  if (std::FILE *F = std::fopen(Name.c_str(), "wb")) {
+    std::fwrite(Body.data(), 1, Body.size(), F);
+    std::fclose(F);
+    std::fprintf(stderr, "  wrote %s\n", Name.c_str());
+  } else {
+    std::fprintf(stderr, "  cannot write %s\n", Name.c_str());
+  }
+}
+
+int runDifferential(const Args &A) {
+  fuzz::DiffOptions DO = diffOptions(A);
+  fuzz::GenOptions GO;
+  std::set<std::string> Seen;
+  uint64_t Findings = 0;
+
+  for (uint64_t I = 0; I < A.Iters; ++I) {
+    uint64_t S = mix(A.Seed, I);
+    strings::Problem P = fuzz::generate(S, GO);
+    if ((I & 3) == 3)
+      P = fuzz::mutate(P, mix(S, 0x6d757461), GO);
+    fuzz::DiffResult D = fuzz::differentialCheck(P, DO);
+    if (!D.failed())
+      continue;
+    ++Findings;
+    std::fprintf(stderr,
+                 "[iter %" PRIu64 "] %s: %s (%zu atoms)\n", I,
+                 fuzz::failureKindName(D.Kind), D.Detail.c_str(),
+                 fuzz::atomCount(P));
+    strings::Problem Min = fuzz::clone(P);
+    fuzz::DiffResult MinD = D;
+    if (A.Shrink) {
+      fuzz::FailureKind Kind = D.Kind;
+      Min = fuzz::shrink(P, [&](const strings::Problem &Q) {
+        return fuzz::differentialCheck(Q, DO).Kind == Kind;
+      });
+      MinD = fuzz::differentialCheck(Min, DO);
+      std::fprintf(stderr, "  shrunk to %zu atoms\n",
+                   fuzz::atomCount(Min));
+    }
+    std::string Sig = signature(MinD, Min);
+    if (Seen.insert(Sig).second)
+      writeRepro(A.Out, Sig, A.Seed, I, MinD, Min);
+  }
+
+  std::fprintf(stderr,
+               "postr_fuzz: %" PRIu64 " iterations, %" PRIu64
+               " findings (%zu unique)\n",
+               A.Iters, Findings, Seen.size());
+  return Findings ? 1 : 0;
+}
+
+int runRepro(const Args &A) {
+  Result<strings::Problem> P = smtlib::parseFile(A.Repro);
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", P.error().c_str());
+    return 2;
+  }
+  fuzz::DiffResult D = fuzz::differentialCheck(*P, diffOptions(A));
+  std::fprintf(stderr, "solver: %s, oracle: %s\n", verdictName(D.SolverV),
+               verdictName(D.OracleV));
+  if (D.failed()) {
+    std::fprintf(stderr, "FINDING %s: %s\n", fuzz::failureKindName(D.Kind),
+                 D.Detail.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "clean\n");
+  return 0;
+}
+
+int runReaderFuzz(const Args &A) {
+  // Seed corpus: printed random problems (well-formed, full surface)
+  // plus a few handwritten edge shapes worth perturbing.
+  std::vector<std::string> Corpus;
+  for (uint64_t K = 0; K < 16; ++K)
+    Corpus.push_back(smtlib::printProblem(fuzz::generate(mix(A.Seed, K))));
+  Corpus.push_back("(set-logic QF_SLIA)\n(declare-fun x () String)\n"
+                   "(assert (str.in_re x (re.loop (str.to_re \"ab\") 2 "
+                   "7)))\n(check-sat)\n(exit)\n");
+  Corpus.push_back("(declare-const n Int)\n(assert (<= (+ n 3) (* 2 "
+                   "n)))\n(check-sat)\n");
+  Corpus.push_back("(assert (= \"aé\" \"\"))\n");
+
+  uint64_t Findings = 0, Parsed = 0;
+  for (uint64_t I = 0; I < A.Iters; ++I) {
+    const std::string &Base = Corpus[I % Corpus.size()];
+    std::string Text = fuzz::mutateBytes(Base, mix(A.Seed, I));
+    // The reader must reject or accept, never crash/hang/leak — the
+    // sanitizers judge that part. What parses must also round-trip.
+    Result<strings::Problem> P = smtlib::parseString(Text);
+    if (!P)
+      continue;
+    ++Parsed;
+    std::string Printed = smtlib::printProblem(*P);
+    Result<strings::Problem> Q = smtlib::parseString(Printed);
+    if (!Q) {
+      ++Findings;
+      std::fprintf(stderr,
+                   "[iter %" PRIu64 "] printed form fails to re-parse: "
+                   "%s\n",
+                   I, Q.error().c_str());
+      continue;
+    }
+    if (smtlib::printProblem(*Q) != Printed) {
+      ++Findings;
+      std::fprintf(stderr,
+                   "[iter %" PRIu64 "] print/parse/print not a fixpoint\n",
+                   I);
+    }
+  }
+  std::fprintf(stderr,
+               "postr_fuzz --reader-fuzz: %" PRIu64 " inputs, %" PRIu64
+               " parsed, %" PRIu64 " findings\n",
+               A.Iters, Parsed, Findings);
+  return Findings ? 1 : 0;
+}
+
+int runFault(const Args &A) {
+  // SITE:N[:SEED]
+  std::string Site = A.Fault;
+  uint64_t Nth = 1, FSeed = 0;
+  size_t C1 = Site.find(':');
+  if (C1 != std::string::npos) {
+    std::string Rest = Site.substr(C1 + 1);
+    Site = Site.substr(0, C1);
+    size_t C2 = Rest.find(':');
+    if (C2 != std::string::npos) {
+      FSeed = std::strtoull(Rest.substr(C2 + 1).c_str(), nullptr, 10);
+      Rest = Rest.substr(0, C2);
+    }
+    Nth = std::strtoull(Rest.c_str(), nullptr, 10);
+    if (Nth == 0)
+      Nth = 1;
+  }
+
+  uint64_t Findings = 0, Fired = 0;
+  fuzz::DiffOptions DO_ = diffOptions(A);
+  solver::SolveOptions SO;
+  SO.TimeoutMs = A.TimeoutMs;
+  SO.StepLimit = DO_.SolverStepLimit;
+  SO.Stabilize.MaxDisjuncts = DO_.SolverMaxDisjuncts;
+  for (uint64_t I = 0; I < A.Iters; ++I) {
+    strings::Problem P = fuzz::generate(mix(A.Seed, I));
+    solver::SolveResult Clean = solver::solveProblem(P, SO);
+
+    FaultInjector Inj(Site.c_str(), Nth, mix(FSeed, I));
+    FaultInjector::arm(&Inj);
+    solver::SolveResult Faulted = solver::solveProblem(P, SO);
+    FaultInjector::arm(nullptr);
+    if (Inj.fired())
+      ++Fired;
+
+    // An injected fault may only degrade a verdict to a structured
+    // Unknown. A flipped determinate verdict, or an Unknown that lost
+    // its stop reason, is a finding.
+    bool CleanDet = Clean.V != Verdict::Unknown;
+    bool FaultedDet = Faulted.V != Verdict::Unknown;
+    if (CleanDet && FaultedDet && Clean.V != Faulted.V) {
+      ++Findings;
+      std::fprintf(stderr,
+                   "[iter %" PRIu64 "] fault flipped %s -> %s\n", I,
+                   verdictName(Clean.V), verdictName(Faulted.V));
+    } else if (CleanDet && !FaultedDet && Inj.fired() &&
+               Faulted.Stop == StopReason::None &&
+               !Faulted.Validation.Failed) {
+      ++Findings;
+      std::fprintf(stderr,
+                   "[iter %" PRIu64 "] fault produced an unstructured "
+                   "Unknown\n",
+                   I);
+    }
+  }
+  std::fprintf(stderr,
+               "postr_fuzz --fault %s: %" PRIu64 " iterations, injector "
+               "fired in %" PRIu64 ", %" PRIu64 " findings\n",
+               A.Fault.c_str(), A.Iters, Fired, Findings);
+  return Findings ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Args A;
+  if (!parseArgs(Argc, Argv, A)) {
+    usage();
+    return 2;
+  }
+  if (!A.Repro.empty())
+    return runRepro(A);
+  if (A.ReaderFuzz)
+    return runReaderFuzz(A);
+  if (!A.Fault.empty())
+    return runFault(A);
+  return runDifferential(A);
+}
