@@ -141,10 +141,13 @@ uint64_t solveRep(uint32_t Rep) {
 /// model ever failed).
 struct {
   uint64_t ModelsValidated = 0, ValidationFailures = 0, ParanoidChecks = 0;
+  uint64_t UnsatsCertified = 0, CertificationFailures = 0;
   void operator+=(const solver::SolveStats &S) {
     ModelsValidated += S.ModelsValidated;
     ValidationFailures += S.ValidationFailures;
     ParanoidChecks += S.ParanoidChecks;
+    UnsatsCertified += S.UnsatsCertified;
+    CertificationFailures += S.CertificationFailures;
   }
 } SelfCheckCounters;
 
@@ -235,7 +238,7 @@ int main() {
                   I + 1 < Stages.size() ? "," : "");
     Json += Buf;
   }
-  char Counters[1536];
+  char Counters[2048];
   std::snprintf(
       Counters, sizeof(Counters),
       "  ],\n  \"solve_counters\": {\"conflicts\": %llu, "
@@ -253,7 +256,9 @@ int main() {
       "\"inner_queries\": %llu, \"inst_lemmas\": %llu, \"blockers\": %llu, "
       "\"context_reuses\": %llu},\n"
       "  \"selfcheck_counters\": {\"models_validated\": %llu, "
-      "\"validation_failures\": %llu, \"paranoid_checks\": %llu}\n}\n",
+      "\"validation_failures\": %llu, \"paranoid_checks\": %llu},\n"
+      "  \"proof_counters\": {\"unsats_certified\": %llu, "
+      "\"certification_failures\": %llu}\n}\n",
       (unsigned long long)SolveCounters.Conflicts,
       (unsigned long long)SolveCounters.Propagations,
       (unsigned long long)SolveCounters.Decisions,
@@ -288,7 +293,9 @@ int main() {
       (unsigned long long)MbqiCounters.ContextReuses,
       (unsigned long long)SelfCheckCounters.ModelsValidated,
       (unsigned long long)SelfCheckCounters.ValidationFailures,
-      (unsigned long long)SelfCheckCounters.ParanoidChecks);
+      (unsigned long long)SelfCheckCounters.ParanoidChecks,
+      (unsigned long long)SelfCheckCounters.UnsatsCertified,
+      (unsigned long long)SelfCheckCounters.CertificationFailures);
   Json += Counters;
 
   std::fputs(Json.c_str(), stdout);

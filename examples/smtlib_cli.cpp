@@ -13,6 +13,8 @@
 #include "solver/PositionSolver.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 using namespace postr;
 
@@ -38,6 +40,30 @@ static int exitCodeFor(const solver::SolveResult &R) {
     return 6;
   }
   return 2;
+}
+
+/// With POSTR_PROOF_DIR set and a certificate in hand (certification on
+/// and the verdict Unsat, or a rejected certificate kept as evidence),
+/// writes it to `<dir>/<input-stem>.postrcert` for out-of-process
+/// re-checking with `tools/postr_check`.
+static void maybeWriteCert(const solver::SolveResult &R, const char *Input) {
+  const char *Dir = std::getenv("POSTR_PROOF_DIR");
+  if (!Dir || !*Dir || R.CertText.empty())
+    return;
+  std::string Stem = Input ? Input : "demo";
+  if (size_t Slash = Stem.find_last_of('/'); Slash != std::string::npos)
+    Stem = Stem.substr(Slash + 1);
+  if (size_t Dot = Stem.rfind('.'); Dot != std::string::npos && Dot > 0)
+    Stem = Stem.substr(0, Dot);
+  std::string Path = std::string(Dir) + "/" + Stem + ".postrcert";
+  if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::fwrite(R.CertText.data(), 1, R.CertText.size(), F);
+    std::fclose(F);
+    std::printf("; certificate written to %s\n", Path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write certificate to %s\n",
+                 Path.c_str());
+  }
 }
 
 static const char *Demo = R"((set-logic QF_S)
@@ -85,13 +111,30 @@ int main(int Argc, char **Argv) {
   }
   if (R.Validation.Failed)
     std::printf("; validation failure: %s\n", R.Validation.Detail.c_str());
+  // In-protocol answer to a scripted (get-info :reason-unknown): the
+  // structured stop/validation/certification reason, not just exit codes
+  // and the stats comment.
+  if (P->wantsReasonUnknown()) {
+    if (R.V != Verdict::Unknown)
+      std::printf("(error \"reason-unknown: last check-sat was not "
+                  "unknown\")\n");
+    else if (R.Validation.Failed)
+      std::printf("(:reason-unknown \"%s\")\n", R.Validation.Detail.c_str());
+    else if (R.Stop != StopReason::None)
+      std::printf("(:reason-unknown \"%s\")\n", stopReasonName(R.Stop));
+    else
+      std::printf("(:reason-unknown \"incomplete\")\n");
+  }
   std::printf("; stats {\"stop_reason\": \"%s\", \"disjuncts\": %u, "
               "\"budget_trips\": %u, \"degraded_retries\": %u, "
               "\"models_validated\": %u, \"validation_failures\": %u, "
-              "\"paranoid_checks\": %u}\n",
+              "\"paranoid_checks\": %u, \"proof_counters\": "
+              "{\"unsats_certified\": %u, \"certification_failures\": %u}}\n",
               stopReasonName(R.Stop), R.Stats.Disjuncts,
               R.Stats.BudgetTrips, R.Stats.DegradedRetries,
               R.Stats.ModelsValidated, R.Stats.ValidationFailures,
-              R.Stats.ParanoidChecks);
+              R.Stats.ParanoidChecks, R.Stats.UnsatsCertified,
+              R.Stats.CertificationFailures);
+  maybeWriteCert(R, Argc > 1 ? Argv[1] : nullptr);
   return exitCodeFor(R);
 }

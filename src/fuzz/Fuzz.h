@@ -117,8 +117,15 @@ struct DiffOptions {
   bool TripsAreFindings = false;
   /// Forwarded to SolveOptions::ParanoidUnsatCheck.
   bool Paranoid = false;
+  /// Forwarded to SolveOptions::CertifyUnsat: every solver Unsat must
+  /// yield a composed DRUP + Farkas certificate the independent kernel
+  /// accepts; a rejection demotes the verdict and surfaces here as a
+  /// ValidationFailure finding.
+  bool Certify = false;
   /// Forwarded to SolveOptions::TamperModel (test-only corruption hook).
   solver::ModelTamperHook TamperModel;
+  /// Forwarded to SolveOptions::TamperCert (test-only corruption hook).
+  solver::CertTamperHook TamperCert;
 };
 
 struct DiffResult {

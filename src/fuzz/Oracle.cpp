@@ -24,7 +24,9 @@ DiffResult postr::fuzz::differentialCheck(const strings::Problem &P,
   SO.StepLimit = O.SolverStepLimit;
   SO.Stabilize.MaxDisjuncts = O.SolverMaxDisjuncts;
   SO.ParanoidUnsatCheck = O.Paranoid;
+  SO.CertifyUnsat = O.Certify;
   SO.TamperModel = O.TamperModel;
+  SO.TamperCert = O.TamperCert;
   solver::SolveResult R = solver::solveProblem(P, SO);
   D.SolverV = R.V;
   D.SolverStop = R.Stop;

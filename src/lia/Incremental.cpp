@@ -11,6 +11,7 @@
 #include "base/Hash.h"
 #include "lia/Sat.h"
 #include "lia/Simplex.h"
+#include "proof/Proof.h"
 
 #include <algorithm>
 #include <chrono>
@@ -45,10 +46,17 @@ using Clock = std::chrono::steady_clock;
 /// re-marks the baseline.
 class IncrementalContext::Impl : public TheoryClient {
 public:
-  Impl(Arena &A, const QfOptions &O) : A(A), Opts(O) {}
+  Impl(Arena &A, const QfOptions &O) : A(A), Opts(O), Proof(O.Proof) {
+    // The trace builder is latched at construction (not via setOptions):
+    // attaching one mid-stream would miss the clause prefix already in
+    // the CDCL core, leaving the trace unreplayable.
+    Sat.setProof(Proof);
+  }
 
   Arena &A;
   QfOptions Opts;
+  /// Unsat-trace builder this context writes into, or null (no recording).
+  proof::QfTraceBuilder *const Proof;
 
   QfResult solve(const std::vector<FormulaId> &Assumptions,
                  const ModelRefiner &Refine);
@@ -106,6 +114,12 @@ private:
       Out.push_back(~L);
     }
   }
+  /// Translates the Simplex's conflict certificate into proof format and
+  /// stages it as the Pending cert for the theory lemma about to be
+  /// emitted: Lit reasons pass through as literal codes, intrinsic-bound
+  /// reasons map the extended var back to arena space, split reason
+  /// codes become path-depth references.
+  void stageConflictCert();
   /// The per-solve stop probe, replacing the old inline deadline check:
   /// all resource dimensions (deadline, memory, steps, cancellation) go
   /// through the active budget — an externally shared one, or a local
@@ -150,6 +164,10 @@ private:
       AtomIndex; ///< (coeffs, const) -> index into Atoms
   std::vector<uint32_t> AtomOfSatVar; ///< SAT var -> atom index or ~0u
   std::vector<uint32_t> ExtOf; ///< arena var -> Simplex extended var
+  /// Simplex extended var -> arena var, ~0u for slack (atom) rows. Only
+  /// maintained when recording proofs: certificate terms cite variables
+  /// in arena space, the space the checker reconstructs.
+  std::vector<uint32_t> ArenaOfExt;
   size_t AtomsRegistered = 0;  ///< prefix of Atoms with Simplex rows
   /// Incremental atom-lattice state: per canonical coefficient vector,
   /// the atom indices sorted by constant descending (strongest first).
@@ -199,6 +217,55 @@ private:
   }
 };
 
+void IncrementalContext::Impl::stageConflictCert() {
+  const Simplex::ConflictCert &C = Theory->conflictCert();
+  proof::TheoryCert Out;
+  Out.Leaves.reserve(C.Leaves.size());
+  for (const Simplex::FarkasLeafRec &L : C.Leaves) {
+    proof::FarkasLeaf PL;
+    PL.Entries.reserve(L.Terms.size());
+    for (const Simplex::FarkasTerm &T : L.Terms) {
+      proof::FarkasEntry E;
+      if (T.Reason == Simplex::NoReason) {
+        // Intrinsic bound. Only problem variables carry baseline bounds
+        // (slack rows register after the baseline snapshot), so the
+        // extended var maps back to arena space.
+        assert(T.ExtVar < ArenaOfExt.size() && ArenaOfExt[T.ExtVar] != ~0u &&
+               "intrinsic bound cited on a slack row");
+        E.K = proof::FarkasEntry::Kind::VarBound;
+        E.Ref = ArenaOfExt[T.ExtVar];
+        E.Upper = T.Upper;
+      } else if (T.Reason >= Simplex::SplitBase) {
+        E.K = proof::FarkasEntry::Kind::Split;
+        E.Ref = T.Reason - Simplex::SplitBase;
+        E.Upper = T.Upper;
+      } else {
+        E.K = proof::FarkasEntry::Kind::Lit;
+        E.Ref = T.Reason;
+      }
+      E.Mult = {T.Mult.num(), T.Mult.den()};
+      PL.Entries.push_back(std::move(E));
+    }
+    Out.Leaves.push_back(std::move(PL));
+  }
+  Out.Nodes.reserve(C.Nodes.size());
+  for (const Simplex::CertNodeRec &N : C.Nodes) {
+    proof::CertNode PN;
+    PN.Leaf = N.Leaf;
+    if (N.Leaf < 0) {
+      assert(N.ExtVar < ArenaOfExt.size() && ArenaOfExt[N.ExtVar] != ~0u &&
+             "integer split on a slack row");
+      PN.Var = ArenaOfExt[N.ExtVar];
+      PN.Floor = N.Floor;
+    }
+    PN.Down = N.Down;
+    PN.Up = N.Up;
+    Out.Nodes.push_back(PN);
+  }
+  Out.Root = C.Root;
+  Proof->Pending = Proof->addCert(std::move(Out));
+}
+
 uint32_t IncrementalContext::Impl::atomVarForTerm(const LinTerm &T) {
   auto Key = std::make_pair(T.coeffs(), T.constant());
   auto It = AtomIndex.find(Key);
@@ -208,6 +275,8 @@ uint32_t IncrementalContext::Impl::atomVarForTerm(const LinTerm &T) {
   TA.Term = T;
   TA.SatVar = Sat.newVar();
   TA.SimplexRow = ~0u; // registered at the next prepareTheory()
+  if (Proof)
+    Proof->atomDef(TA.SatVar, T.constant(), T.coeffs());
   AtomOfSatVar.resize(Sat.numVars(), ~0u);
   AtomOfSatVar[TA.SatVar] = static_cast<uint32_t>(Atoms.size());
   AtomIndex.emplace(std::move(Key), static_cast<uint32_t>(Atoms.size()));
@@ -347,6 +416,23 @@ void IncrementalContext::Impl::addLatticeLemmasIncremental() {
   // into its group's implication order (stronger constant → weaker) and
   // pairs against the negated-coefficients group; each unordered cross
   // pair is emitted exactly once — when its later atom arrives.
+  // Lattice lemmas are theory-valid, not axioms: when recording, each
+  // one is staged with the two-term Farkas certificate refuting its
+  // negation (both cited atoms share a linear part up to sign, so the
+  // variable parts cancel and the constants sum negative), and the
+  // builder turns the addClause below into a certified Theory step.
+  auto StagePair = [&](uint32_t CodeA, uint32_t CodeB) {
+    proof::TheoryCert C;
+    proof::FarkasLeaf L;
+    L.Entries.push_back(
+        {proof::FarkasEntry::Kind::Lit, CodeA, false, {1, 1}});
+    L.Entries.push_back(
+        {proof::FarkasEntry::Kind::Lit, CodeB, false, {1, 1}});
+    C.Leaves.push_back(std::move(L));
+    C.Nodes.push_back({0, 0, 0, -1, -1});
+    C.Root = 0;
+    Proof->Pending = Proof->addCert(std::move(C));
+  };
   for (; LatticeDone < Atoms.size(); ++LatticeDone) {
     uint32_t AI = static_cast<uint32_t>(LatticeDone);
     const LinTerm &T = Atoms[AI].Term;
@@ -359,12 +445,20 @@ void IncrementalContext::Impl::addLatticeLemmasIncremental() {
     // Within a group, t + c <= 0 with larger c is stronger: link the new
     // atom to its neighbours (the chain stays transitively complete;
     // older neighbour-to-neighbour links become redundant but harmless).
-    if (Idx > 0)
+    if (Idx > 0) {
+      if (Proof) // 1·(stronger holds) + 1·(weaker fails): c_w - c_s - 1 < 0
+        StagePair(Atoms[Group[Idx - 1]].SatVar * 2,
+                  Atoms[AI].SatVar * 2 + 1);
       Sat.addClause({Lit(Atoms[Group[Idx - 1]].SatVar, true),
                      Lit(Atoms[AI].SatVar, false)});
-    if (Idx < Group.size())
+    }
+    if (Idx < Group.size()) {
+      if (Proof)
+        StagePair(Atoms[AI].SatVar * 2,
+                  Atoms[Group[Idx]].SatVar * 2 + 1);
       Sat.addClause({Lit(Atoms[AI].SatVar, true),
                      Lit(Atoms[Group[Idx]].SatVar, false)});
+    }
     Group.insert(Pos, AI);
     // Against the negated-coefficients group: t + c <= 0 and
     // -t + c' <= 0 clash iff c + c' > 0.
@@ -377,9 +471,12 @@ void IncrementalContext::Impl::addLatticeLemmasIncremental() {
     if (Group.size() * It->second.size() > 4096)
       continue; // quadratic pairing not worth it on huge groups
     for (uint32_t Y : It->second)
-      if (T.constant() + Atoms[Y].Term.constant() > 0)
+      if (T.constant() + Atoms[Y].Term.constant() > 0) {
+        if (Proof) // 1·(t+c ≤ 0) + 1·(-t+c' ≤ 0): -c - c' < 0
+          StagePair(Atoms[AI].SatVar * 2, Atoms[Y].SatVar * 2);
         Sat.addClause(
             {Lit(Atoms[AI].SatVar, true), Lit(Atoms[Y].SatVar, true)});
+      }
   }
 }
 
@@ -390,6 +487,7 @@ void IncrementalContext::Impl::prepareTheory() {
     // that changes budgets/deadlines but not the rule of a live tableau.
     Theory = std::make_unique<Simplex>(0, Opts.Pivot);
     Theory->setInterrupt([this] { return stopped("lia.simplex"); });
+    Theory->setCertRecording(Proof != nullptr);
   }
   Theory->setBudget(Bud);
   // The SAT core starts the next descent with an empty trail (it
@@ -402,7 +500,21 @@ void IncrementalContext::Impl::prepareTheory() {
   bool Grew = false;
   while (ExtOf.size() < A.numVars()) {
     Var V = static_cast<Var>(ExtOf.size());
-    ExtOf.push_back(Theory->addProblemVar(A.varLo(V), A.varHi(V)));
+    uint32_t Ext = Theory->addProblemVar(A.varLo(V), A.varHi(V));
+    ExtOf.push_back(Ext);
+    if (Proof) {
+      if (ArenaOfExt.size() <= Ext)
+        ArenaOfExt.resize(Ext + 1, ~0u);
+      ArenaOfExt[Ext] = V;
+      proof::VarBounds B;
+      B.Var = V;
+      B.HasLo = A.varLo(V) != INT64_MIN;
+      B.HasHi = A.varHi(V) != INT64_MAX;
+      B.Lo = B.HasLo ? A.varLo(V) : 0;
+      B.Hi = B.HasHi ? A.varHi(V) : 0;
+      if (B.HasLo || B.HasHi)
+        Proof->varBounds(B);
+    }
     Grew = true;
   }
   for (; AtomsRegistered < Atoms.size(); ++AtomsRegistered) {
@@ -451,6 +563,8 @@ IncrementalContext::Impl::onAssign(const std::vector<Lit> &Trail, size_t From,
     if (!Ok) {
       ++TheoryConflicts;
       lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
+      if (Proof)
+        stageConflictCert();
       return TRes::Conflict;
     }
   }
@@ -466,6 +580,8 @@ IncrementalContext::Impl::onAssign(const std::vector<Lit> &Trail, size_t From,
       return TRes::Abort;
     }
     lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
+    if (Proof)
+      stageConflictCert();
     return TRes::Conflict;
   }
   return TRes::Ok;
@@ -503,6 +619,8 @@ IncrementalContext::Impl::onFinalModel(std::vector<Lit> &ConflictOut) {
     // Integrality conflict: branch-and-bound reports the union of its
     // leaf explanations as a core over the asserted bounds.
     lemmaFromReasons(Theory->conflictReasons(), ConflictOut);
+    if (Proof)
+      stageConflictCert();
     return TRes::Conflict;
   }
   // Budget exhausted: split on demand. Mint the atom x ≤ ⌊β(x)⌋ for a

@@ -62,6 +62,11 @@ struct MbqiRun {
     // cancel flag govern them directly — no remaining-time arithmetic.
     QfOptions O = Opts.Qf;
     O.Budget = Bud;
+    // Never record clause traces here: an MBQI Unsat rests on blocking
+    // clauses whose soundness comes from *inner* refutations, which a
+    // single QF trace cannot express. MBQI verdicts enter certificates
+    // as the trusted "mbqi" structural rule instead (proof/Proof.h).
+    O.Proof = nullptr;
     return O;
   }
 
@@ -206,7 +211,7 @@ Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
                              const MbqiOptions &Opts) {
   MbqiRun R(A, Q, Opts);
 
-  IncrementalContext Outer(A, Opts.Qf);
+  IncrementalContext Outer(A, R.subQf());
   Outer.assertFormula(Q.Outer);
   std::vector<std::unique_ptr<IncrementalContext>> Inner(Q.Blocks.size());
 
@@ -277,7 +282,7 @@ Verdict solveMbqiIncremental(Arena &A, const MbqiQuery &Q,
       if (Upper > Opts.MaxOffsets)
         return Verdict::Unknown;
       if (!Inner[BI]) {
-        Inner[BI] = std::make_unique<IncrementalContext>(A, Opts.Qf);
+        Inner[BI] = std::make_unique<IncrementalContext>(A, R.subQf());
         Inner[BI]->assertFormula(B.Inner);
       }
       IncrementalContext &IC = *Inner[BI];

@@ -8,6 +8,7 @@
 #include "lia/Sat.h"
 
 #include "base/Budget.h"
+#include "proof/Proof.h"
 
 #include <algorithm>
 #include <cmath>
@@ -16,6 +17,15 @@ using namespace postr;
 using namespace postr::lia;
 
 namespace {
+
+/// Literal codes of \p Lits, for the proof trace.
+std::vector<uint32_t> litCodes(const std::vector<Lit> &Lits) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Lits.size());
+  for (Lit L : Lits)
+    Out.push_back(L.Code);
+  return Out;
+}
 
 /// The Luby restart sequence 1,1,2,1,1,2,4,... (0-indexed).
 uint64_t luby(uint32_t X) {
@@ -113,6 +123,11 @@ uint32_t SatSolver::heapPop() {
 //===----------------------------------------------------------------------===//
 
 void SatSolver::addClause(std::vector<Lit> Lits) {
+  // Log the clause as handed in, before simplification: the checker
+  // replays level-0 propagation itself, so the original literals carry
+  // at least as much propagation power as the simplified clause.
+  if (Proof)
+    Proof->input(litCodes(Lits));
   // Clause addition happens between solve() calls; drop back to the root
   // decision level so level-0 simplification below is valid.
   backtrack(0);
@@ -399,8 +414,11 @@ void SatSolver::reduceDB() {
     return A > B; // younger (higher ref) first, so equals drop youngest
   });
   std::vector<uint8_t> Drop(Clauses.size(), 0);
-  for (size_t I = 0; I < Cand.size() / 2; ++I)
+  for (size_t I = 0; I < Cand.size() / 2; ++I) {
     Drop[Cand[I]] = 1;
+    if (Proof)
+      Proof->del(litCodes(Clauses[Cand[I]].Lits));
+  }
 
   // Compact the clause arena and remap every live reference.
   std::vector<ClauseRef> Remap(Clauses.size(), NoClause);
@@ -443,6 +461,8 @@ bool SatSolver::resolveConflict(ClauseRef Conflict) {
   }
   uint32_t BackjumpLevel = 0, Lbd = 0;
   analyze(Conflict, LearntScratch, BackjumpLevel, Lbd);
+  if (Proof)
+    Proof->learnt(litCodes(LearntScratch));
   backtrack(BackjumpLevel);
   if (LearntScratch.size() == 1) {
     if (!isUnassigned(LearntScratch[0])) {
@@ -476,6 +496,11 @@ bool SatSolver::handleTheoryConflict(std::vector<Lit> &Lemma) {
   std::sort(Lemma.begin(), Lemma.end(),
             [](Lit A, Lit B) { return A.Code < B.Code; });
   Lemma.erase(std::unique(Lemma.begin(), Lemma.end()), Lemma.end());
+  // Theory step, carrying whatever Farkas certificate the theory client
+  // staged for it (split lemmas stage none — they are propositional
+  // tautologies, checkable by unit propagation alone).
+  if (Proof)
+    Proof->theory(litCodes(Lemma));
   if (Lemma.empty()) {
     Unsatisfiable = true;
     return false;
@@ -589,8 +614,16 @@ SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn) {
 SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn,
                                 const std::vector<Lit> &Assumptions) {
   AssumpCore.clear();
-  if (Unsatisfiable)
+  // A Final event from an earlier solve of this (incremental) instance
+  // is stale: the owning loop kept solving past it, so it was not *the*
+  // refutation. The refutation of this call is appended on exit.
+  if (Proof)
+    Proof->clearFinal();
+  if (Unsatisfiable) {
+    if (Proof)
+      Proof->finalCore({});
     return Res::Unsat;
+  }
   // Derive the first clause-DB reduction cap from the instance: a fixed
   // cap has no right value across the 80-clause MBQI probes and the
   // multi-thousand-clause Parikh encodings (the old 4000 simply never
@@ -670,5 +703,11 @@ SatSolver::Res SatSolver::solve(TheoryClient *TheoryIn,
     }
   }();
   Theory = nullptr;
+  if (Proof && Out == Res::Unsat)
+    // Global refutations close with the empty core (the checker derives
+    // the conflict by propagation alone); assumption refutations cite
+    // the responsible assumption literals.
+    Proof->finalCore(Unsatisfiable ? std::vector<uint32_t>{}
+                                   : litCodes(AssumpCore));
   return Out;
 }

@@ -32,6 +32,10 @@ namespace postr {
 
 class Budget;
 
+namespace proof {
+class QfTraceBuilder;
+}
+
 namespace lia {
 
 /// A literal: variable index with sign. `Lit(v, false)` is the positive
@@ -157,6 +161,17 @@ public:
   /// callback; the solver itself keeps running until then.
   void setBudget(Budget *B) { Bud = B; }
 
+  /// Attaches a DRUP-style proof trace builder. Every clause event is
+  /// mirrored into it: added clauses as input steps (or certified theory
+  /// steps, when the owning context staged a Farkas certificate), CDCL
+  /// learnt clauses and theory lemmas as checkable additions, DB
+  /// reductions as deletions, and each Unsat answer as a final
+  /// refutation event (the empty core for a global refutation, the
+  /// assumption core otherwise). Null (the default) disables logging;
+  /// nothing in the search reads the builder, so the search itself is
+  /// bit-identical with and without it.
+  void setProof(proof::QfTraceBuilder *P) { Proof = P; }
+
 private:
   static constexpr uint8_t Unassigned = 2, TrueVal = 1, FalseVal = 0;
 
@@ -266,6 +281,7 @@ private:
   /// without a budget).
   void chargeClauseMem(size_t NLits);
   Budget *Bud = nullptr;
+  proof::QfTraceBuilder *Proof = nullptr;
   SatStats Stats;
 };
 

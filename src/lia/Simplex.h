@@ -91,7 +91,14 @@ enum class PivotRule : uint8_t {
 enum class InstanceFamily : uint8_t {
   Unknown,     ///< unclassified (direct solveQF callers): Parikh defaults
   ParikhHeavy, ///< membership/length constraints only — Parikh tableaus
-  WordEqHeavy, ///< word-equation splits or mismatch-style predicates
+  /// Word-equation splits whose position predicates are all plain
+  /// disequalities (or absent): the single-mismatch tag blocks keep the
+  /// tableau narrow.
+  WordEqDiseq,
+  /// Word-equation splits carrying prefix/suffix/at/contains-style
+  /// predicates, whose per-position tag blocks and copy transitions
+  /// build the wide mismatch tableaus.
+  WordEqPosition,
 };
 
 /// Per-context pivot-rule policy, threaded from the options structs
@@ -187,6 +194,56 @@ public:
   /// (intrinsic bounds, branch-and-bound splits) are omitted from
   /// explanations.
   static constexpr uint32_t NoReason = ~0u;
+
+  /// Reserved reason-code range for branch-and-bound split bounds when
+  /// certificate recording is on: `SplitBase + depth` identifies the
+  /// split at that depth of the current branch path. Codes at or above
+  /// SplitBase never appear in `conflictReasons()` (they resolve away in
+  /// the certificate tree, exactly like NoReason); they only occur in
+  /// `conflictCert()` terms. With recording off, splits carry NoReason
+  /// as before and behavior is bit-identical.
+  static constexpr uint32_t SplitBase = 0x80000000u;
+
+  /// One term of a recorded Farkas combination: `Mult` (strictly
+  /// positive) times the `Upper` or lower bound of extended variable
+  /// `ExtVar`, where `Reason` identifies the bound's origin — the
+  /// asserting literal code, NoReason for an intrinsic bound, or
+  /// `SplitBase + depth` for a branch split on the current path.
+  struct FarkasTerm {
+    uint32_t Reason = NoReason;
+    uint32_t ExtVar = 0;
+    bool Upper = false;
+    Rational Mult;
+  };
+  struct FarkasLeafRec {
+    std::vector<FarkasTerm> Terms;
+  };
+  /// Certificate tree node: terminal Farkas leaf (Leaf >= 0) or an
+  /// integer split `ExtVar <= Floor | ExtVar >= Floor + 1`.
+  struct CertNodeRec {
+    int32_t Leaf = -1;
+    uint32_t ExtVar = 0;
+    int64_t Floor = 0;
+    int32_t Down = -1, Up = -1;
+  };
+  /// Certificate of the most recent conflict: a single-leaf tree for a
+  /// rational conflict (immediate bound clash or infeasible row), a
+  /// proper split tree for an integrality conflict.
+  struct ConflictCert {
+    std::vector<FarkasLeafRec> Leaves;
+    std::vector<CertNodeRec> Nodes;
+    int32_t Root = -1;
+  };
+
+  /// Enables Farkas-certificate recording: every subsequent conflict
+  /// (failed assert, failed checkRational, Unsat checkInteger) leaves
+  /// its justification in `conflictCert()`. Off by default — recording
+  /// never changes search decisions, but allocation is not free.
+  void setCertRecording(bool On) { CertOn = On; }
+  /// Certificate of the most recent conflict; valid immediately after a
+  /// false assertUpper/assertLower, a false checkRational, or an Unsat
+  /// checkInteger, while recording is on (Root == -1 otherwise).
+  const ConflictCert &conflictCert() const { return Cert; }
 
   /// Asserts value(X) <= U / >= L. Returns false on an immediate bound
   /// conflict, with `conflictReasons()` filled (the caller then reports
@@ -326,7 +383,21 @@ private:
   /// Entry (R, X) as a normalized rational (zero when absent).
   Rational rowCoeff(uint32_t R, uint32_t X) const;
 
-  TheoryResult branch(std::vector<int64_t> &ModelOut, uint64_t &Budget);
+  TheoryResult branch(std::vector<int64_t> &ModelOut, uint64_t &Budget,
+                      uint32_t Depth, int32_t &NodeOut);
+
+  /// True when \p R should appear in a conflict explanation (lemma):
+  /// NoReason and split codes resolve away.
+  static bool isLemmaReason(uint32_t R) {
+    return R != NoReason && R < SplitBase;
+  }
+  /// Appends a Farkas leaf for the immediate clash of a new bound
+  /// (\p NewReason, \p NewUpper) on \p X against the existing opposite
+  /// bound; returns the new node index. Resets the cert first unless a
+  /// branch-and-bound tree is being built.
+  int32_t recordClashLeaf(uint32_t X, uint32_t NewReason, bool NewUpper);
+  /// Appends a Farkas leaf read off the infeasible row of basic \p B.
+  int32_t recordRowLeaf(uint32_t B, bool NeedIncrease);
 
   struct BoundUndo {
     uint32_t X;
@@ -381,6 +452,11 @@ private:
   std::vector<uint32_t> BaseLoReason, BaseHiReason;
   std::vector<uint32_t> Conflict;
   std::vector<uint32_t> IntegerCore; ///< accumulator for branch()
+  bool CertOn = false;
+  /// When true, conflict leaves append into the cert under construction
+  /// (checkInteger's tree) instead of resetting it.
+  bool InBranch = false;
+  ConflictCert Cert;
   SimplexStats Stats;
   PivotPolicy Policy;
   PivotRule Rule;

@@ -36,6 +36,11 @@
 #include <vector>
 
 namespace postr {
+
+namespace proof {
+class QfTraceBuilder;
+}
+
 namespace lia {
 
 /// Tunables for the QF solver. Defaults suit the formulae the tag
@@ -64,6 +69,15 @@ struct QfOptions {
   /// Simplex, and the clause DB probe and charge against it, and its trip
   /// reason surfaces as QfResult::Stop.
   postr::Budget *Budget = nullptr;
+  /// Optional proof trace sink. When set, every clause event of the CDCL
+  /// core (inputs, learnt clauses, theory lemmas with Farkas
+  /// certificates, DB-reduction deletions, the final conflict) is
+  /// mirrored into the builder so an Unsat verdict can be replayed by the
+  /// independent checker (proof/Check.h). Latched by incremental contexts
+  /// at construction; attaching mid-stream would miss clause prefixes.
+  /// Null (the default) disables recording — the search is bit-identical
+  /// either way.
+  proof::QfTraceBuilder *Proof = nullptr;
 };
 
 /// Search-core counters of one QF_LIA solve, for benchmarks and triage.

@@ -1,0 +1,557 @@
+//===- proof/Check.cpp - Independent certificate checker kernel ------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Shares nothing with the solver beyond the parsed certificate
+// structures: rationals, unit propagation, and the watch scheme below
+// are re-implemented from first principles so a solver bug cannot
+// silently agree with itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "proof/Check.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+using namespace postr;
+using namespace postr::proof;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Exact rationals (kernel-owned, independent of lia/Rational.h)
+//===----------------------------------------------------------------------===//
+
+struct KRat {
+  __int128 N = 0;
+  __int128 D = 1;
+
+  static __int128 gcd(__int128 A, __int128 B) {
+    if (A < 0)
+      A = -A;
+    if (B < 0)
+      B = -B;
+    while (B != 0) {
+      __int128 T = A % B;
+      A = B;
+      B = T;
+    }
+    return A;
+  }
+  void norm() {
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    if (N == 0) {
+      D = 1;
+      return;
+    }
+    __int128 G = gcd(N, D);
+    if (G > 1) {
+      N /= G;
+      D /= G;
+    }
+  }
+  static KRat make(__int128 N, __int128 D) {
+    KRat R{N, D};
+    R.norm();
+    return R;
+  }
+  bool isZero() const { return N == 0; }
+  bool isNeg() const { return N < 0; }
+  bool isPos() const { return N > 0; }
+  KRat operator+(const KRat &O) const {
+    return make(N * O.D + O.N * D, D * O.D);
+  }
+  KRat operator-(const KRat &O) const {
+    return make(N * O.D - O.N * D, D * O.D);
+  }
+  KRat operator*(const KRat &O) const { return make(N * O.N, D * O.D); }
+};
+
+//===----------------------------------------------------------------------===//
+// Clause trace replay: a decision-free mini-solver (watched literals,
+// persistent level-0 trail, temporary RUP probes).
+//===----------------------------------------------------------------------===//
+
+class Replayer {
+public:
+  std::string Err;
+
+  bool fail(const std::string &M) {
+    if (Err.empty())
+      Err = M;
+    return false;
+  }
+
+  void ensureVar(uint32_t Var) {
+    if (Var >= NumVars) {
+      NumVars = Var + 1;
+      Assign.resize(NumVars, 0);
+      Watches.resize(2 * NumVars);
+    }
+  }
+
+  bool litTrue(uint32_t L) const {
+    return Assign[L >> 1] == ((L & 1) ? -1 : 1);
+  }
+  bool litFalse(uint32_t L) const {
+    return Assign[L >> 1] == ((L & 1) ? 1 : -1);
+  }
+  bool litFree(uint32_t L) const { return Assign[L >> 1] == 0; }
+
+  /// Enqueues L as true; returns false on an immediate clash.
+  bool enqueue(uint32_t L) {
+    if (litFalse(L))
+      return false;
+    if (litTrue(L))
+      return true;
+    Assign[L >> 1] = (L & 1) ? -1 : 1;
+    Trail.push_back(L);
+    return true;
+  }
+
+  /// Watch-based unit propagation from QHead. Returns false on conflict
+  /// (a falsified clause) — the desired outcome of a RUP probe.
+  bool propagate() {
+    while (QHead < Trail.size()) {
+      uint32_t False = Trail[QHead++] ^ 1; // lit that just became false
+      std::vector<uint32_t> &Ws = Watches[False];
+      size_t Keep = 0;
+      for (size_t I = 0; I < Ws.size(); ++I) {
+        uint32_t Ci = Ws[I];
+        Clause &C = Clauses[Ci];
+        if (!C.Alive)
+          continue; // dropped by DB reduction; GC'd here
+        // Normalize: watched lit under scrutiny at position 1.
+        if (C.Lits[0] == False)
+          std::swap(C.Lits[0], C.Lits[1]);
+        if (litTrue(C.Lits[0])) {
+          Ws[Keep++] = Ci;
+          continue;
+        }
+        bool Moved = false;
+        for (size_t K = 2; K < C.Lits.size(); ++K) {
+          if (!litFalse(C.Lits[K])) {
+            std::swap(C.Lits[1], C.Lits[K]);
+            Watches[C.Lits[1]].push_back(Ci);
+            Moved = true;
+            break;
+          }
+        }
+        if (Moved)
+          continue;
+        Ws[Keep++] = Ci;
+        if (!enqueue(C.Lits[0])) {
+          Ws.erase(Ws.begin() + static_cast<ptrdiff_t>(Keep),
+                   Ws.begin() + static_cast<ptrdiff_t>(I + 1));
+          return false;
+        }
+      }
+      Ws.resize(Keep);
+    }
+    return true;
+  }
+
+  /// Adds a clause to the live DB and absorbs its level-0 consequences.
+  /// A derived top-level conflict is remembered (`Refuted`) — from that
+  /// point the trace's refutation claim holds outright.
+  void addClause(const std::vector<uint32_t> &Lits) {
+    std::vector<uint32_t> Ls = Lits;
+    for (uint32_t L : Ls)
+      ensureVar(L >> 1);
+    if (Refuted)
+      return;
+    if (Ls.empty()) {
+      Refuted = true;
+      return;
+    }
+    uint32_t Ci = static_cast<uint32_t>(Clauses.size());
+    Clauses.push_back({Ls, true});
+    std::vector<uint32_t> Key = Ls;
+    std::sort(Key.begin(), Key.end());
+    ByLits[Key].push_back(Ci);
+    if (Ls.size() >= 2) {
+      // Watch two non-falsified lits when possible so the persistent
+      // trail keeps propagating through this clause.
+      auto Pick = [&](size_t From) {
+        for (size_t K = From; K < Ls.size(); ++K)
+          if (!litFalse(Clauses[Ci].Lits[K]))
+            return K;
+        return From;
+      };
+      size_t W0 = Pick(0);
+      std::swap(Clauses[Ci].Lits[0], Clauses[Ci].Lits[W0]);
+      size_t W1 = Pick(1);
+      std::swap(Clauses[Ci].Lits[1], Clauses[Ci].Lits[W1]);
+      Watches[Clauses[Ci].Lits[0]].push_back(Ci);
+      Watches[Clauses[Ci].Lits[1]].push_back(Ci);
+    }
+    // Level-0 status: unit or falsified clauses feed the trail now.
+    uint32_t Free = ~0u;
+    size_t NumFree = 0;
+    bool Sat = false;
+    for (uint32_t L : Clauses[Ci].Lits) {
+      if (litTrue(L))
+        Sat = true;
+      else if (!litFalse(L)) {
+        Free = L;
+        ++NumFree;
+      }
+    }
+    if (Sat)
+      return;
+    if (NumFree == 0 || (NumFree == 1 && !enqueue(Free)) || !propagate())
+      Refuted = true;
+  }
+
+  /// Deletes one live clause with exactly these literals (multiset).
+  /// Literals the clause already forced onto the persistent trail stay
+  /// asserted — the standard DRUP-checker treatment of unit deletions
+  /// (retracting them would require recomputing the propagation
+  /// fixpoint from scratch, and solvers never delete reason clauses of
+  /// top-level literals).
+  bool delClause(const std::vector<uint32_t> &Lits) {
+    if (Refuted)
+      return true; // post-refutation bookkeeping; nothing left to protect
+    std::vector<uint32_t> Key = Lits;
+    std::sort(Key.begin(), Key.end());
+    auto It = ByLits.find(Key);
+    while (It != ByLits.end() && !It->second.empty()) {
+      uint32_t Ci = It->second.back();
+      It->second.pop_back();
+      if (Clauses[Ci].Alive) {
+        Clauses[Ci].Alive = false;
+        return true;
+      }
+    }
+    return fail("delete of a clause that is not in the live DB");
+  }
+
+  /// Reverse-unit-propagation probe: asserting the negation of every
+  /// literal of \p Lits must conflict. Leaves persistent state intact.
+  bool rupHolds(const std::vector<uint32_t> &Lits) {
+    for (uint32_t L : Lits)
+      ensureVar(L >> 1);
+    if (Refuted)
+      return true;
+    size_t Mark = Trail.size();
+    bool Conflict = false;
+    for (uint32_t L : Lits)
+      if (!enqueue(L ^ 1)) {
+        Conflict = true;
+        break;
+      }
+    if (!Conflict)
+      Conflict = !propagate();
+    undoTo(Mark);
+    return Conflict;
+  }
+
+  /// Refutation probe for the final event: the core assumptions (as
+  /// asserted) must conflict under propagation.
+  bool coreRefuted(const std::vector<uint32_t> &Core) {
+    for (uint32_t L : Core)
+      ensureVar(L >> 1);
+    if (Refuted)
+      return true;
+    size_t Mark = Trail.size();
+    bool Conflict = false;
+    for (uint32_t L : Core)
+      if (!enqueue(L)) {
+        Conflict = true;
+        break;
+      }
+    if (!Conflict)
+      Conflict = !propagate();
+    undoTo(Mark);
+    return Conflict;
+  }
+
+private:
+  struct Clause {
+    std::vector<uint32_t> Lits;
+    bool Alive = true;
+  };
+
+  void undoTo(size_t Mark) {
+    while (Trail.size() > Mark) {
+      Assign[Trail.back() >> 1] = 0;
+      Trail.pop_back();
+    }
+    QHead = Mark;
+  }
+
+  uint32_t NumVars = 0;
+  std::vector<int8_t> Assign; ///< per var: 0 free, 1 true, -1 false
+  std::vector<uint32_t> Trail;
+  size_t QHead = 0;
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<uint32_t>> Watches; ///< per literal code
+  std::map<std::vector<uint32_t>, std::vector<uint32_t>> ByLits;
+  bool Refuted = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Farkas / branch-tree re-evaluation
+//===----------------------------------------------------------------------===//
+
+struct PathSplit {
+  uint32_t Var;
+  int64_t Floor;
+  bool UpSide; ///< false: Var <= Floor, true: Var >= Floor+1
+};
+
+class QfChecker {
+public:
+  QfChecker(const QfProof &P, CheckStats &Stats) : P(P), Stats(Stats) {}
+
+  bool run(std::string &Err) {
+    bool Ok = runImpl();
+    if (!Ok)
+      Err = !R.Err.empty() ? R.Err : this->Err;
+    return Ok;
+  }
+
+private:
+  bool fail(const std::string &M) {
+    if (Err.empty())
+      Err = M;
+    return false;
+  }
+
+  bool runImpl() {
+    for (const LinAtom &A : P.Atoms)
+      if (!Atoms.emplace(A.SatVar, &A).second)
+        return fail("duplicate atom definition for SAT var " +
+                    std::to_string(A.SatVar));
+    for (const VarBounds &B : P.Bounds)
+      if (!Bounds.emplace(B.Var, &B).second)
+        return fail("duplicate bounds record for var " +
+                    std::to_string(B.Var));
+
+    bool SawFinal = false;
+    for (size_t I = 0; I < P.Steps.size(); ++I) {
+      const ClauseStep &S = P.Steps[I];
+      if (SawFinal)
+        return fail("events after the final refutation step");
+      switch (S.K) {
+      case ClauseStep::Kind::Input:
+        R.addClause(S.Lits);
+        break;
+      case ClauseStep::Kind::Learnt:
+        ++Stats.RupChecks;
+        if (!R.rupHolds(S.Lits))
+          return fail("learnt clause at step " + std::to_string(I) +
+                      " is not RUP");
+        R.addClause(S.Lits);
+        break;
+      case ClauseStep::Kind::Theory:
+        if (S.Cert < 0) {
+          // Certless theory clauses are the splitting-on-demand
+          // tautologies; RUP covers those.
+          ++Stats.RupChecks;
+          if (!R.rupHolds(S.Lits))
+            return fail("certless theory lemma at step " +
+                        std::to_string(I) + " is not RUP");
+        } else {
+          if (static_cast<size_t>(S.Cert) >= P.Certs.size())
+            return fail("theory lemma cites missing cert");
+          if (!checkCert(P.Certs[S.Cert], S.Lits))
+            return false;
+        }
+        R.addClause(S.Lits);
+        break;
+      case ClauseStep::Kind::Delete:
+        if (!R.delClause(S.Lits))
+          return false;
+        break;
+      case ClauseStep::Kind::Final:
+        SawFinal = true;
+        if (!R.coreRefuted(S.Lits))
+          return fail("final event does not conflict under propagation");
+        break;
+      }
+    }
+    if (!SawFinal)
+      return fail("trace has no final refutation event");
+    ++Stats.CheckedRefutations;
+    return true;
+  }
+
+  /// The lemma `¬r1 ∨ … ∨ ¬rk` is justified when the certificate shows
+  /// {r1..rk} ∪ intrinsic bounds jointly infeasible over the integers.
+  bool checkCert(const TheoryCert &C, const std::vector<uint32_t> &Lemma) {
+    LemmaLits.clear();
+    LemmaLits.insert(Lemma.begin(), Lemma.end());
+    if (C.Root < 0 || static_cast<size_t>(C.Root) >= C.Nodes.size())
+      return fail("theory cert has no root node");
+    Visited.assign(C.Nodes.size(), false);
+    Path.clear();
+    return checkNode(C, C.Root);
+  }
+
+  bool checkNode(const TheoryCert &C, int32_t N) {
+    if (N < 0 || static_cast<size_t>(N) >= C.Nodes.size())
+      return fail("cert node index out of range");
+    if (Visited[static_cast<size_t>(N)])
+      return fail("cert node visited twice (cycle)");
+    Visited[static_cast<size_t>(N)] = true;
+    const CertNode &Nd = C.Nodes[static_cast<size_t>(N)];
+    if (Nd.Leaf >= 0) {
+      if (static_cast<size_t>(Nd.Leaf) >= C.Leaves.size())
+        return fail("cert leaf index out of range");
+      return checkLeaf(C.Leaves[static_cast<size_t>(Nd.Leaf)]);
+    }
+    // Integer split Var <= Floor | Var >= Floor+1: valid for every
+    // integer variable and every integer Floor; both sides must close.
+    Path.push_back({Nd.Var, Nd.Floor, false});
+    if (!checkNode(C, Nd.Down))
+      return false;
+    Path.back().UpSide = true;
+    if (!checkNode(C, Nd.Up))
+      return false;
+    Path.pop_back();
+    return true;
+  }
+
+  /// Accumulates Mult · (t <= b) per entry in `<=` normal form; the
+  /// combination must cancel every variable and leave a strictly
+  /// negative constant: 0 <= negative.
+  bool checkLeaf(const FarkasLeaf &Leaf) {
+    ++Stats.FarkasLeaves;
+    Acc.clear();
+    KRat Rhs{};
+    if (Leaf.Entries.empty())
+      return fail("empty Farkas combination");
+    for (const FarkasEntry &E : Leaf.Entries) {
+      KRat M = KRat::make(E.Mult.Num, E.Mult.Den);
+      if (!M.isPos())
+        return fail("Farkas multiplier is not strictly positive");
+      switch (E.K) {
+      case FarkasEntry::Kind::Lit: {
+        // The asserted bound's negation must be offered by the lemma.
+        if (!LemmaLits.count(E.Ref ^ 1u))
+          return fail("Farkas entry cites a literal missing from the "
+                      "lemma");
+        auto It = Atoms.find(E.Ref >> 1);
+        if (It == Atoms.end())
+          return fail("Farkas entry cites an undefined atom");
+        const LinAtom &A = *It->second;
+        if (!(E.Ref & 1)) {
+          // Atom true: Σc·v <= -Const.
+          for (const auto &[V, Cf] : A.Coeffs)
+            addAcc(V, M * KRat::make(Cf, 1));
+          Rhs = Rhs + M * KRat::make(-A.Const, 1);
+        } else {
+          // Atom false: Σc·v >= 1-Const, i.e. -Σc·v <= Const-1.
+          for (const auto &[V, Cf] : A.Coeffs)
+            addAcc(V, M * KRat::make(-Cf, 1));
+          Rhs = Rhs + M * KRat::make(A.Const - 1, 1);
+        }
+        break;
+      }
+      case FarkasEntry::Kind::VarBound: {
+        auto It = Bounds.find(E.Ref);
+        if (It == Bounds.end())
+          return fail("Farkas entry cites unknown variable bounds");
+        const VarBounds &B = *It->second;
+        if (E.Upper) {
+          if (!B.HasHi)
+            return fail("Farkas entry cites a missing upper bound");
+          addAcc(E.Ref, M);
+          Rhs = Rhs + M * KRat::make(B.Hi, 1);
+        } else {
+          if (!B.HasLo)
+            return fail("Farkas entry cites a missing lower bound");
+          addAcc(E.Ref, KRat::make(-M.N, M.D));
+          Rhs = Rhs + M * KRat::make(-B.Lo, 1);
+        }
+        break;
+      }
+      case FarkasEntry::Kind::Split: {
+        if (E.Ref >= Path.size())
+          return fail("Farkas entry cites a split off the tree path");
+        const PathSplit &S = Path[E.Ref];
+        if (!S.UpSide) {
+          addAcc(S.Var, M);
+          Rhs = Rhs + M * KRat::make(S.Floor, 1);
+        } else {
+          addAcc(S.Var, KRat::make(-M.N, M.D));
+          Rhs = Rhs + M * KRat::make(-(S.Floor + 1), 1);
+        }
+        break;
+      }
+      }
+    }
+    for (const auto &[V, Coef] : Acc)
+      if (!Coef.isZero())
+        return fail("Farkas combination does not cancel variable " +
+                    std::to_string(V));
+    if (!Rhs.isNeg())
+      return fail("Farkas combination is not contradictory (constant "
+                  "not negative)");
+    return true;
+  }
+
+  void addAcc(uint32_t Var, const KRat &Delta) {
+    auto [It, Inserted] = Acc.emplace(Var, Delta);
+    if (!Inserted)
+      It->second = It->second + Delta;
+  }
+
+  const QfProof &P;
+  CheckStats &Stats;
+  Replayer R;
+  std::string Err;
+  std::unordered_map<uint32_t, const LinAtom *> Atoms;
+  std::unordered_map<uint32_t, const VarBounds *> Bounds;
+  std::set<uint32_t> LemmaLits;
+  std::vector<bool> Visited;
+  std::vector<PathSplit> Path;
+  std::map<uint32_t, KRat> Acc;
+};
+
+} // namespace
+
+CheckOutcome proof::checkQfProof(const QfProof &P) {
+  CheckOutcome Out;
+  QfChecker C(P, Out.Stats);
+  Out.Ok = C.run(Out.Error);
+  return Out;
+}
+
+CheckOutcome proof::checkCertificate(const Certificate &C) {
+  CheckOutcome Out;
+  if (!C.Complete) {
+    Out.Error = "stabilization incomplete: the certificate cannot claim "
+                "whole-problem unsatisfiability";
+    return Out;
+  }
+  for (size_t I = 0; I < C.Disjuncts.size(); ++I) {
+    const DisjunctCert &D = C.Disjuncts[I];
+    if (D.IsRule) {
+      if (D.Rule.empty()) {
+        Out.Error = "disjunct " + std::to_string(I) + ": empty rule name";
+        return Out;
+      }
+      ++Out.Stats.TrustedRules;
+      continue;
+    }
+    QfChecker QC(D.Proof, Out.Stats);
+    std::string Err;
+    if (!QC.run(Err)) {
+      Out.Error = "disjunct " + std::to_string(I) + ": " + Err;
+      return Out;
+    }
+  }
+  Out.Ok = true;
+  return Out;
+}

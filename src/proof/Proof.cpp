@@ -1,0 +1,450 @@
+//===- proof/Proof.cpp - Certificate text serialization and parser ---------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Line-based text format, one record per line, whitespace-separated
+// tokens, explicit counts before every list so truncation is always a
+// parse error:
+//
+//   postr-cert 1
+//   complete 0|1
+//   disjuncts N
+//   disjunct <i> rule <name>          -- structural short-circuit
+//   disjunct <i> qf                   -- clause-trace refutation
+//     v <var> <lo|*> <hi|*>
+//     atm <satvar> <const> <k> {<var> <coeff>}...
+//     c <id> <leaves> <nodes> <root>
+//     lf <id> <k> { L <lit> <mult> | B <var> u|l <mult> | S <d> <mult> }...
+//     nd <id> lf <leaf>  |  nd <id> sp <var> <floor> <down> <up>
+//     i|l|d|f <k> {<lit>}...
+//     t <k> {<lit>}... <certid|->
+//   end
+//   unsat
+//
+// Rationals are `num` or `num/den` in decimal (128-bit).
+//
+//===----------------------------------------------------------------------===//
+
+#include "proof/Proof.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace postr;
+using namespace postr::proof;
+
+namespace {
+
+std::string render128(__int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  std::string S;
+  while (V != 0) {
+    int Digit = static_cast<int>(V % 10);
+    if (Digit < 0)
+      Digit = -Digit;
+    S.push_back(static_cast<char>('0' + Digit));
+    V /= 10;
+  }
+  if (Neg)
+    S.push_back('-');
+  return std::string(S.rbegin(), S.rend());
+}
+
+std::string renderRat(const Rat &R) {
+  if (R.Den == 1)
+    return render128(R.Num);
+  return render128(R.Num) + "/" + render128(R.Den);
+}
+
+bool parse128(const std::string &Tok, __int128 &Out) {
+  size_t I = 0;
+  bool Neg = false;
+  if (I < Tok.size() && (Tok[I] == '-' || Tok[I] == '+')) {
+    Neg = Tok[I] == '-';
+    ++I;
+  }
+  if (I >= Tok.size())
+    return false;
+  __int128 V = 0;
+  // Magnitude guard: |value| must stay below 2^126 so the checker's
+  // arithmetic has headroom; certificates near that range are rejected
+  // rather than silently wrapped.
+  const __int128 Cap = static_cast<__int128>(1) << 120;
+  for (; I < Tok.size(); ++I) {
+    if (!std::isdigit(static_cast<unsigned char>(Tok[I])))
+      return false;
+    if (V > Cap)
+      return false;
+    V = V * 10 + (Tok[I] - '0');
+  }
+  Out = Neg ? -V : V;
+  return true;
+}
+
+bool parseRat(const std::string &Tok, Rat &Out) {
+  size_t Slash = Tok.find('/');
+  if (Slash == std::string::npos) {
+    Out.Den = 1;
+    return parse128(Tok, Out.Num);
+  }
+  return parse128(Tok.substr(0, Slash), Out.Num) &&
+         parse128(Tok.substr(Slash + 1), Out.Den) && Out.Den > 0;
+}
+
+const char *stepTag(ClauseStep::Kind K) {
+  switch (K) {
+  case ClauseStep::Kind::Input:
+    return "i";
+  case ClauseStep::Kind::Learnt:
+    return "l";
+  case ClauseStep::Kind::Theory:
+    return "t";
+  case ClauseStep::Kind::Delete:
+    return "d";
+  case ClauseStep::Kind::Final:
+    return "f";
+  }
+  return "?";
+}
+
+void serializeQf(std::ostringstream &Out, const QfProof &P) {
+  for (const VarBounds &B : P.Bounds) {
+    Out << "v " << B.Var << ' '
+        << (B.HasLo ? std::to_string(B.Lo) : std::string("*")) << ' '
+        << (B.HasHi ? std::to_string(B.Hi) : std::string("*")) << '\n';
+  }
+  for (const LinAtom &A : P.Atoms) {
+    Out << "atm " << A.SatVar << ' ' << A.Const << ' ' << A.Coeffs.size();
+    for (const auto &[V, C] : A.Coeffs)
+      Out << ' ' << V << ' ' << C;
+    Out << '\n';
+  }
+  for (size_t I = 0; I < P.Certs.size(); ++I) {
+    const TheoryCert &C = P.Certs[I];
+    Out << "c " << I << ' ' << C.Leaves.size() << ' ' << C.Nodes.size()
+        << ' ' << C.Root << '\n';
+    for (size_t L = 0; L < C.Leaves.size(); ++L) {
+      Out << "lf " << L << ' ' << C.Leaves[L].Entries.size();
+      for (const FarkasEntry &E : C.Leaves[L].Entries) {
+        switch (E.K) {
+        case FarkasEntry::Kind::Lit:
+          Out << " L " << E.Ref;
+          break;
+        case FarkasEntry::Kind::VarBound:
+          Out << " B " << E.Ref << ' ' << (E.Upper ? 'u' : 'l');
+          break;
+        case FarkasEntry::Kind::Split:
+          Out << " S " << E.Ref;
+          break;
+        }
+        Out << ' ' << renderRat(E.Mult);
+      }
+      Out << '\n';
+    }
+    for (size_t N = 0; N < C.Nodes.size(); ++N) {
+      const CertNode &Nd = C.Nodes[N];
+      if (Nd.Leaf >= 0)
+        Out << "nd " << N << " lf " << Nd.Leaf << '\n';
+      else
+        Out << "nd " << N << " sp " << Nd.Var << ' ' << Nd.Floor << ' '
+            << Nd.Down << ' ' << Nd.Up << '\n';
+    }
+  }
+  for (const ClauseStep &S : P.Steps) {
+    Out << stepTag(S.K) << ' ' << S.Lits.size();
+    for (uint32_t L : S.Lits)
+      Out << ' ' << L;
+    if (S.K == ClauseStep::Kind::Theory) {
+      if (S.Cert >= 0)
+        Out << ' ' << S.Cert;
+      else
+        Out << " -";
+    }
+    Out << '\n';
+  }
+}
+
+/// Token-stream parser state over one certificate text.
+struct Parser {
+  std::istringstream In;
+  std::string Line;
+  std::istringstream Toks;
+  size_t LineNo = 0;
+  std::string Err;
+
+  explicit Parser(std::string_view Text) : In(std::string(Text)) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+  /// Advances to the next non-empty, non-comment line.
+  bool nextLine() {
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      size_t B = Line.find_first_not_of(" \t\r");
+      if (B == std::string::npos || Line[B] == ';')
+        continue;
+      Toks.clear();
+      Toks.str(Line);
+      return true;
+    }
+    return fail("unexpected end of certificate");
+  }
+
+  bool tok(std::string &Out) {
+    if (!(Toks >> Out))
+      return fail("missing token");
+    return true;
+  }
+  bool u32(uint32_t &Out) {
+    std::string T;
+    if (!tok(T))
+      return false;
+    __int128 V;
+    if (!parse128(T, V) || V < 0 || V > UINT32_MAX)
+      return fail("bad u32 '" + T + "'");
+    Out = static_cast<uint32_t>(V);
+    return true;
+  }
+  bool i64(int64_t &Out) {
+    std::string T;
+    if (!tok(T))
+      return false;
+    __int128 V;
+    if (!parse128(T, V) || V < INT64_MIN || V > INT64_MAX)
+      return fail("bad i64 '" + T + "'");
+    Out = static_cast<int64_t>(V);
+    return true;
+  }
+  bool i32(int32_t &Out) {
+    int64_t V;
+    if (!i64(V))
+      return false;
+    if (V < INT32_MIN || V > INT32_MAX)
+      return fail("i32 out of range");
+    Out = static_cast<int32_t>(V);
+    return true;
+  }
+  bool rat(Rat &Out) {
+    std::string T;
+    if (!tok(T))
+      return false;
+    if (!parseRat(T, Out))
+      return fail("bad rational '" + T + "'");
+    return true;
+  }
+};
+
+bool parseQf(Parser &P, QfProof &Out) {
+  // Sections arrive in any order; `end` closes the disjunct.
+  for (;;) {
+    if (!P.nextLine())
+      return false;
+    std::string Tag;
+    if (!P.tok(Tag))
+      return false;
+    if (Tag == "end")
+      return true;
+    if (Tag == "v") {
+      VarBounds B;
+      std::string Lo, Hi;
+      if (!P.u32(B.Var) || !P.tok(Lo) || !P.tok(Hi))
+        return false;
+      __int128 V;
+      if (Lo != "*") {
+        if (!parse128(Lo, V) || V < INT64_MIN || V > INT64_MAX)
+          return P.fail("bad lower bound");
+        B.HasLo = true;
+        B.Lo = static_cast<int64_t>(V);
+      }
+      if (Hi != "*") {
+        if (!parse128(Hi, V) || V < INT64_MIN || V > INT64_MAX)
+          return P.fail("bad upper bound");
+        B.HasHi = true;
+        B.Hi = static_cast<int64_t>(V);
+      }
+      Out.Bounds.push_back(B);
+    } else if (Tag == "atm") {
+      LinAtom A;
+      uint32_t N;
+      if (!P.u32(A.SatVar) || !P.i64(A.Const) || !P.u32(N))
+        return false;
+      A.Coeffs.resize(N);
+      for (auto &[V, C] : A.Coeffs)
+        if (!P.u32(V) || !P.i64(C))
+          return false;
+      Out.Atoms.push_back(std::move(A));
+    } else if (Tag == "c") {
+      uint32_t Id, NL, NN;
+      TheoryCert C;
+      if (!P.u32(Id) || !P.u32(NL) || !P.u32(NN) || !P.i32(C.Root))
+        return false;
+      if (Id != Out.Certs.size())
+        return P.fail("cert id out of order");
+      C.Leaves.resize(NL);
+      C.Nodes.resize(NN);
+      for (uint32_t L = 0; L < NL; ++L) {
+        if (!P.nextLine())
+          return false;
+        std::string T;
+        uint32_t LId, NE;
+        if (!P.tok(T) || T != "lf")
+          return P.fail("expected 'lf'");
+        if (!P.u32(LId) || LId != L || !P.u32(NE))
+          return P.fail("bad leaf header");
+        C.Leaves[L].Entries.resize(NE);
+        for (FarkasEntry &E : C.Leaves[L].Entries) {
+          std::string K;
+          if (!P.tok(K))
+            return false;
+          if (K == "L") {
+            E.K = FarkasEntry::Kind::Lit;
+            if (!P.u32(E.Ref))
+              return false;
+          } else if (K == "B") {
+            E.K = FarkasEntry::Kind::VarBound;
+            std::string Side;
+            if (!P.u32(E.Ref) || !P.tok(Side))
+              return false;
+            if (Side != "u" && Side != "l")
+              return P.fail("bad bound side");
+            E.Upper = Side == "u";
+          } else if (K == "S") {
+            E.K = FarkasEntry::Kind::Split;
+            if (!P.u32(E.Ref))
+              return false;
+          } else {
+            return P.fail("bad farkas entry kind '" + K + "'");
+          }
+          if (!P.rat(E.Mult))
+            return false;
+        }
+      }
+      for (uint32_t N = 0; N < NN; ++N) {
+        if (!P.nextLine())
+          return false;
+        std::string T, Kind;
+        uint32_t NId;
+        if (!P.tok(T) || T != "nd")
+          return P.fail("expected 'nd'");
+        if (!P.u32(NId) || NId != N || !P.tok(Kind))
+          return P.fail("bad node header");
+        CertNode &Nd = C.Nodes[N];
+        if (Kind == "lf") {
+          if (!P.i32(Nd.Leaf))
+            return false;
+        } else if (Kind == "sp") {
+          if (!P.u32(Nd.Var) || !P.i64(Nd.Floor) || !P.i32(Nd.Down) ||
+              !P.i32(Nd.Up))
+            return false;
+        } else {
+          return P.fail("bad node kind '" + Kind + "'");
+        }
+      }
+      Out.Certs.push_back(std::move(C));
+    } else if (Tag == "i" || Tag == "l" || Tag == "t" || Tag == "d" ||
+               Tag == "f") {
+      ClauseStep S;
+      S.K = Tag == "i"   ? ClauseStep::Kind::Input
+            : Tag == "l" ? ClauseStep::Kind::Learnt
+            : Tag == "t" ? ClauseStep::Kind::Theory
+            : Tag == "d" ? ClauseStep::Kind::Delete
+                         : ClauseStep::Kind::Final;
+      uint32_t N;
+      if (!P.u32(N))
+        return false;
+      S.Lits.resize(N);
+      for (uint32_t &L : S.Lits)
+        if (!P.u32(L))
+          return false;
+      if (S.K == ClauseStep::Kind::Theory) {
+        std::string C;
+        if (!P.tok(C))
+          return false;
+        if (C != "-") {
+          __int128 V;
+          if (!parse128(C, V) || V < 0 || V > INT32_MAX)
+            return P.fail("bad cert ref '" + C + "'");
+          S.Cert = static_cast<int32_t>(V);
+        }
+      }
+      Out.Steps.push_back(std::move(S));
+    } else {
+      return P.fail("unknown record '" + Tag + "'");
+    }
+  }
+}
+
+} // namespace
+
+std::string proof::serialize(const Certificate &C) {
+  std::ostringstream Out;
+  Out << "postr-cert 1\n";
+  Out << "complete " << (C.Complete ? 1 : 0) << '\n';
+  Out << "disjuncts " << C.Disjuncts.size() << '\n';
+  for (size_t I = 0; I < C.Disjuncts.size(); ++I) {
+    const DisjunctCert &D = C.Disjuncts[I];
+    if (D.IsRule) {
+      Out << "disjunct " << I << " rule " << D.Rule << '\n';
+    } else {
+      Out << "disjunct " << I << " qf\n";
+      serializeQf(Out, D.Proof);
+      Out << "end\n";
+    }
+  }
+  Out << "unsat\n";
+  return Out.str();
+}
+
+Result<Certificate> proof::parse(std::string_view Text) {
+  Parser P(Text);
+  auto Bail = [&]() { return Result<Certificate>::failure(P.Err); };
+
+  std::string Tag;
+  uint32_t Version = 0;
+  if (!P.nextLine() || !P.tok(Tag) || Tag != "postr-cert" || !P.u32(Version))
+    return P.fail("expected 'postr-cert <version>' header"), Bail();
+  if (Version != 1)
+    return P.fail("unsupported version"), Bail();
+
+  Certificate C;
+  uint32_t Complete = 0, NumDisjuncts = 0;
+  if (!P.nextLine() || !P.tok(Tag) || Tag != "complete" || !P.u32(Complete))
+    return P.fail("expected 'complete 0|1'"), Bail();
+  C.Complete = Complete != 0;
+  if (!P.nextLine() || !P.tok(Tag) || Tag != "disjuncts" ||
+      !P.u32(NumDisjuncts))
+    return P.fail("expected 'disjuncts N'"), Bail();
+
+  C.Disjuncts.resize(NumDisjuncts);
+  for (uint32_t I = 0; I < NumDisjuncts; ++I) {
+    uint32_t Idx = 0;
+    std::string Kind;
+    if (!P.nextLine() || !P.tok(Tag) || Tag != "disjunct" || !P.u32(Idx) ||
+        !P.tok(Kind))
+      return P.fail("expected 'disjunct <i> rule|qf'"), Bail();
+    if (Idx != I)
+      return P.fail("disjunct index out of order"), Bail();
+    DisjunctCert &D = C.Disjuncts[I];
+    if (Kind == "rule") {
+      D.IsRule = true;
+      if (!P.tok(D.Rule))
+        return P.fail("missing rule name"), Bail();
+    } else if (Kind == "qf") {
+      if (!parseQf(P, D.Proof))
+        return Bail();
+    } else {
+      return P.fail("bad disjunct kind '" + Kind + "'"), Bail();
+    }
+  }
+
+  if (!P.nextLine() || !P.tok(Tag) || Tag != "unsat")
+    return P.fail("expected trailing 'unsat' verdict line"), Bail();
+  return Result<Certificate>::success(std::move(C));
+}

@@ -1,0 +1,224 @@
+//===- proof/Proof.h - Unsat certificate format ------------------*- C++ -*-===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Unsat certificate format: plain data structures, their text
+/// serialization, and the parser. This header is the *entire* shared
+/// surface between the solver (which emits certificates) and the
+/// independent checker kernel (`proof/Check.h`, `tools/postr_check`):
+/// the kernel re-derives every arithmetic and propositional fact from
+/// these records alone and never touches solver data structures.
+///
+/// A whole-problem certificate is one refutation per stabilization
+/// disjunct. A disjunct refutation is either
+///
+///  - a `QfProof`: a DRUP-style clause trace of the DPLL(T) search over
+///    the disjunct's LIA encoding — input clauses (the trusted
+///    encoding), learnt clauses (checkable by reverse unit propagation),
+///    theory lemmas (checkable by re-evaluating an attached Farkas
+///    certificate: a nonnegative rational combination of asserted
+///    bounds summing to `0 <= negative`, with an explicit branch-split
+///    tree for integrality conflicts), DB-reduction deletions, and a
+///    final refutation event (empty-clause or assumption-core); or
+///
+///  - a named structural rule (`DisjunctCert::IsRule`): one of the
+///    automata-level short-circuits (empty language, commuting powers,
+///    epsilon needle, syntactic self-containment, the one-counter fast
+///    path, MBQI candidate logic). These are part of the trusted
+///    front-end, recorded so the composition is explicit; the kernel
+///    counts them but cannot re-derive them.
+///
+/// Atoms tie SAT variables to linear inequalities: SAT var v true means
+/// `Const + Σ Coeff·Var <= 0` over the integer problem variables, false
+/// means `Const + Σ Coeff·Var >= 1` (integer negation). Farkas entries
+/// reference the asserting literal, an intrinsic variable bound, or a
+/// branch split on the current tree path, so the checker reconstructs
+/// each inequality from the tables instead of trusting the emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSTR_PROOF_PROOF_H
+#define POSTR_PROOF_PROOF_H
+
+#include "base/Base.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace postr {
+namespace proof {
+
+/// A 128-bit fraction, plain data. The checker implements its own exact
+/// arithmetic over this representation (`proof/Check.cpp`); the solver
+/// only converts into it at emission time.
+struct Rat {
+  __int128 Num = 0;
+  __int128 Den = 1;
+};
+
+/// Atom definition: SAT var \p SatVar true <=> Const + Σ Coeff·Var <= 0.
+struct LinAtom {
+  uint32_t SatVar = 0;
+  int64_t Const = 0;
+  std::vector<std::pair<uint32_t, int64_t>> Coeffs; ///< (problem var, coeff)
+};
+
+/// Intrinsic (declared) bounds of one integer problem variable.
+struct VarBounds {
+  uint32_t Var = 0;
+  bool HasLo = false, HasHi = false;
+  int64_t Lo = 0, Hi = 0;
+};
+
+/// One term of a Farkas combination: a strictly positive rational
+/// multiple of an available inequality, identified by origin.
+struct FarkasEntry {
+  enum class Kind : uint8_t {
+    Lit,      ///< bound asserted by SAT literal `Ref` (atom table)
+    VarBound, ///< intrinsic bound of problem var `Ref`, side `Upper`
+    Split,    ///< branch split at depth `Ref` on the current tree path
+  };
+  Kind K = Kind::Lit;
+  uint32_t Ref = 0;
+  bool Upper = false;
+  Rat Mult;
+};
+
+/// A Farkas leaf: entries summing to a contradiction (all variables
+/// cancel, constant strictly negative).
+struct FarkasLeaf {
+  std::vector<FarkasEntry> Entries;
+};
+
+/// Branch-and-bound certificate node: either a terminal Farkas leaf or
+/// an integer split `Var <= Floor | Var >= Floor+1` with two subtrees.
+struct CertNode {
+  int32_t Leaf = -1; ///< >= 0: index into TheoryCert::Leaves (terminal)
+  uint32_t Var = 0;
+  int64_t Floor = 0;
+  int32_t Down = -1, Up = -1; ///< node indices of the two branches
+};
+
+/// Certificate attached to one theory lemma. A purely rational conflict
+/// is a single-leaf tree; an integrality conflict is a proper split
+/// tree whose leaves may cite the splits on their path.
+struct TheoryCert {
+  std::vector<FarkasLeaf> Leaves;
+  std::vector<CertNode> Nodes;
+  int32_t Root = -1;
+};
+
+/// One DRUP-style event of the clause trace. Literal codes follow the
+/// SAT solver convention: `var*2 + negated`.
+struct ClauseStep {
+  enum class Kind : uint8_t {
+    Input,  ///< asserted clause (trusted encoding / axiom)
+    Learnt, ///< CDCL-learnt clause — must pass reverse unit propagation
+    Theory, ///< theory lemma — checked via `Cert` (or RUP when -1)
+    Delete, ///< DB-reduction deletion (by literal multiset)
+    Final,  ///< refutation: Lits = refuted assumption core (empty = UP alone)
+  };
+  Kind K = Kind::Input;
+  std::vector<uint32_t> Lits;
+  int32_t Cert = -1; ///< Theory: index into QfProof::Certs
+};
+
+/// Full proof of one disjunct's LIA-level unsatisfiability.
+struct QfProof {
+  std::vector<LinAtom> Atoms;
+  std::vector<VarBounds> Bounds;
+  std::vector<ClauseStep> Steps;
+  std::vector<TheoryCert> Certs;
+};
+
+/// Refutation of one stabilization disjunct.
+struct DisjunctCert {
+  bool IsRule = false;
+  std::string Rule; ///< structural rule name when IsRule
+  QfProof Proof;    ///< clause trace otherwise
+};
+
+/// Whole-problem Unsat certificate: every disjunct refuted and the
+/// stabilization complete (an incomplete stabilization certifies
+/// nothing — the solver's verdict correctly stays Unknown).
+struct Certificate {
+  bool Complete = true;
+  std::vector<DisjunctCert> Disjuncts;
+};
+
+/// Append-only builder the solver layers write into while searching.
+/// Zero-cost when absent: every emission site is behind a null check.
+class QfTraceBuilder {
+public:
+  QfProof P;
+
+  /// Cert id staged by the theory client for the next Theory step (the
+  /// lemma travels through the SAT core separately from its cert).
+  int32_t Pending = -1;
+
+  void atomDef(uint32_t SatVar, int64_t Const,
+               std::vector<std::pair<uint32_t, int64_t>> Coeffs) {
+    P.Atoms.push_back({SatVar, Const, std::move(Coeffs)});
+  }
+  void varBounds(VarBounds B) { P.Bounds.push_back(B); }
+  int32_t addCert(TheoryCert C) {
+    P.Certs.push_back(std::move(C));
+    return static_cast<int32_t>(P.Certs.size() - 1);
+  }
+
+  void input(std::vector<uint32_t> Lits) {
+    // A staged cert turns the incoming clause into a certified theory
+    // step (atom-lattice lemmas enter through addClause but are
+    // theory-valid, not axioms).
+    if (Pending >= 0)
+      return theory(std::move(Lits));
+    P.Steps.push_back({ClauseStep::Kind::Input, std::move(Lits), -1});
+  }
+  void learnt(std::vector<uint32_t> Lits) {
+    P.Steps.push_back({ClauseStep::Kind::Learnt, std::move(Lits), -1});
+  }
+  void theory(std::vector<uint32_t> Lits) {
+    P.Steps.push_back({ClauseStep::Kind::Theory, std::move(Lits), Pending});
+    Pending = -1;
+  }
+  void del(std::vector<uint32_t> Lits) {
+    P.Steps.push_back({ClauseStep::Kind::Delete, std::move(Lits), -1});
+  }
+  void finalCore(std::vector<uint32_t> Core) {
+    P.Steps.push_back({ClauseStep::Kind::Final, std::move(Core), -1});
+  }
+  /// Drops a stale Final step: an Unsat-under-assumptions outcome is
+  /// only *the* refutation if the owning loop stops there; a context
+  /// that keeps solving clears it at the next solve() entry.
+  void clearFinal() {
+    for (size_t I = P.Steps.size(); I > 0; --I)
+      if (P.Steps[I - 1].K == ClauseStep::Kind::Final)
+        P.Steps.erase(P.Steps.begin() + static_cast<ptrdiff_t>(I - 1));
+  }
+  /// True once a Final refutation event is recorded.
+  bool finalized() const {
+    return !P.Steps.empty() && P.Steps.back().K == ClauseStep::Kind::Final;
+  }
+  void reset() {
+    P = QfProof();
+    Pending = -1;
+  }
+};
+
+/// Renders \p C in the line-based text format (`postr-cert 1` header).
+std::string serialize(const Certificate &C);
+
+/// Parses certificate text. Errors carry a line number.
+Result<Certificate> parse(std::string_view Text);
+
+} // namespace proof
+} // namespace postr
+
+#endif // POSTR_PROOF_PROOF_H

@@ -190,6 +190,14 @@ public:
     if (Head == "set-logic" || Head == "set-info" || Head == "set-option" ||
         Head == "check-sat" || Head == "exit" || Head == "get-model")
       return Result<Unit>::success(Unit{});
+    if (Head == "get-info") {
+      // `(get-info :reason-unknown)` is recorded on the problem so the
+      // front-end answers it in-protocol after check-sat; other info
+      // queries are accepted and ignored like set-info.
+      if (S.Items.size() == 2 && S.Items[1].isAtom(":reason-unknown"))
+        P.requestReasonUnknown();
+      return Result<Unit>::success(Unit{});
+    }
     if (Head == "declare-fun" || Head == "declare-const")
       return declare(S);
     if (Head == "assert") {

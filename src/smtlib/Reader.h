@@ -12,6 +12,9 @@
 ///   (set-logic …) (set-info …) (set-option …)     — ignored
 ///   (declare-fun x () String) / (declare-const x String|Int)
 ///   (assert <literal>) (check-sat) (exit)
+///   (get-info :reason-unknown) — recorded on the problem
+///     (Problem::wantsReasonUnknown) so front-ends answer it after
+///     check-sat; other (get-info …) queries are accepted and ignored
 ///
 /// Literals: (not …) over the atoms; (and …) conjunctions;
 /// atoms: =, str.prefixof, str.suffixof, str.contains, str.in_re,

@@ -39,6 +39,17 @@ bool paranoidSelfCheckEnv() {
   return On;
 }
 
+/// POSTR_SELFCHECK=certify turns on certificate production + in-process
+/// kernel verification for every Unsat, process-wide (see
+/// SolveOptions::CertifyUnsat).
+bool certifySelfCheckEnv() {
+  static const bool On = [] {
+    const char *E = std::getenv("POSTR_SELFCHECK");
+    return E && std::strcmp(E, "certify") == 0;
+  }();
+  return On;
+}
+
 class Pipeline {
 public:
   Pipeline(const Problem &P, const SolveOptions &Opts)
@@ -112,7 +123,8 @@ private:
   /// reduced MBQI bounds — on a fresh child budget before giving up.
   Verdict solveDisjunct(const eq::Decomposition &D, SolveResult &Result,
                         SolveStats &St, const std::atomic<bool> *Cancel,
-                        StopReason &StopOut) const;
+                        StopReason &StopOut,
+                        proof::DisjunctCert *CertOut) const;
 
   const Problem &P;
   SolveOptions Opts;
@@ -120,6 +132,12 @@ private:
   Budget *Root;
   NormalForm NF;
   SolveStats Stats;
+  /// Certification state: on, the per-disjunct refutations (slot per
+  /// stabilization disjunct, written by whichever worker solves it), and
+  /// whether stabilization covered the whole problem.
+  bool CertifyOn = false;
+  std::vector<proof::DisjunctCert> Certs;
+  bool CertComplete = false;
   mutable std::once_flag EvalOnce;
   mutable std::unique_ptr<ConcreteEvaluator> Eval;
   /// First self-check rejection across all disjuncts/workers.
@@ -130,7 +148,8 @@ private:
 Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
                                 SolveResult &Result, SolveStats &St,
                                 const std::atomic<bool> *Cancel,
-                                StopReason &StopOut) const {
+                                StopReason &StopOut,
+                                proof::DisjunctCert *CertOut) const {
   std::map<VarId, Nfa> Langs = D.Langs;
   VarId NextLocal = NF.NextFresh + 1000000; // disjunct-local fresh ids
   auto EnsureNonEmptySeq = [&](std::vector<VarId> &Seq) {
@@ -199,6 +218,12 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
                                                NF.Sigma.size());
     if (V == Verdict::Unsat) {
       ++St.FastPathDecisions;
+      if (CertOut) {
+        // The PTime one-counter decision (Thm. 7.1) is a trusted engine;
+        // its refutation is recorded by name (proof/Proof.h).
+        CertOut->IsRule = true;
+        CertOut->Rule = "one-counter";
+      }
       return Verdict::Unsat;
     }
     if (V == Verdict::Sat && !Opts.BuildModel) {
@@ -243,17 +268,26 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
   };
 
   tagaut::MpOptions MpOpts = Opts.Mp;
+  MpOpts.Certify = CertOut != nullptr;
   // Adaptive pivot-rule family, decided where the disjunct is created: a
   // decomposition whose substitution actually split or renamed a
   // variable came out of word-equation solving (the thefuck/django
   // shapes — equality tests, positive prefix/suffix dispatch — whose
-  // pipelines the A/B measured as Bland territory). Identity
-  // decompositions stay Unknown and tagaut/MpSolver refines from the
-  // predicate mix; MBQI contexts classify themselves (lia/Mbqi).
+  // pipelines the A/B measured as Bland territory), with the subfamily
+  // picked from the substituted predicate mix: any
+  // prefix/suffix/at/contains predicate means the wide per-position tag
+  // blocks (WordEqPosition), otherwise — disequalities only, or no
+  // predicates left after substitution — the narrow diseq shape
+  // (WordEqDiseq). Identity decompositions stay Unknown and
+  // tagaut/MpSolver refines from the predicate mix; MBQI contexts
+  // classify themselves (lia/Mbqi).
   if (MpOpts.Qf.Pivot.Family == lia::InstanceFamily::Unknown) {
     for (const auto &[X, Rep] : D.Subst)
       if (Rep.size() != 1 || Rep.front() != X) {
-        MpOpts.Qf.Pivot.Family = lia::InstanceFamily::WordEqHeavy;
+        lia::InstanceFamily F = tagaut::classifyFamily(Preds);
+        MpOpts.Qf.Pivot.Family = F == lia::InstanceFamily::WordEqPosition
+                                     ? F
+                                     : lia::InstanceFamily::WordEqDiseq;
         break;
       }
   }
@@ -343,6 +377,8 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
   }
   if (R.V == Verdict::Unsat && Approximated)
     return Verdict::Unknown; // an under-approximation cannot prove Unsat
+  if (R.V == Verdict::Unsat && CertOut)
+    *CertOut = std::move(R.Cert);
   return R.V;
 }
 
@@ -381,6 +417,36 @@ SolveResult Pipeline::run() {
           "model for an Unsat verdict";
     }
   }
+
+  // Certification gate: compose the per-disjunct refutations into the
+  // whole-problem certificate and verify it in-process with the
+  // independent kernel, through the same serialize → parse → check
+  // pipeline external audits use. Acceptance is counted; rejection
+  // demotes the Unsat to a structured Unknown — the certificate text is
+  // kept either way so callers can save the evidence.
+  if (R.V == Verdict::Unsat && CertifyOn) {
+    proof::Certificate C;
+    C.Complete = CertComplete;
+    C.Disjuncts = std::move(Certs);
+    if (Opts.TamperCert)
+      Opts.TamperCert(C);
+    R.CertText = proof::serialize(C);
+    proof::CheckOutcome CO;
+    if (Result<proof::Certificate> Parsed = proof::parse(R.CertText))
+      CO = proof::checkCertificate(*Parsed);
+    else
+      CO.Error = "certificate failed to re-parse: " + Parsed.error();
+    if (CO.Ok) {
+      ++R.Stats.UnsatsCertified;
+    } else {
+      ++R.Stats.CertificationFailures;
+      R.V = Verdict::Unknown;
+      R.Stop = StopReason::None;
+      R.Validation.Failed = true;
+      R.Validation.AssertionIndex = ~0u;
+      R.Validation.Detail = "certification failure: " + CO.Error;
+    }
+  }
   return R;
 }
 
@@ -399,6 +465,10 @@ SolveResult Pipeline::runImpl() {
       eq::stabilize(NF.Langs, NF.Equations, NF.NextFresh, StabOpts);
   Stats.Disjuncts = static_cast<uint32_t>(Stab.Disjuncts.size());
   Stats.StabilizationIncomplete = !Stab.Complete;
+  CertifyOn = Opts.CertifyUnsat || certifySelfCheckEnv();
+  CertComplete = Stab.Complete;
+  if (CertifyOn)
+    Certs.assign(Stab.Disjuncts.size(), proof::DisjunctCert());
   if (!Stab.Complete && Stab.Stop != StopReason::None)
     AggStop = Stab.Stop;
 
@@ -411,12 +481,14 @@ SolveResult Pipeline::runImpl() {
       Threads, static_cast<uint32_t>(Stab.Disjuncts.size()));
 
   if (Threads <= 1) {
-    for (const eq::Decomposition &D : Stab.Disjuncts) {
+    for (size_t I = 0; I < Stab.Disjuncts.size(); ++I) {
+      const eq::Decomposition &D = Stab.Disjuncts[I];
       if (stopped(AggStop)) {
         AnyUnknown = true;
         break;
       }
-      Verdict V = solveDisjunct(D, Result, Stats, nullptr, AggStop);
+      Verdict V = solveDisjunct(D, Result, Stats, nullptr, AggStop,
+                                CertifyOn ? &Certs[I] : nullptr);
       if (V == Verdict::Sat) {
         Result.V = Verdict::Sat;
         Result.Stats = Stats;
@@ -446,8 +518,8 @@ SolveResult Pipeline::runImpl() {
     return Result;
   }
   {
-    Verdict V =
-        solveDisjunct(Stab.Disjuncts[0], Result, Stats, nullptr, AggStop);
+    Verdict V = solveDisjunct(Stab.Disjuncts[0], Result, Stats, nullptr,
+                              AggStop, CertifyOn ? &Certs[0] : nullptr);
     if (V == Verdict::Sat) {
       Result.V = Verdict::Sat;
       Result.Stats = Stats;
@@ -493,8 +565,8 @@ SolveResult Pipeline::runImpl() {
         break;
       }
       SolveResult R;
-      Verdict V =
-          solveDisjunct(Stab.Disjuncts[I], R, Local, &Cancel, LocalStop);
+      Verdict V = solveDisjunct(Stab.Disjuncts[I], R, Local, &Cancel,
+                                LocalStop, CertifyOn ? &Certs[I] : nullptr);
       if (V == Verdict::Sat) {
         std::lock_guard<std::mutex> Lock(WinnerMu);
         if (!HaveWinner || I < WinnerIdx) {

@@ -21,6 +21,7 @@
 
 #include "counter/OneCounter.h"
 #include "eq/Stabilize.h"
+#include "proof/Check.h"
 #include "strings/Normalize.h"
 #include "tagaut/MpSolver.h"
 
@@ -36,6 +37,13 @@ namespace solver {
 /// Sat. Never set in production paths.
 using ModelTamperHook = std::function<void(
     std::map<VarId, Word> &, std::map<strings::IntVarId, int64_t> &)>;
+
+/// Test-only hook: mutates an assembled Unsat certificate before it is
+/// serialized and re-checked. Fuzz/unit tests install this to prove that
+/// a corrupted certificate is rejected by the independent kernel and
+/// demoted to Unknown rather than reported as certified. Never set in
+/// production paths.
+using CertTamperHook = std::function<void(proof::Certificate &)>;
 
 struct SolveOptions {
   /// Overall deadline in milliseconds (0 = none).
@@ -88,8 +96,22 @@ struct SolveOptions {
   /// Abstract step budget for the paranoid cross-check (keeps it cheap
   /// and deterministic; the oracle reports Unknown when it trips).
   uint64_t ParanoidStepLimit = 50'000;
+  /// Certify every Unsat verdict: each disjunct records a refutation
+  /// (full DRUP + Farkas clause trace on the QF-LIA path, named
+  /// trusted-rule records for the automata shortcuts / one-counter /
+  /// MBQI paths), the per-disjunct refutations are composed into a
+  /// whole-problem certificate, and the certificate is serialized,
+  /// re-parsed, and verified in-process by the independent checker
+  /// kernel (proof/Check.h). A rejected certificate demotes the verdict
+  /// to Unknown with a `certification failure:` diagnostic — a certified
+  /// Unsat is never taken on the solver's word alone. Also enabled
+  /// process-wide by POSTR_SELFCHECK=certify. The accepted (or rejected)
+  /// certificate text is returned in SolveResult::CertText.
+  bool CertifyUnsat = false;
   /// Test-only model corruption hook (see ModelTamperHook).
   ModelTamperHook TamperModel;
+  /// Test-only certificate corruption hook (see CertTamperHook).
+  CertTamperHook TamperCert;
 };
 
 struct SolveStats {
@@ -112,6 +134,12 @@ struct SolveStats {
   uint32_t ValidationFailures = 0;
   /// Unsat verdicts cross-checked against the enumeration oracle.
   uint32_t ParanoidChecks = 0;
+  /// Unsat verdicts whose composed certificate the independent checker
+  /// kernel accepted (CertifyUnsat / POSTR_SELFCHECK=certify).
+  uint32_t UnsatsCertified = 0;
+  /// Unsat verdicts demoted to Unknown because the checker kernel
+  /// rejected the certificate.
+  uint32_t CertificationFailures = 0;
 };
 
 /// Structured self-check diagnostic. When Failed, the accompanying
@@ -138,6 +166,11 @@ struct SolveResult {
   /// Filled in when the self-check demoted a verdict (see
   /// ValidationFailure); Validation.Failed is false on clean runs.
   ValidationFailure Validation;
+  /// With certification on, the serialized whole-problem certificate of
+  /// an Unsat verdict (also kept when the kernel rejected it and the
+  /// verdict was demoted, so callers can save the evidence). Empty
+  /// otherwise.
+  std::string CertText;
 };
 
 /// Decides a conjunction of string assertions.

@@ -165,6 +165,13 @@ public:
   void add(Assertion A) { Assertions.push_back(std::move(A)); }
   const std::vector<Assertion> &assertions() const { return Assertions; }
 
+  /// Script-level request recorded by the SMT-LIB reader: the script
+  /// contained `(get-info :reason-unknown)`, so a front-end should
+  /// report the structured unknown reason in-protocol after check-sat.
+  /// No effect on solving.
+  void requestReasonUnknown() { WantReasonUnknown = true; }
+  bool wantsReasonUnknown() const { return WantReasonUnknown; }
+
   //===--------------------------------------------------------------------===
   // Convenience assertion builders.
   //===--------------------------------------------------------------------===
@@ -213,6 +220,7 @@ private:
   std::unordered_map<std::string, IntVarId> IntIndex;
   std::vector<std::string> IntNames;
   std::vector<Assertion> Assertions;
+  bool WantReasonUnknown = false;
 };
 
 } // namespace strings

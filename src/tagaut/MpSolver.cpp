@@ -88,6 +88,16 @@ bool sidesForcedEqual(const std::map<VarId, automata::Nfa> &Langs,
 
 } // namespace
 
+lia::InstanceFamily
+postr::tagaut::classifyFamily(const std::vector<PosPredicate> &Preds) {
+  if (Preds.empty())
+    return lia::InstanceFamily::ParikhHeavy;
+  for (const PosPredicate &P : Preds)
+    if (P.Kind != PredKind::Diseq)
+      return lia::InstanceFamily::WordEqPosition;
+  return lia::InstanceFamily::WordEqDiseq;
+}
+
 MpResult postr::tagaut::solveMP(lia::Arena &A,
                                 const std::map<VarId, automata::Nfa> &Langs,
                                 const std::vector<PosPredicate> &Preds,
@@ -115,13 +125,24 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     return false;
   };
 
+  // Named trusted-rule record for certificates (see proof/Proof.h): the
+  // automata-level short-circuits below are part of the trusted
+  // front-end, so their refutations are recorded by name rather than
+  // re-derived by the checker kernel.
+  auto RuleUnsat = [&Out, &Opts](const char *Rule) -> MpResult & {
+    Out.V = Verdict::Unsat;
+    if (Opts.Certify) {
+      Out.Cert.IsRule = true;
+      Out.Cert.Rule = Rule;
+    }
+    return Out;
+  };
+
   // R′ alone is unsatisfiable if any variable's language is empty.
   for (const auto &[X, Nfa] : Langs) {
     (void)X;
-    if (Nfa.isEmpty()) {
-      Out.V = Verdict::Unsat;
-      return Out;
-    }
+    if (Nfa.isEmpty())
+      return RuleUnsat("empty-language");
   }
 
   // Thm. 6.5's side condition; callers run heuristics before this point.
@@ -147,10 +168,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     if (P.Kind != PredKind::NotContains && P.Kind != PredKind::Diseq &&
         P.Kind != PredKind::NotPrefix && P.Kind != PredKind::NotSuffix)
       continue;
-    if (sidesForcedEqual(Langs, P, AlphabetSize)) {
-      Out.V = Verdict::Unsat;
-      return Out;
-    }
+    if (sidesForcedEqual(Langs, P, AlphabetSize))
+      return RuleUnsat("commuting-powers");
   }
 
   for (const PosPredicate &P : Preds) {
@@ -164,10 +183,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
         break;
       }
     }
-    if (NeedleForcedEmpty) {
-      Out.V = Verdict::Unsat;
-      return Out;
-    }
+    if (NeedleForcedEmpty)
+      return RuleUnsat("epsilon-needle");
     // Syntactic self-containment: if the needle's occurrence sequence is
     // a contiguous subsequence of the haystack's, every assignment makes
     // the needle a factor of the haystack (align it with its own copy),
@@ -176,10 +193,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     if (!P.Lhs.empty() && P.Lhs.size() <= P.Rhs.size()) {
       for (size_t Off = 0; Off + P.Lhs.size() <= P.Rhs.size(); ++Off) {
         if (std::equal(P.Lhs.begin(), P.Lhs.end(),
-                       P.Rhs.begin() + static_cast<ptrdiff_t>(Off))) {
-          Out.V = Verdict::Unsat;
-          return Out;
-        }
+                       P.Rhs.begin() + static_cast<ptrdiff_t>(Off)))
+          return RuleUnsat("self-containment");
       }
     }
   }
@@ -204,6 +219,12 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
 
   if (Enc.Blocks.empty()) {
     lia::QfOptions Qf = Opts.Qf;
+    // Clause-trace recording for the quantifier-free path: the whole
+    // DPLL(T) search is mirrored into the builder, and an Unsat verdict
+    // hands the trace to the caller as this call's certificate.
+    proof::QfTraceBuilder Trace;
+    if (Opts.Certify)
+      Qf.Proof = &Trace;
     // Family classification for the adaptive pivot rule, from the
     // predicate mix the encoder was handed (unless the caller — the
     // position pipeline, which also sees the word-equation split — has
@@ -211,10 +232,15 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     // encodes the 2K+1-copy position structure whose tableaus the
     // pipeline A/B measured as Bland territory, while a bare
     // membership + length system is exactly the Parikh-formula load
-    // where SparsestRow halves the fill-in.
+    // where SparsestRow halves the fill-in. The word-equation side
+    // splits further on the predicate mix: disequalities alone build
+    // the narrow single-mismatch blocks (WordEqDiseq), while
+    // prefix/suffix/at/contains predicates build the wide per-position
+    // ones (WordEqPosition) — both currently start on Bland, but the
+    // subfamilies are tracked separately so ab_pivot_rules.sh can
+    // measure them apart.
     if (Qf.Pivot.Family == lia::InstanceFamily::Unknown)
-      Qf.Pivot.Family = Preds.empty() ? lia::InstanceFamily::ParikhHeavy
-                                      : lia::InstanceFamily::WordEqHeavy;
+      Qf.Pivot.Family = classifyFamily(Preds);
     if (Opts.Budget && !Qf.Budget)
       Qf.Budget = Opts.Budget;
     if (Opts.TimeoutMs)
@@ -245,6 +271,8 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     };
     lia::QfResult R = lia::solveQF(A, Goal, Qf, Refine);
     Out.V = ExceededCuts ? Verdict::Unknown : R.V;
+    if (Opts.Certify && Out.V == Verdict::Unsat)
+      Out.Cert.Proof = std::move(Trace.P);
     if (Out.V == Verdict::Unknown)
       // Exhausted cut rounds are an engine-internal cap, not a shared-
       // budget trip.
@@ -292,6 +320,13 @@ MpResult postr::tagaut::solveMP(lia::Arena &A,
     Mb.Qf.Cancel = Opts.Cancel;
   std::vector<int64_t> Model;
   Out.V = lia::solveMbqi(A, Q, &Model, Mb);
+  // An MBQI refutation rests on blocking clauses justified by *inner*
+  // refutations — candidate logic the clause-trace kernel cannot replay.
+  // It enters certificates as a named trusted rule (proof/Proof.h).
+  if (Opts.Certify && Out.V == Verdict::Unsat) {
+    Out.Cert.IsRule = true;
+    Out.Cert.Rule = "mbqi";
+  }
   if (Out.V == Verdict::Unknown) {
     // solveMbqi reports no reason itself; reconstruct it. Candidate /
     // offset exhaustion without a budget trip is a step-budget stop.

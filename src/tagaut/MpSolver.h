@@ -20,6 +20,7 @@
 #ifndef POSTR_TAGAUT_MPSOLVER_H
 #define POSTR_TAGAUT_MPSOLVER_H
 
+#include "proof/Proof.h"
 #include "tagaut/Encoder.h"
 
 #include <functional>
@@ -56,6 +57,12 @@ struct MpOptions {
   /// TimeoutMs + Cancel.
   postr::Budget *Budget = nullptr;
   EncoderOptions Encoder;
+  /// Record an Unsat certificate into MpResult::Cert: the QF-LIA path
+  /// logs a full DRUP + Farkas clause trace checkable by the independent
+  /// kernel (proof/Check.h), while the automata-level short-circuits and
+  /// the MBQI loop produce named trusted-rule records. Off by default —
+  /// the solve is bit-identical and pays nothing.
+  bool Certify = false;
 };
 
 struct MpResult {
@@ -71,6 +78,9 @@ struct MpResult {
   /// On Sat: the full LIA model (integer variables the caller minted can
   /// be read off through their `lia::Var` handles).
   std::vector<int64_t> Model;
+  /// With MpOptions::Certify, on Unsat: this call's refutation — either
+  /// a named structural rule or a checkable QF clause trace.
+  proof::DisjunctCert Cert;
 };
 
 /// Builds the I′ part: invoked after encoding with the per-variable
@@ -78,6 +88,16 @@ struct MpResult {
 /// atoms can be expressed over them. May return `A.trueF()`.
 using IntConstraintBuilder = std::function<lia::FormulaId(
     lia::Arena &A, const std::map<VarId, lia::LinTerm> &LenTerms)>;
+
+/// Encode-time instance-family classification for the adaptive Simplex
+/// pivot rule, from the position-predicate mix: no predicates is the
+/// pure Parikh/length load, disequalities alone build the narrow
+/// single-mismatch tag blocks (WordEqDiseq), and any
+/// prefix/suffix/at/contains predicate brings in the wide per-position
+/// blocks (WordEqPosition). Used by solveMP for unclassified contexts
+/// and by solver/PositionSolver when a word-equation split already
+/// marked the disjunct.
+lia::InstanceFamily classifyFamily(const std::vector<PosPredicate> &Preds);
 
 /// Decides R′ ∧ I′ ∧ P′. The caller owns \p A and may have minted integer
 /// variables in it (e.g. for str.at position terms) before the call.

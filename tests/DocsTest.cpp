@@ -119,6 +119,8 @@ TEST(KnobCoverageTest, EveryEnvVarAndBuildOptionIsInKnobsDoc) {
   std::set<std::string> Knobs;
   collectEnvKnobs(Root / "src", Knobs);
   collectEnvKnobs(Root / "bench", Knobs);
+  collectEnvKnobs(Root / "examples", Knobs);
+  collectEnvKnobs(Root / "tools", Knobs);
   collectCMakeOptions(Knobs);
   ASSERT_FALSE(Knobs.empty()) << "knob scan found nothing — broken scan?";
   std::string Doc = slurp(Root / "docs" / "KNOBS.md");
@@ -131,6 +133,8 @@ TEST(KnobCoverageTest, KnobsDocMentionsNoDeadKnobs) {
   std::set<std::string> Knobs;
   collectEnvKnobs(Root / "src", Knobs);
   collectEnvKnobs(Root / "bench", Knobs);
+  collectEnvKnobs(Root / "examples", Knobs);
+  collectEnvKnobs(Root / "tools", Knobs);
   collectCMakeOptions(Knobs);
   std::string Doc = slurp(Root / "docs" / "KNOBS.md");
   static const std::regex Tok("POSTR_[A-Z0-9_]+");

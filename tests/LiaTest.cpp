@@ -816,7 +816,7 @@ TEST(SimplexTest, RandomizedRuleSwitchesStaySound) {
     const uint32_t K = 5;
     PivotPolicy Policy;
     Policy.Family = Rng() % 2 ? InstanceFamily::ParikhHeavy
-                              : InstanceFamily::WordEqHeavy;
+                              : InstanceFamily::WordEqPosition;
     Simplex Sparse(K, Policy);
     DenseRefSimplex Dense(K);
     std::vector<std::pair<LinTerm, uint32_t>> Rows;
@@ -882,10 +882,14 @@ TEST(SimplexTest, AdaptiveStartRuleFollowsFamily) {
   Simplex Parikh(2);
   Parikh.setPivotPolicy(P);
   EXPECT_EQ(Parikh.activeRule(), PivotRule::SparsestRow);
-  P.Family = InstanceFamily::WordEqHeavy;
-  Simplex WordEq(2);
-  WordEq.setPivotPolicy(P);
-  EXPECT_EQ(WordEq.activeRule(), PivotRule::Bland);
+  P.Family = InstanceFamily::WordEqDiseq;
+  Simplex WordEqD(2);
+  WordEqD.setPivotPolicy(P);
+  EXPECT_EQ(WordEqD.activeRule(), PivotRule::Bland);
+  P.Family = InstanceFamily::WordEqPosition;
+  Simplex WordEqP(2);
+  WordEqP.setPivotPolicy(P);
+  EXPECT_EQ(WordEqP.activeRule(), PivotRule::Bland);
   P.Family = InstanceFamily::Unknown;
   Simplex Unclassified(2);
   Unclassified.setPivotPolicy(P);

@@ -1,0 +1,345 @@
+//===- tests/ProofTest.cpp - Unsat certification tests ------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+//
+// The certification stack, bottom to top: hand-built certificates
+// through the checker kernel (positive and tampered-negative), solver
+// traces from solveQF, assumption-core refutation properties of the
+// CDCL core, and the whole pipeline's certify/demote behaviour
+// (CertifyUnsat, TamperCert). The tamper tests mirror the TamperModel
+// pattern: corruption must be *rejected*, never silently accepted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lia/Sat.h"
+#include "lia/Solver.h"
+#include "proof/Check.h"
+#include "proof/Proof.h"
+#include "solver/PositionSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace postr;
+using strings::Problem;
+using strings::StrElem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Hand-built certificates: full control over every byte the kernel sees.
+//===----------------------------------------------------------------------===//
+
+/// The smallest real Farkas refutation: atoms a0 ⇔ x0 ≤ 0 and
+/// a1 ⇔ 1 − x0 ≤ 0 (i.e. x0 ≥ 1), both asserted as units, refuted by
+/// the theory lemma {¬a0, ¬a1} whose certificate is 1·(x0 ≤ 0) +
+/// 1·(x0 ≥ 1): the variable parts cancel and the constants sum to −1.
+proof::QfProof tinyFarkasProof() {
+  proof::QfProof P;
+  P.Atoms.push_back({0, 0, {{0, 1}}});
+  P.Atoms.push_back({1, 1, {{0, -1}}});
+  proof::TheoryCert C;
+  proof::FarkasLeaf L;
+  L.Entries.push_back({proof::FarkasEntry::Kind::Lit, 0, false, {1, 1}});
+  L.Entries.push_back({proof::FarkasEntry::Kind::Lit, 2, false, {1, 1}});
+  C.Leaves.push_back(std::move(L));
+  C.Nodes.push_back({0, 0, 0, -1, -1});
+  C.Root = 0;
+  P.Certs.push_back(std::move(C));
+  P.Steps.push_back({proof::ClauseStep::Kind::Input, {0}, -1});
+  P.Steps.push_back({proof::ClauseStep::Kind::Input, {2}, -1});
+  P.Steps.push_back({proof::ClauseStep::Kind::Theory, {1, 3}, 0});
+  P.Steps.push_back({proof::ClauseStep::Kind::Final, {}, -1});
+  return P;
+}
+
+proof::Certificate wrap(proof::QfProof P) {
+  proof::Certificate C;
+  C.Disjuncts.push_back({false, "", std::move(P)});
+  return C;
+}
+
+TEST(ProofCheckTest, HandBuiltFarkasRefutationVerifies) {
+  proof::CheckOutcome Out = proof::checkCertificate(wrap(tinyFarkasProof()));
+  EXPECT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_EQ(Out.Stats.CheckedRefutations, 1u);
+  EXPECT_EQ(Out.Stats.FarkasLeaves, 1u);
+}
+
+TEST(ProofCheckTest, TrustedRuleDisjunctsAreCountedNotDerived) {
+  proof::Certificate C;
+  C.Disjuncts.push_back({true, "one-counter", {}});
+  C.Disjuncts.push_back({false, "", tinyFarkasProof()});
+  proof::CheckOutcome Out = proof::checkCertificate(C);
+  EXPECT_TRUE(Out.Ok) << Out.Error;
+  // Rule disjuncts are counted as trusted, never as checked refutations:
+  // the two stats partition the disjuncts, so a consumer can tell how
+  // much of the certificate rests on axiomatized metatheory.
+  EXPECT_EQ(Out.Stats.TrustedRules, 1u);
+  EXPECT_EQ(Out.Stats.CheckedRefutations, 1u);
+}
+
+TEST(ProofCheckTest, IncompleteStabilizationCertifiesNothing) {
+  proof::Certificate C = wrap(tinyFarkasProof());
+  C.Complete = false;
+  EXPECT_FALSE(proof::checkCertificate(C).Ok);
+}
+
+// The four mandated tamper shapes. Each starts from a certificate the
+// kernel accepts and applies one corruption; all must be rejected.
+
+TEST(ProofCheckTest, TamperDroppedFarkasTermRejected) {
+  proof::QfProof P = tinyFarkasProof();
+  P.Certs[0].Leaves[0].Entries.pop_back(); // sum no longer cancels x0
+  EXPECT_FALSE(proof::checkCertificate(wrap(std::move(P))).Ok);
+}
+
+TEST(ProofCheckTest, TamperPerturbedCoefficientRejected) {
+  proof::QfProof P = tinyFarkasProof();
+  P.Certs[0].Leaves[0].Entries[0].Mult = {2, 1}; // +2x0 − x0 ≠ 0
+  EXPECT_FALSE(proof::checkCertificate(wrap(std::move(P))).Ok);
+}
+
+TEST(ProofCheckTest, TamperUseAfterDeleteRejected) {
+  // Delete a clause the later RUP derivation needs: the learnt unit
+  // {a0} is no longer reverse-unit-propagatable from the live DB.
+  // (Deleting a clause never retracts trail literals it already forced
+  // — the standard DRUP-checker convention for unit deletions — so the
+  // deleted clause here is a non-unit that has forced nothing yet.)
+  auto Build = [] {
+    proof::QfProof P;
+    P.Atoms.push_back({0, 0, {{0, 1}}});
+    P.Atoms.push_back({1, 0, {{1, 1}}});
+    // (a0 ∨ a1) (a0 ∨ ¬a1) (¬a0 ∨ a1) (¬a0 ∨ ¬a1): propositionally unsat.
+    P.Steps.push_back({proof::ClauseStep::Kind::Input, {0, 2}, -1});
+    P.Steps.push_back({proof::ClauseStep::Kind::Input, {0, 3}, -1});
+    P.Steps.push_back({proof::ClauseStep::Kind::Input, {1, 2}, -1});
+    P.Steps.push_back({proof::ClauseStep::Kind::Input, {1, 3}, -1});
+    P.Steps.push_back({proof::ClauseStep::Kind::Learnt, {0}, -1});
+    P.Steps.push_back({proof::ClauseStep::Kind::Final, {}, -1});
+    return P;
+  };
+  ASSERT_TRUE(proof::checkCertificate(wrap(Build())).Ok);
+  proof::QfProof P = Build();
+  // Drop (a0 ∨ ¬a1) before the learnt step that propagates through it.
+  P.Steps.insert(P.Steps.begin() + 4,
+                 {proof::ClauseStep::Kind::Delete, {0, 3}, -1});
+  proof::CheckOutcome Out = proof::checkCertificate(wrap(std::move(P)));
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_NE(Out.Error.find("not RUP"), std::string::npos) << Out.Error;
+}
+
+TEST(ProofCheckTest, TamperTruncatedTraceRejected) {
+  proof::QfProof P = tinyFarkasProof();
+  P.Steps.pop_back(); // no Final refutation event
+  EXPECT_FALSE(proof::checkCertificate(wrap(std::move(P))).Ok);
+}
+
+TEST(ProofCheckTest, SerializationRoundTripsByteForByte) {
+  proof::Certificate C;
+  C.Disjuncts.push_back({true, "empty-language", {}});
+  C.Disjuncts.push_back({false, "", tinyFarkasProof()});
+  std::string Text = proof::serialize(C);
+  Result<proof::Certificate> Parsed = proof::parse(Text);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error();
+  EXPECT_EQ(proof::serialize(*Parsed), Text);
+  EXPECT_TRUE(proof::checkCertificate(*Parsed).Ok);
+}
+
+TEST(ProofCheckTest, GarbageTextRejectedWithLineInfo) {
+  EXPECT_FALSE(static_cast<bool>(proof::parse("not a certificate")));
+  std::string Text = proof::serialize(wrap(tinyFarkasProof()));
+  Text.resize(Text.size() / 2); // mid-record truncation
+  EXPECT_FALSE(static_cast<bool>(proof::parse(Text)));
+}
+
+//===----------------------------------------------------------------------===//
+// Solver-produced traces: solveQF with a QfTraceBuilder attached.
+//===----------------------------------------------------------------------===//
+
+void expectQfUnsatCertified(lia::Arena &A, lia::FormulaId F) {
+  proof::QfTraceBuilder B;
+  lia::QfOptions O;
+  O.Proof = &B;
+  lia::QfResult R = lia::solveQF(A, F, O);
+  ASSERT_EQ(R.V, Verdict::Unsat);
+  // Round-trip through the text format exactly like the pipeline does.
+  std::string Text = proof::serialize(wrap(B.P));
+  Result<proof::Certificate> Parsed = proof::parse(Text);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error();
+  proof::CheckOutcome Out = proof::checkCertificate(*Parsed);
+  EXPECT_TRUE(Out.Ok) << Out.Error;
+}
+
+TEST(ProofQfTest, BoundClashCertified) {
+  lia::Arena A;
+  lia::Var X = A.freshVar("x");
+  expectQfUnsatCertified(
+      A, A.conj({A.cmp(lia::LinTerm::variable(X), lia::Cmp::Le,
+                       lia::LinTerm(1)),
+                 A.cmp(lia::LinTerm::variable(X), lia::Cmp::Ge,
+                       lia::LinTerm(3))}));
+}
+
+TEST(ProofQfTest, RowConflictCertified) {
+  lia::Arena A;
+  lia::Var X = A.freshVar("x"), Y = A.freshVar("y");
+  expectQfUnsatCertified(
+      A, A.conj({A.cmp(lia::LinTerm::variable(X) + lia::LinTerm::variable(Y),
+                       lia::Cmp::Le, lia::LinTerm(1)),
+                 A.cmp(lia::LinTerm::variable(X), lia::Cmp::Ge,
+                       lia::LinTerm(1)),
+                 A.cmp(lia::LinTerm::variable(Y), lia::Cmp::Ge,
+                       lia::LinTerm(1))}));
+}
+
+TEST(ProofQfTest, IntegralityConflictCertified) {
+  // 3x − 3y = 1 inside a box: refuting it takes the branch-and-bound
+  // tree with split records, not a single rational Farkas leaf.
+  lia::Arena A;
+  lia::Var X = A.freshVar("x", 0, 100), Y = A.freshVar("y", 0, 100);
+  expectQfUnsatCertified(A,
+                         A.cmp(lia::LinTerm::variable(X) * 3 -
+                                   lia::LinTerm::variable(Y) * 3,
+                               lia::Cmp::Eq, lia::LinTerm(1)));
+}
+
+TEST(ProofQfTest, BooleanTheoryMixCertified) {
+  // Disjunctions force CDCL learning, so the trace carries RUP-checked
+  // learnt clauses alongside the Farkas-certified theory lemmas.
+  lia::Arena A;
+  lia::Var X = A.freshVar("x", 0, 10), Y = A.freshVar("y", 0, 10);
+  lia::LinTerm TX = lia::LinTerm::variable(X), TY = lia::LinTerm::variable(Y);
+  expectQfUnsatCertified(
+      A, A.conj({A.disj({A.cmp(TX, lia::Cmp::Ge, lia::LinTerm(5)),
+                         A.cmp(TY, lia::Cmp::Ge, lia::LinTerm(5))}),
+                 A.cmp(TX + TY, lia::Cmp::Le, lia::LinTerm(3)),
+                 A.disj({A.cmp(TX, lia::Cmp::Ge, lia::LinTerm(2)),
+                         A.cmp(TY, lia::Cmp::Ge, lia::LinTerm(2))})}));
+}
+
+//===----------------------------------------------------------------------===//
+// Assumption cores: the refuting-subset contract behind Final events.
+//===----------------------------------------------------------------------===//
+
+TEST(SatCoreTest, AssumptionCoreIsGenuinelyRefuting) {
+  // Property: re-solving with only the returned core assumptions stays
+  // Unsat (the core really is refuting), and across a randomized sweep
+  // dropping a single core element can flip the answer to Sat — a
+  // minimality smoke, not an exactness claim (the core is the negation
+  // of the final conflict clause, not a minimum hitting set).
+  std::mt19937 Rng(20250808);
+  uint32_t CoresSeen = 0, SingleDropFlips = 0;
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    lia::SatSolver S;
+    const uint32_t N = 6;
+    for (uint32_t V = 0; V < N; ++V)
+      S.newVar();
+    for (int C = 0; C < 15; ++C) {
+      std::vector<lia::Lit> Clause;
+      for (int K = 0; K < 3; ++K)
+        Clause.push_back(lia::Lit(Rng() % N, Rng() % 2 != 0));
+      S.addClause(Clause);
+    }
+    if (S.solve(nullptr) != lia::SatSolver::Res::Sat)
+      continue; // globally unsat instances have no assumption cores
+    std::vector<lia::Lit> Assumps;
+    for (uint32_t V = 0; V < 4; ++V)
+      Assumps.push_back(lia::Lit(Rng() % N, Rng() % 2 != 0));
+    if (S.solve(nullptr, Assumps) != lia::SatSolver::Res::Unsat)
+      continue;
+    ASSERT_FALSE(S.globallyUnsat());
+    std::vector<lia::Lit> Core = S.assumptionCore();
+    ASSERT_FALSE(Core.empty());
+    for (lia::Lit L : Core)
+      EXPECT_TRUE(std::find(Assumps.begin(), Assumps.end(), L) !=
+                  Assumps.end())
+          << "core literal is not an assumption";
+    // The core must still refute on its own.
+    EXPECT_EQ(S.solve(nullptr, Core), lia::SatSolver::Res::Unsat);
+    ++CoresSeen;
+    for (size_t Drop = 0; Drop < Core.size(); ++Drop) {
+      std::vector<lia::Lit> Sub;
+      for (size_t I = 0; I < Core.size(); ++I)
+        if (I != Drop)
+          Sub.push_back(Core[I]);
+      if (S.solve(nullptr, Sub) == lia::SatSolver::Res::Sat)
+        ++SingleDropFlips;
+    }
+  }
+  // The sweep must actually exercise the property, and minimality must
+  // bite somewhere: at least one single-element drop flips to Sat.
+  EXPECT_GT(CoresSeen, 10u);
+  EXPECT_GT(SingleDropFlips, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline-level certification: CertifyUnsat and the TamperCert hook.
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineCertifyTest, UnsatIsCertifiedEndToEnd) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "a*");
+  P.assertIntAtom(strings::IntTerm::lenOf(X), lia::Cmp::Ge,
+                  strings::IntTerm::constant(2));
+  P.assertIntAtom(strings::IntTerm::lenOf(X), lia::Cmp::Le,
+                  strings::IntTerm::constant(1));
+  solver::SolveOptions O;
+  O.TimeoutMs = 20000;
+  O.CertifyUnsat = true;
+  solver::SolveResult R = solver::solveProblem(P, O);
+  ASSERT_EQ(R.V, Verdict::Unsat);
+  EXPECT_EQ(R.Stats.UnsatsCertified, 1u);
+  EXPECT_EQ(R.Stats.CertificationFailures, 0u);
+  ASSERT_FALSE(R.CertText.empty());
+  // The returned text is independently re-checkable, the postr_check way.
+  Result<proof::Certificate> Parsed = proof::parse(R.CertText);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error();
+  EXPECT_TRUE(proof::checkCertificate(*Parsed).Ok);
+}
+
+TEST(PipelineCertifyTest, SatProducesNoCertificate) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "(a|b){1,3}");
+  solver::SolveOptions O;
+  O.TimeoutMs = 20000;
+  O.CertifyUnsat = true;
+  solver::SolveResult R = solver::solveProblem(P, O);
+  ASSERT_EQ(R.V, Verdict::Sat);
+  EXPECT_EQ(R.Stats.UnsatsCertified, 0u);
+  EXPECT_TRUE(R.CertText.empty());
+}
+
+TEST(PipelineCertifyTest, TamperedCertificateDemotesToUnknown) {
+  Problem P;
+  VarId X = P.strVar("x");
+  P.assertInRe(X, "ab");
+  P.assertDiseq({StrElem::var(X)}, {StrElem::lit("ab")});
+  solver::SolveOptions O;
+  O.TimeoutMs = 20000;
+  O.CertifyUnsat = true;
+  O.TamperCert = [](proof::Certificate &C) {
+    for (proof::DisjunctCert &D : C.Disjuncts)
+      if (!D.IsRule && !D.Proof.Steps.empty()) {
+        D.Proof.Steps.pop_back();
+        return;
+      }
+    C.Complete = false; // rule-only certificates: break completeness
+  };
+  solver::SolveResult R = solver::solveProblem(P, O);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_EQ(R.Stats.CertificationFailures, 1u);
+  EXPECT_TRUE(R.Validation.Failed);
+  EXPECT_EQ(R.Validation.Detail.rfind("certification failure:", 0), 0u)
+      << R.Validation.Detail;
+  // The rejected certificate is kept as evidence.
+  EXPECT_FALSE(R.CertText.empty());
+}
+
+} // namespace

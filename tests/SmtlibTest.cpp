@@ -31,6 +31,24 @@ TEST(SmtlibTest, DeclarationsAndDiseq) {
   EXPECT_EQ(P->assertions()[0].Kind, AssertKind::Diseq);
 }
 
+TEST(SmtlibTest, GetInfoReasonUnknownIsRecorded) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (assert (not (= x "a")))
+    (check-sat)
+    (get-info :reason-unknown))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  EXPECT_TRUE(P->wantsReasonUnknown());
+  // Other info queries are accepted and ignored, like set-info.
+  Result<Problem> Q = smtlib::parseString(R"(
+    (declare-fun x () String)
+    (assert (not (= x "a")))
+    (check-sat)
+    (get-info :version))");
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error();
+  EXPECT_FALSE(Q->wantsReasonUnknown());
+}
+
 TEST(SmtlibTest, RegexMembership) {
   Result<Problem> P = smtlib::parseString(R"(
     (declare-fun x () String)

@@ -1,0 +1,6 @@
+; Simple Sat: any word in (a|b){1,3} works; exercises model validation.
+(set-logic QF_S)
+(declare-fun x () String)
+(assert (str.in_re x (re.loop (re.union (str.to_re "a") (str.to_re "b")) 1 3)))
+(assert (not (= x "a")))
+(check-sat)

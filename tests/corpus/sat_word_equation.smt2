@@ -1,0 +1,8 @@
+; Sat word equation with concatenation and a length side constraint.
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(declare-fun y () String)
+(assert (= (str.++ "a" x "b") (str.++ x "ab")))
+(assert (<= (str.len y) 2))
+(assert (str.prefixof y x))
+(check-sat)

@@ -1,0 +1,6 @@
+; The character at position 0 of "ba..." is "b", never "a".
+(set-logic QF_S)
+(declare-fun x () String)
+(assert (str.in_re x (re.++ (str.to_re "ba") (re.* (str.to_re "a")))))
+(assert (= (str.at x 0) "a"))
+(check-sat)

@@ -1,0 +1,9 @@
+; Powers of a common primitive word always commute: xy != yx is
+; refuted through stabilization over (ab)*.
+(set-logic QF_S)
+(declare-fun x () String)
+(declare-fun y () String)
+(assert (str.in_re x (re.* (str.to_re "ab"))))
+(assert (str.in_re y (re.* (str.to_re "ab"))))
+(assert (not (= (str.++ x y) (str.++ y x))))
+(check-sat)

@@ -1,0 +1,6 @@
+; a-only strings of length >= 1 must contain "a".
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(assert (str.in_re x (re.+ (str.to_re "a"))))
+(assert (not (str.contains x "a")))
+(check-sat)

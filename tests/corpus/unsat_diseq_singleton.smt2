@@ -1,0 +1,6 @@
+; x ranges over a singleton language, so x != "ab" cannot hold.
+(set-logic QF_S)
+(declare-fun x () String)
+(assert (str.in_re x (str.to_re "ab")))
+(assert (not (= x "ab")))
+(check-sat)

@@ -1,0 +1,7 @@
+; Pure length-arithmetic clash refuted by a Farkas certificate.
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(assert (str.in_re x (re.* (str.to_re "a"))))
+(assert (>= (str.len x) 2))
+(assert (<= (str.len x) 1))
+(check-sat)

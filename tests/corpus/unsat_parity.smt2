@@ -1,0 +1,6 @@
+; (ab)* admits only even lengths: the Parikh encoding refutes len = 3.
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(assert (str.in_re x (re.* (str.to_re "ab"))))
+(assert (= (str.len x) 3))
+(check-sat)

@@ -1,0 +1,7 @@
+; Every string is a prefix of itself plus a suffix.
+(set-logic QF_S)
+(declare-fun x () String)
+(declare-fun y () String)
+(assert (str.in_re x (re.union (str.to_re "a") (str.to_re "ab"))))
+(assert (not (str.prefixof x (str.++ x y))))
+(check-sat)

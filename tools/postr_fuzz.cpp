@@ -70,6 +70,7 @@ struct Args {
   bool ReaderFuzz = false;
   std::string Fault; ///< SITE:N[:SEED]
   bool Paranoid = false;
+  bool Certify = false;
   bool TripsAreFindings = false;
   uint64_t TimeoutMs = 0;
   uint64_t StepLimit = 0;     ///< 0 = keep the DiffOptions default
@@ -80,7 +81,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: postr_fuzz [--seed N] [--iters N] [--out DIR] [--no-shrink]\n"
-      "                  [--paranoid] [--trips-are-findings]\n"
+      "                  [--paranoid] [--certify] [--trips-are-findings]\n"
       "                  [--timeout-ms N] [--step-limit N] "
       "[--max-disjuncts N]\n"
       "                  [--repro FILE | --reader-fuzz | --fault "
@@ -126,6 +127,8 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.Fault = V;
     } else if (F == "--paranoid") {
       A.Paranoid = true;
+    } else if (F == "--certify") {
+      A.Certify = true;
     } else if (F == "--trips-are-findings") {
       A.TripsAreFindings = true;
     } else if (F == "--timeout-ms") {
@@ -160,6 +163,7 @@ fuzz::DiffOptions diffOptions(const Args &A) {
   if (A.MaxDisjuncts)
     O.SolverMaxDisjuncts = A.MaxDisjuncts;
   O.Paranoid = A.Paranoid;
+  O.Certify = A.Certify;
   O.TripsAreFindings = A.TripsAreFindings;
   return O;
 }
