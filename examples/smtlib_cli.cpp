@@ -87,7 +87,10 @@ int main(int Argc, char **Argv) {
     std::printf("; solving the built-in demo (pass a .smt2 path to solve "
                 "a file)\n%s", Demo);
   solver::SolveOptions Opts;
-  Opts.TimeoutMs = 60000;
+  // A scripted (set-option :timeout N) bounds the solve; the default
+  // matches what the postr-serve daemon enforces as its per-request cap,
+  // so one-shot and served behavior stay comparable.
+  Opts.TimeoutMs = P->timeoutMs() ? P->timeoutMs() : 60000;
   solver::SolveResult R = solver::solveProblem(*P, Opts);
   switch (R.V) {
   case Verdict::Sat:

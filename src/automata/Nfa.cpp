@@ -561,6 +561,10 @@ Nfa postr::automata::intersect(const Nfa &A, const Nfa &B, Budget *Bud) {
   assert(!A.hasEpsilon() && !B.hasEpsilon() &&
          "intersect requires epsilon-free inputs");
   assert(A.alphabetSize() == B.alphabetSize() && "alphabet mismatch");
+  NfaOpHook *Hook = activeNfaOpHook();
+  if (Hook)
+    if (std::optional<Nfa> Hit = Hook->lookup(NfaOp::Intersect, A, &B))
+      return *std::move(Hit);
   Nfa Out(A.alphabetSize());
   // Hashed pair interning; the key packs both states into one word.
   std::unordered_map<uint64_t, State> Map;
@@ -616,6 +620,10 @@ Nfa postr::automata::intersect(const Nfa &A, const Nfa &B, Budget *Bud) {
       TB = BRunEnd;
     }
   }
+  // Only a complete product is worth keeping; a budget-tripped partial
+  // automaton must never be replayed as the real intersection.
+  if (Hook && (!Bud || !Bud->exceeded()))
+    Hook->stage(NfaOp::Intersect, A, &B, Out);
   return Out;
 }
 
@@ -665,6 +673,10 @@ Nfa postr::automata::concatenate(const Nfa &A, const Nfa &B) {
 }
 
 Nfa postr::automata::determinize(const Nfa &In, Budget *Bud) {
+  NfaOpHook *Hook = activeNfaOpHook();
+  if (Hook)
+    if (std::optional<Nfa> Hit = Hook->lookup(NfaOp::Determinize, In, nullptr))
+      return *std::move(Hit);
   Nfa A = In.hasEpsilon() ? In.removeEpsilon(Bud) : In;
   if (Bud && Bud->exceeded())
     return Nfa(In.alphabetSize());
@@ -722,6 +734,8 @@ Nfa postr::automata::determinize(const Nfa &In, Budget *Bud) {
       Out.addTransition(From, S, GetState(std::move(B)));
     }
   }
+  if (Hook && (!Bud || !Bud->exceeded()))
+    Hook->stage(NfaOp::Determinize, In, nullptr, Out);
   return Out;
 }
 
@@ -763,3 +777,21 @@ bool postr::automata::equivalent(const Nfa &A, const Nfa &B) {
     return false;
   return intersect(BE, complement(A).removeEpsilon()).isEmpty();
 }
+
+//===----------------------------------------------------------------------===//
+// Cross-call memoization hook
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// One plain pointer per thread; the common (non-serve) case pays a
+/// single TLS read in intersect()/determinize() and nothing else.
+thread_local NfaOpHook *ActiveNfaOpHook = nullptr;
+} // namespace
+
+NfaOpHook *postr::automata::activeNfaOpHook() { return ActiveNfaOpHook; }
+
+NfaOpHookScope::NfaOpHookScope(NfaOpHook *H) : Prev(ActiveNfaOpHook) {
+  ActiveNfaOpHook = H;
+}
+
+NfaOpHookScope::~NfaOpHookScope() { ActiveNfaOpHook = Prev; }

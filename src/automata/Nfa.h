@@ -242,6 +242,45 @@ Nfa reverse(const Nfa &A);
 /// Exponential in the worst case; intended for tests.
 bool equivalent(const Nfa &A, const Nfa &B);
 
+//===----------------------------------------------------------------------===//
+// Cross-call memoization hook
+//===----------------------------------------------------------------------===//
+
+/// The memoizable operations. Both are deterministic functions of their
+/// operands, which is what makes replaying a cached result sound.
+enum class NfaOp : uint8_t { Intersect, Determinize };
+
+/// Optional per-thread memoization consulted by intersect() and
+/// determinize() before computing and offered the full (never
+/// budget-tripped partial) result afterwards. Installed by the
+/// postr-serve worker sessions (serve/Cache.h); for every other caller
+/// the active hook is null and the cost is one thread-local read.
+class NfaOpHook {
+public:
+  virtual ~NfaOpHook() = default;
+  /// Returns a stored result for (O, A, B), or nullopt. B is null for
+  /// unary ops.
+  virtual std::optional<Nfa> lookup(NfaOp O, const Nfa &A, const Nfa *B) = 0;
+  /// Offers a freshly computed complete result for keeping.
+  virtual void stage(NfaOp O, const Nfa &A, const Nfa *B, const Nfa &Out) = 0;
+};
+
+/// The hook installed for the current thread, if any.
+NfaOpHook *activeNfaOpHook();
+
+/// RAII installation of \p H as the current thread's hook; restores the
+/// previous hook on destruction (scopes nest).
+class NfaOpHookScope {
+public:
+  explicit NfaOpHookScope(NfaOpHook *H);
+  ~NfaOpHookScope();
+  NfaOpHookScope(const NfaOpHookScope &) = delete;
+  NfaOpHookScope &operator=(const NfaOpHookScope &) = delete;
+
+private:
+  NfaOpHook *Prev;
+};
+
 } // namespace automata
 } // namespace postr
 

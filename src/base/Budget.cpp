@@ -7,6 +7,7 @@
 
 #include "base/Budget.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +62,13 @@ bool Budget::checkpoint(const char *Site) {
     trip(StopReason::Cancelled);
     return false;
   }
+  // Walk the whole ancestor chain: a budget two levels down still stops
+  // when the root trips, even if the intermediate budget never probes.
+  for (const Budget *P = Lim.Parent; P; P = P->Lim.Parent)
+    if (P->exceeded()) {
+      trip(P->reason());
+      return false;
+    }
   if (Lim.StepLimit && !chargeSteps(1))
     return false;
   if (Lim.TimeoutMs) {
@@ -109,6 +117,29 @@ StopReason Budget::trip(StopReason R) {
   StopReason Expected = StopReason::None;
   Reason.compare_exchange_strong(Expected, R, std::memory_order_relaxed);
   return Reason.load(std::memory_order_relaxed);
+}
+
+Budget::Limits Budget::childLimits(uint64_t CapMs, uint64_t MemBytes,
+                                   uint64_t Steps,
+                                   const std::atomic<bool> *Cancel) const {
+  Limits L;
+  uint64_t Left = remainingMs();
+  if (Left == ~0ull)
+    L.TimeoutMs = CapMs;
+  else {
+    // Clamp to >= 1 so a nearly-expired parent still yields a deadline
+    // (TimeoutMs == 0 would mean "none" and unbound the child).
+    Left = Left > 1 ? Left : 1;
+    L.TimeoutMs = CapMs ? std::min(CapMs, Left) : Left;
+  }
+  uint64_t PMem = Lim.MemLimitBytes, PSteps = Lim.StepLimit;
+  L.MemLimitBytes =
+      MemBytes && PMem ? std::min(MemBytes, PMem) : (MemBytes ? MemBytes : PMem);
+  L.StepLimit =
+      Steps && PSteps ? std::min(Steps, PSteps) : (Steps ? Steps : PSteps);
+  L.Cancel = Cancel;
+  L.Parent = this;
+  return L;
 }
 
 uint64_t Budget::remainingMs() const {

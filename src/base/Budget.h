@@ -75,6 +75,12 @@ public:
     uint64_t StepLimit = 0;
     /// Optional external cancel flag, polled on every checkpoint.
     const std::atomic<bool> *Cancel = nullptr;
+    /// Optional parent budget, polled on every checkpoint: once the
+    /// parent trips (for any reason), this budget trips with the same
+    /// reason, so a stop propagates down arbitrarily nested children
+    /// while first-reason-wins still holds at every level. The parent
+    /// must outlive the child.
+    const Budget *Parent = nullptr;
   };
 
   Budget() : Budget(Limits{}) {}
@@ -112,6 +118,21 @@ public:
   /// 0 when it has passed. Used to distribute the remaining allowance to
   /// engines that still take a plain TimeoutMs.
   uint64_t remainingMs() const;
+
+  /// Limits for a child budget derived from this one — the single place
+  /// deadline-propagation math lives (serve request admission, the
+  /// disjunct pool, degraded retries all call this instead of open-coding
+  /// min/remaining juggling). The child's wall-clock allowance is the
+  /// parent's remaining time intersected with \p CapMs (0 = no extra
+  /// cap; a parent without a deadline contributes nothing, so the result
+  /// is just CapMs). Memory/step limits are inherited unless \p MemBytes
+  /// / \p Steps override them (nonzero = tighter of the two). The child
+  /// carries \p Cancel and a Parent link back to this budget, so a trip
+  /// anywhere up the chain stops the child at its next probe with the
+  /// ancestor's reason.
+  Limits childLimits(uint64_t CapMs = 0, uint64_t MemBytes = 0,
+                     uint64_t Steps = 0,
+                     const std::atomic<bool> *Cancel = nullptr) const;
 
   /// Bytes charged so far (testing / stats).
   uint64_t memCharged() const { return MemUsed.load(std::memory_order_relaxed); }

@@ -187,9 +187,36 @@ public:
     if (S.K != Sexp::List || S.Items.empty())
       return err(S, "expected a command list");
     const std::string &Head = S.Items.front().Text;
-    if (Head == "set-logic" || Head == "set-info" || Head == "set-option" ||
-        Head == "check-sat" || Head == "exit" || Head == "get-model")
+    if (Head == "set-logic" || Head == "set-info" || Head == "check-sat" ||
+        Head == "exit" || Head == "get-model")
       return Result<Unit>::success(Unit{});
+    if (Head == "set-option") {
+      // `(set-option :timeout N)` (milliseconds, the common solver
+      // extension) is recorded on the problem so front-ends can bound
+      // the solve; other options are accepted and ignored. A malformed
+      // timeout value is a hard error — silently solving unbounded when
+      // the script asked for a limit is the wrong failure mode.
+      if (S.Items.size() >= 2 && S.Items[1].isAtom(":timeout")) {
+        if (S.Items.size() != 3)
+          return err(S, "set-option :timeout takes one numeral");
+        Result<int64_t> N = numeral(S.Items[2]);
+        if (!N)
+          return Result<Unit>::failure(N.error());
+        if (*N < 0)
+          return err(S.Items[2], "negative :timeout");
+        P.setTimeoutMs(static_cast<uint64_t>(*N));
+      }
+      return Result<Unit>::success(Unit{});
+    }
+    if (Head == "reset") {
+      // SMT-LIB `(reset)`: back to the initial state — declarations,
+      // assertions, options, and recorded info requests are all
+      // discarded; the commands after it describe a fresh problem.
+      if (S.Items.size() != 1)
+        return err(S, "reset takes no arguments");
+      P = strings::Problem();
+      return Result<Unit>::success(Unit{});
+    }
     if (Head == "get-info") {
       // `(get-info :reason-unknown)` is recorded on the problem so the
       // front-end answers it in-protocol after check-sat; other info

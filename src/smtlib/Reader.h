@@ -9,7 +9,13 @@
 /// Reads the QF_S/QF_SLIA subset the paper's benchmark formulae use
 /// (symbolic-execution output: conjunctions of literals):
 ///
-///   (set-logic …) (set-info …) (set-option …)     — ignored
+///   (set-logic …) (set-info …) (set-option …)     — ignored, except:
+///   (set-option :timeout N) — recorded on the problem in milliseconds
+///     (Problem::timeoutMs) so front-ends — one-shot smtlib_cli and the
+///     postr-serve daemon alike — bound the solve the same way
+///   (reset) — discards all state (declarations, assertions, options);
+///     subsequent commands describe a fresh problem, which lets daemon
+///     sessions be scripted end-to-end from plain SMT-LIB
 ///   (declare-fun x () String) / (declare-const x String|Int)
 ///   (assert <literal>) (check-sat) (exit)
 ///   (get-info :reason-unknown) — recorded on the problem

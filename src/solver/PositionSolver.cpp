@@ -72,15 +72,6 @@ private:
                              P, NF.Sigma); });
     return *Eval;
   }
-  /// Milliseconds left on the root deadline (0 = no deadline, for
-  /// Budget::Limits). Clamped to >= 1 so a derived timeout never means
-  /// "none".
-  uint64_t remainingMs() const {
-    uint64_t R = Root->remainingMs();
-    if (R == ~0ull)
-      return 0;
-    return R > 1 ? R : 1;
-  }
   /// Root budget probe between disjuncts; \p StopOut records the first
   /// trip reason.
   bool stopped(StopReason &StopOut) const {
@@ -90,17 +81,15 @@ private:
       StopOut = Root->reason();
     return true;
   }
-  /// Limits of one disjunct's child budget: the root's remaining time,
-  /// and the full memory/step allowance (disjunct state is independent
-  /// and freed when the disjunct finishes).
-  Budget::Limits childLimits(const std::atomic<bool> *Cancel) const {
-    Budget::Limits L;
-    L.TimeoutMs = Opts.TimeoutMs ? remainingMs() : 0;
-    L.MemLimitBytes = Opts.MemLimitBytes ? Opts.MemLimitBytes
-                                         : Root->limits().MemLimitBytes;
-    L.StepLimit = Opts.StepLimit ? Opts.StepLimit : Root->limits().StepLimit;
-    L.Cancel = Cancel;
-    return L;
+  /// Limits of one disjunct's child budget: the root's remaining time
+  /// (capped by \p CapMs when nonzero), the full memory/step allowance
+  /// (disjunct state is independent and freed when the disjunct
+  /// finishes), and a parent link so a root trip stops the disjunct
+  /// mid-solve. All the deadline math lives in Budget::childLimits.
+  Budget::Limits childLimits(const std::atomic<bool> *Cancel,
+                             uint64_t CapMs = 0) const {
+    return Root->childLimits(CapMs, Opts.MemLimitBytes, Opts.StepLimit,
+                             Cancel);
   }
 
   /// Applies a decomposition's substitution to an occurrence sequence.
@@ -296,11 +285,7 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
 
   // Child budget: the root's remaining time plus the full memory/step
   // allowance; a caller-set Mp deadline still caps the child.
-  Budget::Limits CL = childLimits(Cancel);
-  if (MpOpts.TimeoutMs)
-    CL.TimeoutMs = CL.TimeoutMs ? std::min(CL.TimeoutMs, MpOpts.TimeoutMs)
-                                : MpOpts.TimeoutMs;
-  Budget Child(CL);
+  Budget Child(childLimits(Cancel, MpOpts.TimeoutMs));
   MpOpts.Budget = &Child;
   tagaut::MpResult R =
       tagaut::solveMP(A, Langs, Preds, NF.Sigma.size(), IntBuilder, MpOpts);
@@ -321,12 +306,9 @@ Verdict Pipeline::solveDisjunct(const eq::Decomposition &D,
     Deg.Mbqi.Qf.Pivot.Rule = lia::PivotRule::Bland;
     Deg.Mbqi.MaxCandidates = std::min<uint32_t>(Deg.Mbqi.MaxCandidates, 16);
     Deg.Mbqi.MaxOffsets = std::min<int64_t>(Deg.Mbqi.MaxOffsets, 512);
-    // Fresh limits: remainingMs() has shrunk by the first attempt.
-    Budget::Limits RL = childLimits(Cancel);
-    if (MpOpts.TimeoutMs)
-      RL.TimeoutMs = RL.TimeoutMs ? std::min(RL.TimeoutMs, MpOpts.TimeoutMs)
-                                  : MpOpts.TimeoutMs;
-    Budget RetryBud(RL);
+    // Fresh limits: the root's remaining time has shrunk by the first
+    // attempt, so re-derive rather than reuse.
+    Budget RetryBud(childLimits(Cancel, MpOpts.TimeoutMs));
     Deg.Budget = &RetryBud;
     R = tagaut::solveMP(A, Langs, Preds, NF.Sigma.size(), IntBuilder, Deg);
     Root->chargeMem(RetryBud.memCharged());

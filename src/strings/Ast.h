@@ -172,6 +172,14 @@ public:
   void requestReasonUnknown() { WantReasonUnknown = true; }
   bool wantsReasonUnknown() const { return WantReasonUnknown; }
 
+  /// Script-level solve deadline recorded from `(set-option :timeout N)`
+  /// (milliseconds, 0 = none requested). Front-ends — one-shot
+  /// `smtlib_cli` and the daemon alike — intersect it with their own
+  /// caps, so scripted and served behavior stay comparable. No effect on
+  /// solving unless a front-end applies it.
+  void setTimeoutMs(uint64_t Ms) { TimeoutMs = Ms; }
+  uint64_t timeoutMs() const { return TimeoutMs; }
+
   //===--------------------------------------------------------------------===
   // Convenience assertion builders.
   //===--------------------------------------------------------------------===
@@ -221,6 +229,7 @@ private:
   std::vector<std::string> IntNames;
   std::vector<Assertion> Assertions;
   bool WantReasonUnknown = false;
+  uint64_t TimeoutMs = 0;
 };
 
 } // namespace strings

@@ -98,6 +98,57 @@ TEST(BudgetTest, FirstReasonWins) {
   EXPECT_EQ(B.reason(), StopReason::MemOut);
 }
 
+TEST(BudgetTest, ChildLimitsIntersectDeadlinesAndCaps) {
+  // Parent with a deadline: the child gets min(cap, remaining), never 0
+  // (0 would mean "no deadline" and unbound the child).
+  Budget P(Budget::Limits{10000, 100, 1000, nullptr});
+  Budget::Limits Tight = P.childLimits(/*CapMs=*/5000);
+  EXPECT_GT(Tight.TimeoutMs, 0u);
+  EXPECT_LE(Tight.TimeoutMs, 5000u);
+  Budget::Limits Loose = P.childLimits(/*CapMs=*/50000);
+  EXPECT_LE(Loose.TimeoutMs, 10000u);
+  EXPECT_EQ(Tight.Parent, &P);
+  // Mem/step limits: inherited by default, tighter-of-the-two when
+  // overridden.
+  EXPECT_EQ(Tight.MemLimitBytes, 100u);
+  EXPECT_EQ(Tight.StepLimit, 1000u);
+  EXPECT_EQ(P.childLimits(0, 50, 2000).MemLimitBytes, 50u);
+  EXPECT_EQ(P.childLimits(0, 500, 2000).MemLimitBytes, 100u);
+  EXPECT_EQ(P.childLimits(0, 0, 10).StepLimit, 10u);
+  EXPECT_EQ(P.childLimits(0, 0, 5000).StepLimit, 1000u);
+  // Parent without a deadline: only the explicit cap applies.
+  Budget Free;
+  EXPECT_EQ(Free.childLimits().TimeoutMs, 0u);
+  EXPECT_EQ(Free.childLimits(7).TimeoutMs, 7u);
+}
+
+TEST(BudgetTest, NestedChildrenFirstReasonWins) {
+  // A trip anywhere up the chain reaches every descendant at its next
+  // probe, carrying the ancestor's reason.
+  Budget Root;
+  Budget Mid(Root.childLimits());
+  Budget Leaf(Mid.childLimits());
+  EXPECT_TRUE(Leaf.checkpoint("lia.sat"));
+  Root.trip(StopReason::MemOut);
+  EXPECT_FALSE(Leaf.checkpoint("lia.sat"));
+  EXPECT_EQ(Leaf.reason(), StopReason::MemOut);
+  EXPECT_FALSE(Mid.checkpoint("lia.sat"));
+  EXPECT_EQ(Mid.reason(), StopReason::MemOut);
+
+  // A child that already tripped locally keeps its own first reason even
+  // when an ancestor trips with a different one afterwards — and its own
+  // descendants inherit the child's reason, not the ancestor's.
+  Budget Root2;
+  Budget Mid2(Root2.childLimits());
+  Mid2.trip(StopReason::StepBudget);
+  Budget Leaf2(Mid2.childLimits());
+  Root2.trip(StopReason::Timeout);
+  EXPECT_FALSE(Leaf2.checkpoint("lia.sat"));
+  EXPECT_EQ(Leaf2.reason(), StopReason::StepBudget);
+  EXPECT_FALSE(Mid2.checkpoint("lia.sat"));
+  EXPECT_EQ(Mid2.reason(), StopReason::StepBudget);
+}
+
 TEST(BudgetTest, StopReasonNamesAreStable) {
   EXPECT_STREQ(stopReasonName(StopReason::None), "none");
   EXPECT_STREQ(stopReasonName(StopReason::Timeout), "timeout");

@@ -49,6 +49,62 @@ TEST(SmtlibTest, GetInfoReasonUnknownIsRecorded) {
   EXPECT_FALSE(Q->wantsReasonUnknown());
 }
 
+TEST(SmtlibTest, SetOptionTimeoutIsRecorded) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (set-option :timeout 2500)
+    (set-option :produce-models true)
+    (declare-fun x () String)
+    (assert (= x "a"))
+    (check-sat))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  EXPECT_EQ(P->timeoutMs(), 2500u);
+  // Malformed / negative timeouts are hard errors, not silent defaults.
+  EXPECT_FALSE(
+      static_cast<bool>(smtlib::parseString("(set-option :timeout x)")));
+  EXPECT_FALSE(
+      static_cast<bool>(smtlib::parseString("(set-option :timeout -5)")));
+  EXPECT_FALSE(
+      static_cast<bool>(smtlib::parseString("(set-option :timeout)")));
+  // Unrelated options stay accepted-and-ignored.
+  EXPECT_TRUE(
+      static_cast<bool>(smtlib::parseString("(set-option :random-seed 7)")));
+}
+
+TEST(SmtlibTest, ResetDiscardsAllState) {
+  Result<Problem> P = smtlib::parseString(R"(
+    (set-option :timeout 1000)
+    (declare-fun x () String)
+    (declare-fun n () Int)
+    (assert (= x "a"))
+    (get-info :reason-unknown)
+    (reset)
+    (declare-fun y () String)
+    (assert (not (= y "b")))
+    (check-sat))");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  // Only the post-reset problem survives: one string var, no int vars,
+  // one assertion, options and info requests back to defaults.
+  EXPECT_EQ(P->numStrVars(), 1u);
+  EXPECT_EQ(P->numIntVars(), 0u);
+  ASSERT_EQ(P->assertions().size(), 1u);
+  EXPECT_EQ(P->assertions()[0].Kind, AssertKind::Diseq);
+  EXPECT_FALSE(P->hasStrVar("x"));
+  EXPECT_TRUE(P->hasStrVar("y"));
+  EXPECT_EQ(P->timeoutMs(), 0u);
+  EXPECT_FALSE(P->wantsReasonUnknown());
+  // A variable may be redeclared with a different sort across a reset.
+  EXPECT_TRUE(static_cast<bool>(smtlib::parseString(R"(
+    (declare-fun x () String)
+    (reset)
+    (declare-fun x () Int))")));
+  // Pre-reset declarations do not leak into post-reset scope.
+  EXPECT_FALSE(static_cast<bool>(smtlib::parseString(R"(
+    (declare-fun x () String)
+    (reset)
+    (assert (= x "a")))")));
+  EXPECT_FALSE(static_cast<bool>(smtlib::parseString("(reset extra)")));
+}
+
 TEST(SmtlibTest, RegexMembership) {
   Result<Problem> P = smtlib::parseString(R"(
     (declare-fun x () String)

@@ -1,0 +1,223 @@
+//===- tools/postr_client.cpp - postr-serve client --------------------------===//
+//
+// Part of PosTr, a reproduction of "A Uniform Framework for Handling
+// Position Constraints in String Solving" (PLDI 2025).
+//
+// Command-line client for the postr_serve daemon. Solves a script and
+// prints what `smtlib_cli` would (verdict line, model comments), with
+// the same exit codes, so drivers can swap one-shot and served solving:
+//
+//   postr_client --socket /tmp/postr.sock file.smt2
+//   postr_client --socket /tmp/postr.sock --timeout-ms 500 < q.smt2
+//   postr_client --socket /tmp/postr.sock --stats | --ping | --shutdown
+//
+// `busy` replies (admission control shed the request) are retried with
+// jittered exponential backoff seeded from the server's retry-after
+// hint; --wait-ms bounds how long connect itself is retried, so CI can
+// launch the daemon and the client together.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace postr;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [options] [file.smt2]\n"
+      "  --timeout-ms N   client budget (server intersects with its cap)\n"
+      "  --id ID          correlation id echoed by the server\n"
+      "  --no-cache       bypass the cross-query cache\n"
+      "  --retries N      max backoff retries on busy (default 8)\n"
+      "  --wait-ms N      keep retrying connect for N ms (default 0)\n"
+      "  --stats          print the daemon's counter JSON\n"
+      "  --ping           health check (exit 0 iff the daemon answers)\n"
+      "  --shutdown       stop the daemon\n"
+      "  --test-abort     crash the worker mid-query (test rigs only)\n"
+      "With no file, the script is read from stdin.\n",
+      Argv0);
+  return 64;
+}
+
+uint64_t nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int connectTo(const std::string &Path, uint64_t WaitMs) {
+  uint64_t Deadline = nowMs() + WaitMs;
+  for (;;) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_un Addr = {};
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return Fd;
+    ::close(Fd);
+    if (nowMs() >= Deadline)
+      return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+std::string readAll(std::FILE *F) {
+  std::string S;
+  char Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    S.append(Buf, N);
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath, Id, File;
+  uint64_t TimeoutMs = 0, WaitMs = 0;
+  uint32_t Retries = 8;
+  bool NoCache = false, TestAbort = false;
+  serve::Request::Kind Kind = serve::Request::Solve;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--socket" && I + 1 < Argc)
+      SocketPath = Argv[++I];
+    else if (A == "--timeout-ms" && I + 1 < Argc)
+      TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
+    else if (A == "--id" && I + 1 < Argc)
+      Id = Argv[++I];
+    else if (A == "--retries" && I + 1 < Argc)
+      Retries = static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (A == "--wait-ms" && I + 1 < Argc)
+      WaitMs = std::strtoull(Argv[++I], nullptr, 10);
+    else if (A == "--no-cache")
+      NoCache = true;
+    else if (A == "--test-abort")
+      TestAbort = true;
+    else if (A == "--stats")
+      Kind = serve::Request::Stats;
+    else if (A == "--ping")
+      Kind = serve::Request::Ping;
+    else if (A == "--shutdown")
+      Kind = serve::Request::Shutdown;
+    else if (!A.empty() && A[0] != '-' && File.empty())
+      File = A;
+    else
+      return usage(Argv[0]);
+  }
+  if (SocketPath.empty())
+    return usage(Argv[0]);
+
+  serve::Request Req;
+  Req.K = Kind;
+  Req.Id = Id;
+  Req.TimeoutMs = TimeoutMs;
+  Req.NoCache = NoCache;
+  Req.TestAbort = TestAbort;
+  if (Kind == serve::Request::Solve) {
+    if (!File.empty()) {
+      std::FILE *F = std::fopen(File.c_str(), "rb");
+      if (!F) {
+        std::fprintf(stderr, "cannot open %s\n", File.c_str());
+        return 66;
+      }
+      Req.Smt2 = readAll(F);
+      std::fclose(F);
+    } else {
+      Req.Smt2 = readAll(stdin);
+    }
+  }
+
+  // Jittered exponential backoff on busy: base from the server's
+  // retry-after hint, doubled per attempt, with up to 50% random jitter
+  // so a shed burst does not re-arrive in lockstep.
+  std::mt19937 Rng(static_cast<uint32_t>(::getpid()) ^
+                   static_cast<uint32_t>(nowMs()));
+  for (uint32_t Attempt = 0;; ++Attempt) {
+    int Fd = connectTo(SocketPath, WaitMs);
+    if (Fd < 0) {
+      std::fprintf(stderr, "cannot connect to %s\n", SocketPath.c_str());
+      return 69;
+    }
+    serve::Response Resp;
+    bool IoOk = serve::writeFrame(Fd, serve::encodeRequest(Req));
+    if (IoOk) {
+      Result<std::string> Frame =
+          serve::readFrame(Fd, serve::DefaultMaxFrameBytes);
+      if (Frame) {
+        Result<serve::Response> R = serve::decodeResponse(*Frame);
+        if (R)
+          Resp = *R;
+        else
+          IoOk = false;
+      } else {
+        IoOk = false;
+      }
+    }
+    ::close(Fd);
+    if (!IoOk) {
+      std::fprintf(stderr, "protocol error talking to %s\n",
+                   SocketPath.c_str());
+      return 70;
+    }
+
+    if (Resp.S == serve::Response::Busy) {
+      if (Attempt >= Retries) {
+        std::fprintf(stderr, "server busy (gave up after %u retries)\n",
+                     Retries);
+        return 75;
+      }
+      uint64_t Base = std::max<uint64_t>(Resp.RetryAfterMs, 25)
+                      << std::min<uint32_t>(Attempt, 6);
+      Base = std::min<uint64_t>(Base, 2000);
+      uint64_t Jitter = Rng() % (Base / 2 + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Base + Jitter));
+      continue;
+    }
+    if (Resp.S == serve::Response::Error) {
+      std::fprintf(stderr, "%s\n", Resp.Message.c_str());
+      return Resp.ExitCode ? Resp.ExitCode : 1;
+    }
+    // Ok.
+    switch (Kind) {
+    case serve::Request::Ping:
+      std::printf("pong\n");
+      return 0;
+    case serve::Request::Stats:
+      std::printf("%s\n", Resp.Body.c_str());
+      return 0;
+    case serve::Request::Shutdown:
+      return 0;
+    case serve::Request::Solve:
+      break;
+    }
+    // Print what smtlib_cli would: the verdict line (with the structured
+    // reason on unknown), then the model comment lines.
+    if (Resp.Verdict == "unknown" && !Resp.Reason.empty())
+      std::printf("unknown (%s)\n", Resp.Reason.c_str());
+    else
+      std::printf("%s\n", Resp.Verdict.c_str());
+    if (!Resp.Body.empty())
+      std::fputs(Resp.Body.c_str(), stdout);
+    if (!Resp.Cache.empty())
+      std::printf("; cache %s\n", Resp.Cache.c_str());
+    return Resp.ExitCode;
+  }
+}
